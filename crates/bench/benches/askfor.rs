@@ -1,0 +1,26 @@
+//! EXP-8 — Askfor (run-time requested work) vs static distribution on a
+//! recursively splitting workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use force_bench::workloads::{askfor_split, static_split};
+use force_core::prelude::*;
+
+fn bench_askfor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("askfor");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    let force = Force::new(4);
+    for seed in [64u64, 512] {
+        g.bench_with_input(BenchmarkId::new("askfor", seed), &seed, |b, &seed| {
+            b.iter(|| askfor_split(&force, seed, 64))
+        });
+        g.bench_with_input(BenchmarkId::new("static", seed), &seed, |b, &seed| {
+            b.iter(|| static_split(&force, seed, 64))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_askfor);
+criterion_main!(benches);

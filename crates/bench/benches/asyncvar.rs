@@ -1,0 +1,45 @@
+//! EXP-6 — Produce/Consume: HEP hardware full/empty vs the two-lock
+//! emulation of §4.2, as transfer throughput through one async variable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use force_core::prelude::*;
+use force_machdep::MachineId;
+
+fn bench_asyncvar(c: &mut Criterion) {
+    let mut g = c.benchmark_group("asyncvar");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    let transfers = 2_000u64;
+    for id in [
+        MachineId::Hep,
+        MachineId::EncoreMultimax,
+        MachineId::Flex32,
+        MachineId::Cray2,
+    ] {
+        let machine = Machine::new(id);
+        g.bench_with_input(BenchmarkId::new("spsc", id.tag()), &id, |b, _| {
+            b.iter(|| {
+                let chan: Async<u64> = Async::new(&machine);
+                std::thread::scope(|s| {
+                    s.spawn(|| {
+                        for i in 0..transfers {
+                            chan.produce(i);
+                        }
+                    });
+                    s.spawn(|| {
+                        let mut acc = 0u64;
+                        for _ in 0..transfers {
+                            acc = acc.wrapping_add(chan.consume());
+                        }
+                        std::hint::black_box(acc);
+                    });
+                });
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_asyncvar);
+criterion_main!(benches);

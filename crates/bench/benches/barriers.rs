@@ -1,0 +1,38 @@
+//! EXP-3 — barrier algorithm comparison (\[AJ87\]).
+//!
+//! Time per barrier episode for the Force's two-lock barrier and the
+//! classic alternatives, swept over the force size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use force_core::barrier_algs::all_algorithms;
+use force_machdep::{spawn_force, Machine, MachineId};
+
+fn bench_barriers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barriers");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    let episodes = 200u64;
+    for n in [1usize, 2, 4] {
+        let machine = Machine::new(MachineId::EncoreMultimax);
+        for alg in all_algorithms(&machine, n) {
+            g.bench_with_input(
+                BenchmarkId::new(alg.name().replace(' ', "_"), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        spawn_force(n, machine.stats(), |pid| {
+                            for _ in 0..episodes {
+                                alg.wait(pid);
+                            }
+                        });
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_barriers);
+criterion_main!(benches);

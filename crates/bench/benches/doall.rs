@@ -1,0 +1,39 @@
+//! EXP-4 — prescheduled vs selfscheduled DOALL under uniform and skewed
+//! (triangular) per-iteration costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use force_bench::workloads::{run_doall, triangular_cost, uniform_cost, Schedule};
+use force_core::prelude::*;
+
+fn bench_doall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("doall");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    let n = 2_000i64;
+    let nproc = 4;
+    let force = Force::new(nproc);
+    for (wname, cost) in [
+        ("uniform", uniform_cost as fn(i64, u64) -> u64),
+        ("triangular", triangular_cost as fn(i64, u64) -> u64),
+    ] {
+        for sched in [
+            Schedule::Presched,
+            Schedule::PreschedBlock,
+            Schedule::SelfSched,
+            Schedule::SelfSchedChunk(16),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(sched.name().replace(' ', "_"), wname),
+                &sched,
+                |b, &sched| {
+                    b.iter(|| run_doall(&force, n, cost, 16, sched));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_doall);
+criterion_main!(benches);

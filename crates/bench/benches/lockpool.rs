@@ -1,0 +1,57 @@
+//! EXP-11 — scarce locks (§4.1.3, Cray-2): K logical locks multiplexed
+//! onto a pool of L physical locks; false contention grows with K/L.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use force_machdep::lockpool::{LockFactory, LockPool};
+use force_machdep::syscall_lock::SyscallLock;
+use force_machdep::{LockHandle, LockState, OpStats};
+
+fn bench_lockpool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lockpool");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    let nthreads = 4;
+    let rounds = 400u64;
+    let capacity = 8;
+    for logical in [8usize, 16, 64] {
+        let stats = Arc::new(OpStats::new());
+        let st = Arc::clone(&stats);
+        let factory: LockFactory =
+            Arc::new(move |init| Arc::new(SyscallLock::new(init, Arc::clone(&st))) as LockHandle);
+        let pool = LockPool::new(capacity, factory, Arc::clone(&stats));
+        let locks: Vec<LockHandle> = (0..logical)
+            .map(|_| pool.allocate(LockState::Unlocked))
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new(format!("pool{capacity}"), logical),
+            &logical,
+            |b, &logical| {
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for t in 0..nthreads {
+                            let locks = &locks;
+                            s.spawn(move || {
+                                // Each thread cycles over a disjoint set of
+                                // *logical* locks; physical aliasing makes
+                                // them contend anyway.
+                                for r in 0..rounds {
+                                    let l = &locks[(t + r as usize * nthreads) % logical];
+                                    l.lock();
+                                    std::hint::black_box(r);
+                                    l.unlock();
+                                }
+                            });
+                        }
+                    });
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lockpool);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! EXP-5 — the §4.1.3 lock taxonomy: spin vs system-call vs combined
+//! locks under varying hold times (the Flex/32 combined-lock rationale).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use force_bench::workloads::busy_work;
+use force_machdep::{
+    combined::CombinedLock, fullempty::HepLock, lock::RawLock, spin::SpinLock,
+    syscall_lock::SyscallLock, LockState, OpStats,
+};
+
+fn lock_of(kind: &str, stats: &Arc<OpStats>) -> Arc<dyn RawLock> {
+    match kind {
+        "spin" => Arc::new(SpinLock::new(LockState::Unlocked, Arc::clone(stats))),
+        "syscall" => Arc::new(SyscallLock::new(LockState::Unlocked, Arc::clone(stats))),
+        "combined" => Arc::new(CombinedLock::new(LockState::Unlocked, Arc::clone(stats))),
+        "fullempty" => Arc::new(HepLock::new(LockState::Unlocked, Arc::clone(stats))),
+        _ => unreachable!(),
+    }
+}
+
+fn bench_locks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locks");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    let stats = Arc::new(OpStats::new());
+    let nthreads = 4;
+    let acquisitions = 300u64;
+    for hold in [0u64, 32, 512] {
+        for kind in ["spin", "syscall", "combined", "fullempty"] {
+            let lock = lock_of(kind, &stats);
+            g.bench_with_input(
+                BenchmarkId::new(kind, format!("hold{hold}")),
+                &hold,
+                |b, &hold| {
+                    b.iter(|| {
+                        std::thread::scope(|s| {
+                            for _ in 0..nthreads {
+                                let lock = Arc::clone(&lock);
+                                s.spawn(move || {
+                                    for _ in 0..acquisitions {
+                                        lock.lock();
+                                        busy_work(hold);
+                                        lock.unlock();
+                                    }
+                                });
+                            }
+                        });
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_locks);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! EXP-10 — the Encore page-padding ablation (§4.1.2): when shared and
+//! "private" words cohabit a cache line/page, independent per-process
+//! counters false-share; the Force's padded layout separates them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crossbeam::utils::CachePadded;
+
+fn bench_padding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("padding");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    let nthreads = 4;
+    let increments = 50_000u64;
+
+    // Unpadded: four counters in adjacent words (one line).
+    let unpadded: Vec<AtomicU64> = (0..nthreads).map(|_| AtomicU64::new(0)).collect();
+    g.bench_function(BenchmarkId::new("unpadded", nthreads), |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for t in 0..nthreads {
+                    let c = &unpadded[t];
+                    s.spawn(move || {
+                        for _ in 0..increments {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+        })
+    });
+
+    // Padded: same counters, one per cache line (the Force layout).
+    let padded: Vec<CachePadded<AtomicU64>> =
+        (0..nthreads).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+    g.bench_function(BenchmarkId::new("padded", nthreads), |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for t in 0..nthreads {
+                    let c = &padded[t];
+                    s.spawn(move || {
+                        for _ in 0..increments {
+                            c.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_padding);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! EXP-9 — Pcase prescheduled vs selfscheduled with heterogeneous
+//! section costs: static cyclic allocation strands the expensive sections
+//! on whichever processes happen to own them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use force_bench::workloads::busy_work;
+use force_core::prelude::*;
+
+fn run_pcase(force: &Force, costs: &[u64], selfsched: bool) {
+    force.run(|p| {
+        let mut pc = p.pcase();
+        for &cost in costs {
+            pc = pc.sect(move || {
+                busy_work(cost);
+            });
+        }
+        if selfsched {
+            pc.selfsched();
+        } else {
+            pc.presched();
+        }
+    });
+}
+
+fn bench_pcase(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pcase");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    let force = Force::new(4);
+    // 12 sections: uniform vs one-heavy (skewed) cost vectors.
+    let uniform: Vec<u64> = vec![500; 12];
+    let mut skewed: Vec<u64> = vec![100; 12];
+    skewed[0] = 5_000;
+    for (wname, costs) in [("uniform", &uniform), ("skewed", &skewed)] {
+        for (sname, selfsched) in [("presched", false), ("selfsched", true)] {
+            g.bench_with_input(
+                BenchmarkId::new(sname, wname),
+                &selfsched,
+                |b, &selfsched| {
+                    b.iter(|| run_pcase(&force, costs, selfsched));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pcase);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! EXP-7 — speedup scaling of a tightly coupled kernel (matrix multiply)
+//! over the force size.  On a multi-core host the curve approaches
+//! linear; the invariant checked everywhere is that the *result* is
+//! independent of the force size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use force_bench::workloads::matmul_checksum;
+use force_machdep::{Machine, MachineId};
+
+fn bench_speedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("speedup");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    let n = 48;
+    for nproc in [1usize, 2, 4] {
+        let machine = Machine::new(MachineId::AlliantFx8);
+        g.bench_with_input(BenchmarkId::new("matmul48", nproc), &nproc, |b, &nproc| {
+            b.iter(|| matmul_checksum(n, nproc, std::sync::Arc::clone(&machine)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_speedup);
+criterion_main!(benches);

@@ -1,0 +1,633 @@
+//! The reproduction harness: one table per experiment in EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p force-bench --bin reproduce            # all
+//! cargo run --release -p force-bench --bin reproduce -- exp3   # one
+//! ```
+//!
+//! Wall-clock numbers depend on the host (and are nearly flat on a
+//! single-core machine); the *shapes* described in EXPERIMENTS.md are the
+//! reproduction targets.  Simulated-cycle and operation-count columns are
+//! host-independent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use force_bench::workloads::{
+    askfor_split, busy_work, matmul_checksum, run_doall, static_split, triangular_cost,
+    uniform_cost, Schedule,
+};
+use force_bench::{fmt_dur, median_time};
+use force_core::barrier_algs::all_algorithms;
+use force_core::prelude::*;
+use force_machdep::{spawn_force, LockHandle, LockState, OpStats};
+use the_force::{compile_force_source, run_force_source};
+
+fn main() {
+    let which: Vec<String> = std::env::args().skip(1).collect();
+    let run = |name: &str| which.is_empty() || which.iter().any(|w| w == name || w == "all");
+    println!("The Force (ICPP 1989) — reproduction harness");
+    println!("host parallelism: {} core(s)\n", host_cores());
+    if run("exp1") {
+        exp1();
+    }
+    if run("exp2") {
+        exp2();
+    }
+    if run("exp3") {
+        exp3();
+    }
+    if run("exp4") {
+        exp4();
+    }
+    if run("exp5") {
+        exp5();
+    }
+    if run("exp6") {
+        exp6();
+    }
+    if run("exp7") {
+        exp7();
+    }
+    if run("exp8") {
+        exp8();
+    }
+    if run("exp9") {
+        exp9();
+    }
+    if run("exp10") {
+        exp10();
+    }
+    if run("exp11") {
+        exp11();
+    }
+    if run("exp12") {
+        exp12();
+    }
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn header(id: &str, title: &str) {
+    println!("\n================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+// ---------------------------------------------------------------- EXP-1
+
+fn exp1() {
+    header("EXP-1", "the §4.2 Selfsched DO macro expansion (golden listing)");
+    let src = "\
+      Force FMAIN of NP ident ME
+      Private INTEGER K
+      End declarations
+      Selfsched DO 100 K = START, LAST, INCR
+C LOOPBODY
+100   End Selfsched DO
+      Join
+";
+    let p = the_force::prep::preprocess(src, MachineId::EncoreMultimax).expect("preprocess");
+    let start = p.intermediate.find("C loop entry code").unwrap();
+    let end = p.intermediate[start..]
+        .find("      RETURN")
+        .map(|e| start + e)
+        .unwrap_or(p.intermediate.len());
+    println!("{}", &p.intermediate[start..end]);
+    println!("(machine-independent intermediate form; level 2 then maps");
+    println!(" lock/unlock onto each machine's vendor primitive)");
+}
+
+// ---------------------------------------------------------------- EXP-2
+
+fn exp2() {
+    header("EXP-2", "six-machine portability matrix");
+    let programs: &[(&str, &str, i64)] = &[
+        (
+            "selfsched-sum",
+            "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER R
+      Private INTEGER K
+      End declarations
+      Selfsched DO 100 K = 1, 100
+      Critical L
+      R = R + K
+      End critical
+100   End selfsched DO
+      Join
+",
+            5050,
+        ),
+        (
+            "barrier-pcase",
+            "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER R
+      End declarations
+      Barrier
+      R = 1
+      End barrier
+      Pcase
+      Usect
+      R = R + 10
+      Usect
+      R = R + 100
+      End pcase
+      Join
+",
+            111,
+        ),
+        (
+            "produce-consume",
+            "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER R
+      Async INTEGER CH
+      Private INTEGER T
+      End declarations
+      IF (ME .EQ. 0) THEN
+      Produce CH = 42
+      END IF
+      IF (ME .EQ. NP - 1) THEN
+      Consume CH into T
+      R = T
+      END IF
+      Join
+",
+            42,
+        ),
+    ];
+    println!(
+        "{:<18} {:<16} {:>8} {:>8} {:>9} {:>10} {:>12}",
+        "machine", "program", "result", "locks", "syscalls", "full/empty", "sim cycles"
+    );
+    for id in MachineId::all() {
+        for (name, src, expected) in programs {
+            let out = run_force_source(src, id, 4).expect("run");
+            let got = out.shared_scalar("R").unwrap().as_int(0).unwrap();
+            let verdict = if got == *expected { "PASS" } else { "FAIL" };
+            println!(
+                "{:<18} {:<16} {:>8} {:>8} {:>9} {:>10} {:>12}",
+                id.name(),
+                name,
+                verdict,
+                out.stats.lock_acquires,
+                out.stats.syscalls,
+                out.stats.fe_produces + out.stats.fe_consumes,
+                out.cycles
+            );
+            assert_eq!(got, *expected, "{} {name}", id.name());
+        }
+    }
+    println!("\nport differences (driver excerpts):");
+    let src = programs[0].1;
+    for id in MachineId::all() {
+        let (exp, _) = compile_force_source(src, id).unwrap();
+        let lock_line = exp
+            .code
+            .lines()
+            .find(|l| l.contains("CALL ZZ") && l.contains("(BARWIN)") && !l.contains("INIT"))
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        let spawn_line = exp
+            .code
+            .lines()
+            .find(|l| l.contains("CALL ZZF") || l.contains("CALL ZZS"))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default();
+        println!("  {:<18} {:<26} {}", id.name(), lock_line, spawn_line);
+    }
+}
+
+// ---------------------------------------------------------------- EXP-3
+
+fn exp3() {
+    header("EXP-3", "barrier algorithms ([AJ87] companion), ns per episode");
+    let episodes = 500u64;
+    print!("{:<34}", "algorithm \\ nproc");
+    let nprocs = [1usize, 2, 4, 8];
+    for n in nprocs {
+        print!("{n:>12}");
+    }
+    println!();
+    let machine = Machine::new(MachineId::EncoreMultimax);
+    for alg_idx in 0..6 {
+        let mut row = String::new();
+        let mut name = String::new();
+        for n in nprocs {
+            let algs = all_algorithms(&machine, n);
+            let alg = &algs[alg_idx];
+            name = alg.name().to_string();
+            let t = median_time(3, || {
+                spawn_force(n, machine.stats(), |pid| {
+                    for _ in 0..episodes {
+                        alg.wait(pid);
+                    }
+                });
+            });
+            row.push_str(&format!("{:>12}", t.as_nanos() as u64 / episodes));
+        }
+        println!("{name:<34}{row}");
+    }
+    println!("(expected shape: log-depth barriers flatten with nproc;");
+    println!(" counter/two-lock grow roughly linearly under contention)");
+}
+
+// ---------------------------------------------------------------- EXP-4
+
+fn exp4() {
+    header("EXP-4", "presched vs selfsched DOALL, uniform vs triangular load");
+    let n = 2_000i64;
+    let nproc = 4;
+    let force = Force::new(nproc);
+    println!("{:<24} {:>14} {:>14}", "schedule", "uniform", "triangular");
+    for sched in [
+        Schedule::Presched,
+        Schedule::PreschedBlock,
+        Schedule::SelfSched,
+        Schedule::SelfSchedChunk(16),
+    ] {
+        let tu = median_time(3, || {
+            run_doall(&force, n, uniform_cost, 16, sched);
+        });
+        let tt = median_time(3, || {
+            run_doall(&force, n, triangular_cost, 16, sched);
+        });
+        println!("{:<24} {:>14} {:>14}", sched.name(), fmt_dur(tu), fmt_dur(tt));
+    }
+    println!("(expected shape: presched wins slightly on cheap uniform bodies");
+    println!(" — no index service — while selfsched wins under skew;");
+    println!(" block presched is worst under triangular skew)");
+}
+
+// ---------------------------------------------------------------- EXP-5
+
+fn exp5() {
+    header("EXP-5", "lock taxonomy (§4.1.3): spin vs syscall vs combined");
+    let nthreads = 4;
+    let acquisitions = 500u64;
+    println!(
+        "{:<12} {:>14} {:>14} {:>14}   (4 threads x {} acquisitions)",
+        "lock", "hold=0", "hold=64", "hold=1024", acquisitions
+    );
+    let stats = Arc::new(OpStats::new());
+    for kind in ["spin", "syscall", "combined", "fullempty"] {
+        let mut cols = Vec::new();
+        for hold in [0u64, 64, 1024] {
+            let lock: LockHandle = match kind {
+                "spin" => Arc::new(force_machdep::spin::SpinLock::new(
+                    LockState::Unlocked,
+                    Arc::clone(&stats),
+                )),
+                "syscall" => Arc::new(force_machdep::syscall_lock::SyscallLock::new(
+                    LockState::Unlocked,
+                    Arc::clone(&stats),
+                )),
+                "combined" => Arc::new(force_machdep::combined::CombinedLock::new(
+                    LockState::Unlocked,
+                    Arc::clone(&stats),
+                )),
+                _ => Arc::new(force_machdep::fullempty::HepLock::new(
+                    LockState::Unlocked,
+                    Arc::clone(&stats),
+                )),
+            };
+            let t = median_time(3, || {
+                std::thread::scope(|s| {
+                    for _ in 0..nthreads {
+                        let lock = Arc::clone(&lock);
+                        s.spawn(move || {
+                            for _ in 0..acquisitions {
+                                lock.lock();
+                                busy_work(hold);
+                                lock.unlock();
+                            }
+                        });
+                    }
+                });
+            });
+            cols.push(fmt_dur(t));
+        }
+        println!(
+            "{:<12} {:>14} {:>14} {:>14}",
+            kind, cols[0], cols[1], cols[2]
+        );
+    }
+    println!("(expected shape: spin cheapest for short holds, syscall locks");
+    println!(" amortize for long holds, combined tracks the better of the two)");
+}
+
+// ---------------------------------------------------------------- EXP-6
+
+fn exp6() {
+    header("EXP-6", "Produce/Consume: hardware full/empty vs two locks");
+    let transfers = 5_000u64;
+    println!(
+        "{:<18} {:<26} {:>14} {:>16}",
+        "machine", "mechanism", "time", "lock ops/transfer"
+    );
+    for id in [
+        MachineId::Hep,
+        MachineId::EncoreMultimax,
+        MachineId::Flex32,
+        MachineId::Cray2,
+    ] {
+        let machine = Machine::new(id);
+        let before = machine.stats().snapshot();
+        let t = median_time(3, || {
+            let chan: Async<u64> = Async::new(&machine);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    for i in 0..transfers {
+                        chan.produce(i);
+                    }
+                });
+                s.spawn(|| {
+                    for _ in 0..transfers {
+                        std::hint::black_box(chan.consume());
+                    }
+                });
+            });
+        });
+        let after = machine.stats().snapshot().since(&before);
+        let mech = if machine.spec().hardware_fullempty {
+            "hardware full/empty"
+        } else {
+            "two-lock emulation (§4.2)"
+        };
+        let ops = (after.lock_acquires + after.lock_releases + after.fe_produces
+            + after.fe_consumes) as f64
+            / (4.0 * transfers as f64); // 4 timed runs incl warmup
+        println!(
+            "{:<18} {:<26} {:>14} {:>16.2}",
+            id.name(),
+            mech,
+            fmt_dur(t),
+            ops
+        );
+    }
+    println!("(expected shape: 1 produce + 1 consume = 2 hardware ops on the");
+    println!(" HEP vs 2 lock + 2 unlock operations on every other machine)");
+}
+
+// ---------------------------------------------------------------- EXP-7
+
+fn exp7() {
+    header("EXP-7", "speedup and nproc-independence (matmul 64x64)");
+    let n = 64;
+    let machine = Machine::new(MachineId::AlliantFx8);
+    let base = matmul_checksum(n, 1, Arc::clone(&machine));
+    println!("{:<8} {:>14} {:>10} {:>10}", "nproc", "time", "speedup", "result");
+    let t1 = median_time(3, || {
+        matmul_checksum(n, 1, Arc::clone(&machine));
+    });
+    for nproc in [1usize, 2, 4, 8] {
+        let mut ok = true;
+        let t = median_time(3, || {
+            ok &= matmul_checksum(n, nproc, Arc::clone(&machine)) == base;
+        });
+        println!(
+            "{:<8} {:>14} {:>10.2} {:>10}",
+            nproc,
+            fmt_dur(t),
+            t1.as_secs_f64() / t.as_secs_f64(),
+            if ok { "exact" } else { "DIFFERS" }
+        );
+    }
+    println!(
+        "(expected shape: near-linear speedup on a multi-core host — this host has {} core(s) —",
+        host_cores()
+    );
+    println!(" and an identical checksum at every force size, unconditionally)");
+}
+
+// ---------------------------------------------------------------- EXP-8
+
+fn exp8() {
+    header("EXP-8", "Askfor vs static distribution on a run-time work tree");
+    let force = Force::new(4);
+    println!("{:<10} {:>14} {:>14}", "tree size", "askfor", "static");
+    for seed in [128u64, 1024] {
+        let ta = median_time(3, || {
+            assert_eq!(askfor_split(&force, seed, 64), seed);
+        });
+        let ts = median_time(3, || {
+            assert_eq!(static_split(&force, seed, 64), seed);
+        });
+        println!("{:<10} {:>14} {:>14}", seed, fmt_dur(ta), fmt_dur(ts));
+    }
+    println!("(static needs the tree size in advance — available here only");
+    println!(" because the workload is synthetic; Askfor discovers it at run");
+    println!(" time for the same order of cost)");
+}
+
+// ---------------------------------------------------------------- EXP-9
+
+fn exp9() {
+    header("EXP-9", "Pcase presched vs selfsched, skewed section costs");
+    let force = Force::new(4);
+    let uniform: Vec<u64> = vec![500; 12];
+    let mut skewed: Vec<u64> = vec![100; 12];
+    skewed[0] = 5_000;
+    println!("{:<12} {:>14} {:>14}", "pcase", "uniform", "skewed");
+    for (name, selfsched) in [("presched", false), ("selfsched", true)] {
+        let mut cols = Vec::new();
+        for costs in [&uniform, &skewed] {
+            let t = median_time(3, || {
+                force.run(|p| {
+                    let mut pc = p.pcase();
+                    for &cost in costs.iter() {
+                        pc = pc.sect(move || {
+                            busy_work(cost);
+                        });
+                    }
+                    if selfsched {
+                        pc.selfsched();
+                    } else {
+                        pc.presched();
+                    }
+                });
+            });
+            cols.push(fmt_dur(t));
+        }
+        println!("{:<12} {:>14} {:>14}", name, cols[0], cols[1]);
+    }
+    println!("(expected shape: equal on uniform sections; selfsched wins when");
+    println!(" one section dominates, because the owner of the big section");
+    println!(" is not also forced to take a fixed share of the rest)");
+}
+
+// ---------------------------------------------------------------- EXP-10
+
+fn exp10() {
+    header("EXP-10", "Encore page padding (§4.1.2): false-sharing ablation");
+    use crossbeam::utils::CachePadded;
+    let nthreads = 4;
+    let increments = 200_000u64;
+    let unpadded: Vec<AtomicU64> = (0..nthreads).map(|_| AtomicU64::new(0)).collect();
+    let tu = median_time(3, || {
+        std::thread::scope(|s| {
+            for c in unpadded.iter() {
+                s.spawn(move || {
+                    for _ in 0..increments {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+    });
+    let padded: Vec<CachePadded<AtomicU64>> =
+        (0..nthreads).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+    let tp = median_time(3, || {
+        std::thread::scope(|s| {
+            for c in padded.iter() {
+                s.spawn(move || {
+                    for _ in 0..increments {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+    });
+    println!("{:<24} {:>14}", "layout", "time");
+    println!("{:<24} {:>14}", "adjacent words", fmt_dur(tu));
+    println!("{:<24} {:>14}", "padded (Force layout)", fmt_dur(tp));
+    // And the layout arithmetic itself, per machine:
+    println!("\nper-machine layout of 3 shared blocks of 5 words each:");
+    for id in MachineId::all() {
+        let m = Machine::new(id);
+        let blocks = vec![
+            force_machdep::BlockRequest::new("A", 5),
+            force_machdep::BlockRequest::new("B", 5),
+            force_machdep::BlockRequest::new("C", 5),
+        ];
+        let l = m.sharing_model().layout(&blocks);
+        match l {
+            Ok(l) => println!(
+                "  {:<18} total {:>5} words, padding {:>5} words",
+                id.name(),
+                l.total_words,
+                l.padding_words
+            ),
+            Err(e) => println!("  {:<18} ({e})", id.name()),
+        }
+    }
+    println!("(expected shape: padding removes false sharing on multi-core");
+    println!(" hosts; Encore pads front+back, Alliant aligns every block,");
+    println!(" Sequent refuses layout before its link pass)");
+}
+
+// ---------------------------------------------------------------- EXP-11
+
+fn exp11() {
+    header("EXP-11", "scarce locks (Cray-2): K logical locks on an 8-slot pool");
+    use force_machdep::lockpool::{LockFactory, LockPool};
+    let nthreads = 4;
+    let rounds = 1_000u64;
+    let capacity = 8;
+    println!(
+        "{:<12} {:>10} {:>14} {:>12}",
+        "K logical", "aliased", "time", "contended"
+    );
+    for logical in [8usize, 16, 32, 64] {
+        let stats = Arc::new(OpStats::new());
+        let st = Arc::clone(&stats);
+        let factory: LockFactory = Arc::new(move |init| {
+            Arc::new(force_machdep::syscall_lock::SyscallLock::new(
+                init,
+                Arc::clone(&st),
+            )) as LockHandle
+        });
+        let pool = LockPool::new(capacity, factory, Arc::clone(&stats));
+        let locks: Vec<LockHandle> = (0..logical)
+            .map(|_| pool.allocate(LockState::Unlocked))
+            .collect();
+        let before = stats.snapshot();
+        let t = median_time(3, || {
+            std::thread::scope(|s| {
+                for t in 0..nthreads {
+                    let locks = &locks;
+                    s.spawn(move || {
+                        for r in 0..rounds {
+                            let l = &locks[(t + r as usize * nthreads) % logical];
+                            l.lock();
+                            std::hint::black_box(r);
+                            l.unlock();
+                        }
+                    });
+                }
+            });
+        });
+        let after = stats.snapshot().since(&before);
+        println!(
+            "{:<12} {:>10} {:>14} {:>12}",
+            logical,
+            before.locks_aliased,
+            fmt_dur(t),
+            after.lock_contended
+        );
+    }
+    println!("(expected shape: once K exceeds the pool, logically disjoint");
+    println!(" locks contend — \"some parallel programs may not execute as");
+    println!(" efficiently as others if a large number of asynchronous");
+    println!(" variables are needed\")");
+}
+
+// ---------------------------------------------------------------- EXP-12
+
+fn exp12() {
+    header("EXP-12", "Resolve (the paper's future-work construct), ablation");
+    let nproc = 4;
+    let rounds = 300usize;
+    // Partitioned: one I/O-ish process, three compute processes with a
+    // component-local barrier per round.
+    let machine = Machine::new(MachineId::Flex32);
+    let force = Force::with_machine(nproc, Arc::clone(&machine));
+    let before = machine.stats().snapshot();
+    let tr = median_time(3, || {
+        force.run(|p| {
+            p.resolve(&[1, 3], |c| {
+                if c.index() == 1 {
+                    for _ in 0..rounds {
+                        busy_work(32);
+                        c.barrier();
+                    }
+                } else {
+                    busy_work(32 * rounds as u64);
+                }
+            });
+        });
+    });
+    let mid = machine.stats().snapshot();
+    // Whole force: everyone meets at the full barrier each round.
+    let tw = median_time(3, || {
+        force.run(|p| {
+            for _ in 0..rounds {
+                busy_work(32);
+                p.barrier();
+            }
+        });
+    });
+    let after = machine.stats().snapshot();
+    let resolve_eps = mid.since(&before).barrier_episodes;
+    let whole_eps = after.since(&mid).barrier_episodes;
+    println!("{:<28} {:>14} {:>20}", "structure", "time", "barrier episodes");
+    println!(
+        "{:<28} {:>14} {:>20}",
+        "resolve [1,3] (local bar.)",
+        fmt_dur(tr),
+        resolve_eps
+    );
+    println!(
+        "{:<28} {:>14} {:>20}",
+        "whole force (full barrier)",
+        fmt_dur(tw),
+        whole_eps
+    );
+    println!("(expected shape: the component barrier synchronizes 3 processes");
+    println!(" instead of 4 and never blocks on the unrelated component)");
+}

@@ -1,0 +1,58 @@
+//! Shared workloads and measurement helpers for the Force benchmarks and
+//! the `reproduce` harness (see EXPERIMENTS.md at the repository root).
+
+pub mod workloads;
+
+use std::time::{Duration, Instant};
+
+/// Median wall time of `runs` invocations of `f` (plus one discarded
+/// warmup run).  Small and deterministic — suited to the harness tables;
+/// the Criterion benches do the rigorous statistics.
+pub fn median_time(runs: usize, mut f: impl FnMut()) -> Duration {
+    assert!(runs >= 1);
+    f(); // warmup
+    let mut samples: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Duration formatted adaptively.
+pub fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_time_is_positive() {
+        let d = median_time(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn fmt_dur_ranges() {
+        assert!(fmt_dur(Duration::from_nanos(50)).contains("ns"));
+        assert!(fmt_dur(Duration::from_micros(50)).contains("us"));
+        assert!(fmt_dur(Duration::from_millis(50)).contains("ms"));
+        assert!(fmt_dur(Duration::from_secs(50)).contains("s"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Workload generators shared by the benches and the `reproduce` harness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use force_core::prelude::*;
+
+/// Spin for roughly `units` of deterministic work (calibration-free; a
+/// unit is one rounds of a small integer hash).
+#[inline]
+pub fn busy_work(units: u64) -> u64 {
+    let mut x = 0x9E3779B97F4A7C15u64.wrapping_add(units);
+    for _ in 0..units {
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51AFD7ED558CCD);
+        x ^= x >> 29;
+    }
+    std::hint::black_box(x)
+}
+
+/// Per-iteration cost of a *uniform* loop body.
+pub fn uniform_cost(_i: i64, scale: u64) -> u64 {
+    scale
+}
+
+/// Per-iteration cost of a *triangular* (skewed) loop body: iteration `i`
+/// of `n` costs proportionally to `i` — the classic load-imbalance shape
+/// where prescheduled distribution loses to selfscheduled.
+pub fn triangular_cost(i: i64, scale: u64) -> u64 {
+    (i as u64) * scale / 8
+}
+
+/// Run a DOALL over `n` iterations with per-iteration `cost(i)`, using
+/// the chosen schedule, and return the checksum (foils dead-code
+/// elimination, doubles as a correctness check).
+pub fn run_doall(
+    force: &Force,
+    n: i64,
+    cost: impl Fn(i64, u64) -> u64 + Sync,
+    scale: u64,
+    schedule: Schedule,
+) -> u64 {
+    let acc = AtomicU64::new(0);
+    force.run(|p| {
+        let body = |i: i64| {
+            acc.fetch_add(busy_work(cost(i, scale)) & 0xFF, Ordering::Relaxed);
+        };
+        match schedule {
+            Schedule::Presched => p.presched_do(ForceRange::to(1, n), body),
+            Schedule::PreschedBlock => p.presched_do_block(ForceRange::to(1, n), body),
+            Schedule::SelfSched => p.selfsched_do(ForceRange::to(1, n), body),
+            Schedule::SelfSchedChunk(c) => {
+                p.selfsched_do_chunked(ForceRange::to(1, n), c, body)
+            }
+        }
+    });
+    acc.load(Ordering::Relaxed)
+}
+
+/// DOALL scheduling flavours under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Cyclic prescheduled.
+    Presched,
+    /// Block prescheduled.
+    PreschedBlock,
+    /// Selfscheduled, one trip at a time.
+    SelfSched,
+    /// Selfscheduled in chunks.
+    SelfSchedChunk(u64),
+}
+
+impl Schedule {
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            Schedule::Presched => "presched (cyclic)".into(),
+            Schedule::PreschedBlock => "presched (block)".into(),
+            Schedule::SelfSched => "selfsched".into(),
+            Schedule::SelfSchedChunk(c) => format!("selfsched chunk={c}"),
+        }
+    }
+}
+
+/// The matrix-multiply kernel used by the speedup experiment: returns the
+/// checksum of `C = A*B` for deterministic pseudo-random `A`, `B`.
+pub fn matmul_checksum(n: usize, nproc: usize, machine: std::sync::Arc<Machine>) -> u64 {
+    let a: Vec<f64> = (0..n * n).map(|k| ((k % 13) as f64) - 6.0).collect();
+    let b: Vec<f64> = (0..n * n).map(|k| ((k % 7) as f64) * 0.5 - 1.5).collect();
+    let c = SharedF64Array::zeroed(n * n);
+    let force = Force::with_machine(nproc, machine);
+    force.run(|p| {
+        p.selfsched_do(ForceRange::to(0, n as i64 - 1), |row| {
+            let i = row as usize;
+            for k in 0..n {
+                let aik = a[i * n + k];
+                for j in 0..n {
+                    c.set(i * n + j, c.get(i * n + j) + aik * b[k * n + j]);
+                }
+            }
+        });
+    });
+    (0..n * n)
+        .map(|k| c.get(k).to_bits() >> 32)
+        .fold(0u64, |acc, x| acc.wrapping_add(x))
+}
+
+/// The adaptive-split workload for the Askfor experiment: splitting `seed`
+/// down to unit leaves with `grain` busy-work per node.
+pub fn askfor_split(force: &Force, seed: u64, grain: u64) -> u64 {
+    let leaves = AtomicU64::new(0);
+    force.run(|p| {
+        p.askfor(
+            || vec![seed],
+            |n, pot| {
+                busy_work(grain);
+                if n > 1 {
+                    pot.post(n / 2);
+                    pot.post(n - n / 2);
+                } else {
+                    leaves.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+        );
+    });
+    leaves.load(Ordering::Relaxed)
+}
+
+/// Equivalent static version: presched over the leaves (the work shape is
+/// known here only because the workload is synthetic — the point of
+/// Askfor is that in general it is not).
+pub fn static_split(force: &Force, seed: u64, grain: u64) -> u64 {
+    let leaves = AtomicU64::new(0);
+    force.run(|p| {
+        // The split tree of `seed` has exactly `seed` leaves and
+        // `seed - 1` internal nodes; do the same total busy work.
+        p.presched_do(ForceRange::to(1, (2 * seed - 1) as i64), |_| {
+            busy_work(grain);
+        });
+        p.barrier_section(|| {
+            leaves.store(seed, Ordering::Relaxed);
+        });
+    });
+    leaves.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_work_is_deterministic() {
+        assert_eq!(busy_work(100), busy_work(100));
+        assert_ne!(busy_work(100), busy_work(101));
+    }
+
+    #[test]
+    fn doall_checksums_are_schedule_independent() {
+        let force = Force::new(3);
+        let base = run_doall(&force, 50, uniform_cost, 4, Schedule::Presched);
+        for s in [
+            Schedule::PreschedBlock,
+            Schedule::SelfSched,
+            Schedule::SelfSchedChunk(4),
+        ] {
+            assert_eq!(run_doall(&force, 50, uniform_cost, 4, s), base, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn matmul_checksum_is_nproc_independent() {
+        let m = Machine::new(MachineId::Flex32);
+        let c1 = matmul_checksum(16, 1, std::sync::Arc::clone(&m));
+        let c2 = matmul_checksum(16, 3, m);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn askfor_split_counts_leaves() {
+        let force = Force::new(2);
+        assert_eq!(askfor_split(&force, 17, 1), 17);
+        assert_eq!(static_split(&force, 17, 1), 17);
+    }
+}

@@ -1,0 +1,259 @@
+//! Askfor — run-time requested work distribution (§3.3).
+//!
+//! "The most general concept for concurrent code segments is Askfor
+//! \[LO83\].  This construct provides a means of work distribution in cases
+//! where the degree of concurrency is not known at compile time.  Rather
+//! the program can request during run time that a new concurrent instance
+//! of the code segment is executed."
+//!
+//! Following Lusk & Overbeek's monitor formulation, the construct is a
+//! shared *work pot*: any process asks the pot for work; while handling
+//! an item it may post new items; the construct terminates when the pot
+//! is empty and no process is still working (so no more items can
+//! appear).
+//!
+//! ```
+//! # use force_core::prelude::*;
+//! # use std::sync::atomic::{AtomicU64, Ordering};
+//! let force = Force::new(4);
+//! let sum = AtomicU64::new(0);
+//! force.run(|p| {
+//!     p.askfor(|| vec![10u64], |n, pot| {
+//!         // split until small, then account
+//!         if n > 1 {
+//!             pot.post(n / 2);
+//!             pot.post(n - n / 2);
+//!         } else {
+//!             sum.fetch_add(1, Ordering::Relaxed);
+//!         }
+//!     });
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 10);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::player::Player;
+
+/// The shared work pot of one Askfor occurrence.
+pub struct AskforPot<W> {
+    state: Mutex<PotState<W>>,
+    cond: Condvar,
+}
+
+struct PotState<W> {
+    queue: VecDeque<W>,
+    working: usize,
+    posted: u64,
+    completed: u64,
+}
+
+impl<W> AskforPot<W> {
+    fn new(seed: Vec<W>) -> Self {
+        let posted = seed.len() as u64;
+        AskforPot {
+            state: Mutex::new(PotState {
+                queue: seed.into(),
+                working: 0,
+                posted,
+                completed: 0,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Request work: posted by the handler of another (or this) item.
+    /// Callable from inside a handler via the pot reference it receives.
+    pub fn post(&self, work: W) {
+        let mut st = self.state.lock();
+        st.queue.push_back(work);
+        st.posted += 1;
+        drop(st);
+        self.cond.notify_one();
+    }
+
+    /// Ask the pot for the next item.  Blocks while the pot is empty but
+    /// some process is still working (new items may appear); returns
+    /// `None` once the pot is dry and idle — the termination condition.
+    fn ask(&self) -> Option<W> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(w) = st.queue.pop_front() {
+                st.working += 1;
+                return Some(w);
+            }
+            if st.working == 0 {
+                // Dry and idle: wake every sleeper so all processes see
+                // termination.
+                self.cond.notify_all();
+                return None;
+            }
+            self.cond.wait(&mut st);
+        }
+    }
+
+    /// Report one item finished.
+    fn done(&self) {
+        let mut st = self.state.lock();
+        st.working -= 1;
+        st.completed += 1;
+        if st.working == 0 && st.queue.is_empty() {
+            drop(st);
+            self.cond.notify_all();
+        }
+    }
+
+    /// Total items ever posted (seed included).
+    pub fn posted(&self) -> u64 {
+        self.state.lock().posted
+    }
+
+    /// Total items completed.
+    pub fn completed(&self) -> u64 {
+        self.state.lock().completed
+    }
+}
+
+impl Player {
+    /// The Askfor construct.
+    ///
+    /// `seed` produces the initial work items; it is evaluated by the
+    /// *first* process to reach the construct (exactly once per
+    /// occurrence).  Every process then loops asking the pot for work and
+    /// running `handler`, which may post follow-on items through the pot
+    /// reference.  The construct returns — through the construct-end
+    /// barrier — when all work is done in all processes.
+    pub fn askfor<W, S, H>(&self, seed: S, handler: H)
+    where
+        W: Send + 'static,
+        S: FnOnce() -> Vec<W>,
+        H: Fn(W, &AskforPot<W>),
+    {
+        let pot: Arc<AskforPot<W>> = self.collective(|| AskforPot::new(seed()));
+        while let Some(w) = pot.ask() {
+            handler(w, &pot);
+            pot.done();
+        }
+        self.barrier();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::force::Force;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn static_work_is_all_processed() {
+        for nproc in [1, 2, 4, 8] {
+            let force = Force::new(nproc);
+            let sum = AtomicU64::new(0);
+            force.run(|p| {
+                p.askfor(|| (1..=100u64).collect(), |w, _| {
+                    sum.fetch_add(w, Ordering::Relaxed);
+                });
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 5050, "nproc={nproc}");
+        }
+    }
+
+    #[test]
+    fn dynamic_posting_terminates_and_covers() {
+        // Recursive splitting: item n spawns items n/2 and n-n/2 until 1.
+        for nproc in [1, 3, 6] {
+            let force = Force::new(nproc);
+            let leaves = AtomicU64::new(0);
+            force.run(|p| {
+                p.askfor(|| vec![64u64, 37], |n, pot| {
+                    if n > 1 {
+                        pot.post(n / 2);
+                        pot.post(n - n / 2);
+                    } else {
+                        leaves.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            });
+            assert_eq!(leaves.load(Ordering::Relaxed), 64 + 37, "nproc={nproc}");
+        }
+    }
+
+    #[test]
+    fn empty_seed_terminates_immediately() {
+        let force = Force::new(4);
+        let hit = AtomicU64::new(0);
+        force.run(|p| {
+            p.askfor(Vec::<u64>::new, |_, _| {
+                hit.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn seed_is_evaluated_exactly_once() {
+        let force = Force::new(6);
+        let seeds = AtomicU64::new(0);
+        force.run(|p| {
+            p.askfor(
+                || {
+                    seeds.fetch_add(1, Ordering::SeqCst);
+                    vec![1u64, 2, 3]
+                },
+                |_, _| {},
+            );
+        });
+        assert_eq!(seeds.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn askfor_is_a_barrier_and_accounting_balances() {
+        let force = Force::new(4);
+        let done = AtomicU64::new(0);
+        force.run(|p| {
+            p.askfor(|| (0..50u64).collect(), |w, pot| {
+                if w > 0 && w % 7 == 0 {
+                    pot.post(w - 1);
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+            // All work (including dynamically posted) visible after the
+            // construct's end barrier.
+            let total = done.load(Ordering::SeqCst);
+            assert!(total >= 50);
+        });
+    }
+
+    #[test]
+    fn consecutive_askfors_are_independent() {
+        let force = Force::new(3);
+        let a = AtomicU64::new(0);
+        let b = AtomicU64::new(0);
+        force.run(|p| {
+            p.askfor(|| vec![1u64; 10], |_, _| {
+                a.fetch_add(1, Ordering::Relaxed);
+            });
+            p.askfor(|| vec![1u64; 20], |_, _| {
+                b.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(a.load(Ordering::Relaxed), 10);
+        assert_eq!(b.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn pot_state_is_queryable() {
+        let pot = AskforPot::new(vec![1, 2, 3]);
+        assert_eq!(pot.posted(), 3);
+        assert_eq!(pot.completed(), 0);
+        let w = pot.ask().unwrap();
+        assert_eq!(w, 1);
+        pot.post(4);
+        pot.done();
+        assert_eq!(pot.posted(), 4);
+        assert_eq!(pot.completed(), 1);
+    }
+}

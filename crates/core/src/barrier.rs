@@ -1,0 +1,283 @@
+//! The Force barrier — the two-lock algorithm of §4.2.
+//!
+//! The paper's `Barrier` macro "uses generic lock macros to implement the
+//! entry code for a barrier construct using the Force parallel environment
+//! variables for barrier locks and arrival reporting", citing \[AJ87\].  The
+//! §4.2 `Selfsched DO` expansion shows both halves:
+//!
+//! ```fortran
+//! C loop entry code                      C loop exit code
+//!       lock(BARWIN)                           lock(BARWOT)
+//!       ZZNBAR = ZZNBAR + 1                    ZZNBAR = ZZNBAR - 1
+//!       IF (ZZNBAR .EQ. nproc) THEN            IF (ZZNBAR .EQ. 0) THEN
+//!          unlock(BARWOT)                         unlock(BARWIN)
+//!       ELSE                                   ELSE
+//!          unlock(BARWIN)                         unlock(BARWOT)
+//!       END IF                                 END IF
+//! ```
+//!
+//! `BARWIN` (initially unlocked) admits arrivals one at a time; the last
+//! arrival opens `BARWOT` (initially locked) instead of re-opening
+//! `BARWIN`, and departures cascade through `BARWOT`, the last one
+//! re-opening `BARWIN`.  The two locks make the barrier safely
+//! *re-enterable*: no process can re-enter the next barrier episode while
+//! stragglers are still leaving this one.
+//!
+//! The same episode structure carries the Force's two one-process hooks:
+//! the **first** arriver may run initialization (the `IF (ZZNBAR .EQ. 0)`
+//! index setup in the expansion) and the **last** arriver runs the
+//! *barrier section* — the paper's "one arbitrary process is then allowed
+//! to execute the barrier section; all other processes are suspended
+//! until the single process leaves".
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use force_machdep::{LockHandle, LockState, Machine, OpStats};
+
+/// The Force's two-lock, re-enterable barrier.
+pub struct TwoLockBarrier {
+    /// `BARWIN`: admits arrivals; initially unlocked.
+    barwin: LockHandle,
+    /// `BARWOT`: admits departures; initially locked.
+    barwot: LockHandle,
+    /// `ZZNBAR`: arrival count.  Only read/written while holding one of
+    /// the two locks; the atomic type satisfies Rust, the locks provide
+    /// the actual mutual exclusion (as in the Fortran original).
+    zznbar: AtomicUsize,
+    nproc: usize,
+    stats: Arc<OpStats>,
+}
+
+impl TwoLockBarrier {
+    /// Build a barrier for a force of `nproc` processes on `machine`.
+    ///
+    /// # Panics
+    /// Panics if `nproc` is zero.
+    pub fn new(machine: &Machine, nproc: usize) -> Self {
+        assert!(nproc > 0, "a barrier needs at least one process");
+        TwoLockBarrier {
+            barwin: machine.make_dedicated_lock(LockState::Unlocked),
+            barwot: machine.make_dedicated_lock(LockState::Locked),
+            zznbar: AtomicUsize::new(0),
+            nproc,
+            stats: Arc::clone(machine.stats()),
+        }
+    }
+
+    /// Number of processes the barrier synchronizes.
+    pub fn nproc(&self) -> usize {
+        self.nproc
+    }
+
+    /// Barrier entry: report arrival.  `on_first` runs in the first
+    /// arriver (under `BARWIN`, i.e. in mutual exclusion — the §4.2 loop
+    /// uses it to initialize the shared index); `on_last` runs in the
+    /// last arriver while every other process is still suspended — the
+    /// Force *barrier section*.
+    ///
+    /// Returns `Some` of the section's result in the process that ran it.
+    pub fn enter<R>(
+        &self,
+        on_first: impl FnOnce(),
+        on_last: impl FnOnce() -> R,
+    ) -> Option<R> {
+        self.barwin.lock();
+        let n = self.zznbar.load(Ordering::Relaxed);
+        if n == 0 {
+            on_first();
+        }
+        self.zznbar.store(n + 1, Ordering::Relaxed);
+        if n + 1 == self.nproc {
+            // Everyone else is (or will be) blocked on BARWOT; this is the
+            // single-process window of the barrier section.  BARWIN stays
+            // locked so no one can start the next episode's entry.
+            let r = on_last();
+            self.barwot.unlock();
+            Some(r)
+        } else {
+            self.barwin.unlock();
+            None
+        }
+    }
+
+    /// Barrier exit: report departure.  The last departer re-opens
+    /// `BARWIN`, enabling the next episode.
+    pub fn exit(&self) {
+        self.barwot.lock();
+        let n = self.zznbar.load(Ordering::Relaxed) - 1;
+        self.zznbar.store(n, Ordering::Relaxed);
+        if n == 0 {
+            OpStats::count(&self.stats.barrier_episodes);
+            self.barwin.unlock();
+        } else {
+            self.barwot.unlock();
+        }
+    }
+
+    /// A plain barrier: wait for the whole force.
+    pub fn wait(&self) {
+        self.enter(|| (), || ());
+        self.exit();
+    }
+
+    /// Barrier with a section: all processes wait; exactly one executes
+    /// `section` while the rest stay suspended; then all proceed.
+    /// Returns `Some(result)` in the process that ran the section.
+    pub fn wait_section<R>(&self, section: impl FnOnce() -> R) -> Option<R> {
+        let r = self.enter(|| (), section);
+        self.exit();
+        r
+    }
+
+    /// Barrier whose *first* arriver runs `init` in mutual exclusion —
+    /// the idiom of the selfscheduled loop's entry code.
+    pub fn wait_first(&self, init: impl FnOnce()) {
+        self.enter(init, || ());
+        self.exit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use force_machdep::{spawn_force, MachineId};
+    use std::sync::atomic::AtomicUsize as Counter;
+
+    fn machine() -> Arc<Machine> {
+        Machine::new(MachineId::EncoreMultimax)
+    }
+
+    #[test]
+    fn single_process_barrier_is_a_noop() {
+        let m = machine();
+        let b = TwoLockBarrier::new(&m, 1);
+        b.wait();
+        b.wait();
+        assert_eq!(b.wait_section(|| 3), Some(3));
+    }
+
+    #[test]
+    fn all_processes_synchronize() {
+        let m = machine();
+        let n = 8;
+        let b = TwoLockBarrier::new(&m, n);
+        let phase = Counter::new(0);
+        spawn_force(n, m.stats(), |_pid| {
+            for round in 0..20 {
+                // Everyone increments, then the barrier, then everyone must
+                // observe the full round's worth of increments.
+                phase.fetch_add(1, Ordering::SeqCst);
+                b.wait();
+                let seen = phase.load(Ordering::SeqCst);
+                assert!(
+                    seen >= (round + 1) * n,
+                    "round {round}: saw {seen} < {}",
+                    (round + 1) * n
+                );
+                b.wait(); // keep rounds separated
+            }
+        });
+        assert_eq!(phase.load(Ordering::SeqCst), 20 * n);
+    }
+
+    #[test]
+    fn exactly_one_process_runs_the_section() {
+        let m = machine();
+        let n = 6;
+        let b = TwoLockBarrier::new(&m, n);
+        let ran = Counter::new(0);
+        let winners = spawn_force(n, m.stats(), |_pid| {
+            let mut mine = 0;
+            for _ in 0..25 {
+                if b.wait_section(|| ran.fetch_add(1, Ordering::SeqCst)).is_some() {
+                    mine += 1;
+                }
+            }
+            mine
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 25);
+        assert_eq!(winners.iter().sum::<usize>(), 25);
+    }
+
+    #[test]
+    fn section_runs_while_others_are_suspended() {
+        // While the section runs, no process may have passed the barrier:
+        // the section sets a flag that every process checks right after.
+        let m = machine();
+        let n = 4;
+        let b = TwoLockBarrier::new(&m, n);
+        let stamp = Counter::new(0);
+        spawn_force(n, m.stats(), |_pid| {
+            for round in 1..=10 {
+                b.wait_section(|| stamp.store(round, Ordering::SeqCst));
+                // By the time anyone leaves, the section must be done.
+                assert_eq!(stamp.load(Ordering::SeqCst), round);
+                b.wait();
+            }
+        });
+    }
+
+    #[test]
+    fn first_arriver_initializes() {
+        let m = machine();
+        let n = 5;
+        let b = TwoLockBarrier::new(&m, n);
+        let init_runs = Counter::new(0);
+        spawn_force(n, m.stats(), |_pid| {
+            for _ in 0..10 {
+                b.wait_first(|| {
+                    init_runs.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(init_runs.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn reentry_is_safe_under_immediate_looping() {
+        // The two-lock design exists so a barrier in a loop cannot be
+        // re-entered while stragglers are leaving; hammer that case.
+        let m = machine();
+        let n = 8;
+        let b = TwoLockBarrier::new(&m, n);
+        let round_counter = Counter::new(0);
+        spawn_force(n, m.stats(), |_pid| {
+            for r in 0..200 {
+                b.wait_section(|| round_counter.fetch_add(1, Ordering::SeqCst));
+                assert_eq!(round_counter.load(Ordering::SeqCst), r + 1);
+            }
+        });
+        assert_eq!(round_counter.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn episodes_are_counted() {
+        let m = machine();
+        let n = 3;
+        let b = TwoLockBarrier::new(&m, n);
+        let before = m.stats().snapshot().barrier_episodes;
+        spawn_force(n, m.stats(), |_pid| {
+            for _ in 0..7 {
+                b.wait();
+            }
+        });
+        let after = m.stats().snapshot().barrier_episodes;
+        assert_eq!(after - before, 7);
+    }
+
+    #[test]
+    fn works_on_every_machine_personality() {
+        for id in MachineId::all() {
+            let m = Machine::new(id);
+            let n = 4;
+            let b = TwoLockBarrier::new(&m, n);
+            let c = Counter::new(0);
+            spawn_force(n, m.stats(), |_pid| {
+                c.fetch_add(1, Ordering::SeqCst);
+                b.wait();
+                assert_eq!(c.load(Ordering::SeqCst), n, "{}", id.name());
+            });
+        }
+    }
+}

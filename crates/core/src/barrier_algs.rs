@@ -1,0 +1,566 @@
+//! Barrier algorithm suite — the \[AJ87\] companion study.
+//!
+//! The paper's `Barrier` macro cites Arenstorf & Jordan, *Comparing
+//! Barrier Algorithms* (ECE Tech. Rept. 87-1-2), as the quantitative basis
+//! for its barrier implementation.  This module reconstructs that
+//! comparison: the Force's own two-lock barrier next to the classic
+//! alternatives, all behind one [`BarrierAlg`] interface so EXP-3 can
+//! sweep them uniformly.
+//!
+//! All algorithms are re-enterable (usable repeatedly in a loop) and all
+//! per-process mutable state is held in cache-padded per-pid slots owned
+//! exclusively by that pid.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use crossbeam::utils::{Backoff, CachePadded};
+use force_machdep::Machine;
+
+use crate::barrier::TwoLockBarrier;
+
+/// A reusable N-process barrier algorithm.
+pub trait BarrierAlg: Send + Sync {
+    /// Block until all `n` processes have called `wait` for this episode.
+    /// `pid` must be in `0..n` and each pid must be used by exactly one
+    /// process.
+    fn wait(&self, pid: usize);
+
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Number of processes.
+    fn nproc(&self) -> usize;
+}
+
+/// The Force's own two-lock barrier (§4.2), adapted to the suite.
+pub struct TwoLockAlg {
+    inner: TwoLockBarrier,
+}
+
+impl TwoLockAlg {
+    /// Wrap a fresh two-lock barrier for `n` processes.
+    pub fn new(machine: &Machine, n: usize) -> Self {
+        TwoLockAlg {
+            inner: TwoLockBarrier::new(machine, n),
+        }
+    }
+}
+
+impl BarrierAlg for TwoLockAlg {
+    fn wait(&self, _pid: usize) {
+        self.inner.wait();
+    }
+
+    fn name(&self) -> &'static str {
+        "two-lock (Force)"
+    }
+
+    fn nproc(&self) -> usize {
+        self.inner.nproc()
+    }
+}
+
+/// Central counter with sense reversal: one atomic counter, one global
+/// sense flag, per-pid local sense.
+pub struct SenseReversalBarrier {
+    n: usize,
+    count: CachePadded<AtomicUsize>,
+    sense: CachePadded<AtomicBool>,
+    local_sense: Vec<CachePadded<AtomicBool>>,
+}
+
+impl SenseReversalBarrier {
+    /// A sense-reversal barrier for `n` processes.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        SenseReversalBarrier {
+            n,
+            count: CachePadded::new(AtomicUsize::new(0)),
+            sense: CachePadded::new(AtomicBool::new(false)),
+            local_sense: (0..n)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+        }
+    }
+}
+
+impl BarrierAlg for SenseReversalBarrier {
+    fn wait(&self, pid: usize) {
+        // Flip this process's sense; the episode completes when the global
+        // sense matches it.
+        let mine = !self.local_sense[pid].load(Ordering::Relaxed);
+        self.local_sense[pid].store(mine, Ordering::Relaxed);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(mine, Ordering::Release);
+        } else {
+            let backoff = Backoff::new();
+            while self.sense.load(Ordering::Acquire) != mine {
+                backoff.snooze();
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "central counter (sense reversal)"
+    }
+
+    fn nproc(&self) -> usize {
+        self.n
+    }
+}
+
+/// Dissemination (butterfly) barrier: ⌈log₂ n⌉ rounds, each process
+/// signals a partner at distance 2^k and waits for the symmetric signal.
+///
+/// Signals are monotone epoch counters, which makes every episode
+/// self-identifying and the structure trivially re-enterable.
+pub struct DisseminationBarrier {
+    n: usize,
+    rounds: usize,
+    /// `flags[pid][round]`: epoch counter incremented by the process at
+    /// distance `-2^round` from `pid`.
+    flags: Vec<Vec<CachePadded<AtomicU64>>>,
+    /// Per-pid episode number; written only by its owner.
+    episode: Vec<CachePadded<AtomicU64>>,
+}
+
+impl DisseminationBarrier {
+    /// A dissemination barrier for `n` processes.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        let rounds = usize::BITS as usize - (n - 1).leading_zeros() as usize; // ceil(log2 n), 0 for n=1
+        DisseminationBarrier {
+            n,
+            rounds,
+            flags: (0..n)
+                .map(|_| {
+                    (0..rounds)
+                        .map(|_| CachePadded::new(AtomicU64::new(0)))
+                        .collect()
+                })
+                .collect(),
+            episode: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+}
+
+impl BarrierAlg for DisseminationBarrier {
+    fn wait(&self, pid: usize) {
+        let e = self.episode[pid].load(Ordering::Relaxed) + 1;
+        self.episode[pid].store(e, Ordering::Relaxed);
+        for k in 0..self.rounds {
+            let partner = (pid + (1 << k)) % self.n;
+            self.flags[partner][k].fetch_add(1, Ordering::AcqRel);
+            let backoff = Backoff::new();
+            while self.flags[pid][k].load(Ordering::Acquire) < e {
+                backoff.snooze();
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dissemination"
+    }
+
+    fn nproc(&self) -> usize {
+        self.n
+    }
+}
+
+/// Tournament barrier: statically paired elimination rounds; the champion
+/// releases its defeated partners down the same tree.
+pub struct TournamentBarrier {
+    n: usize,
+    rounds: usize,
+    /// `arrive[pid][round]`: epoch counter bumped by the round's loser.
+    arrive: Vec<Vec<CachePadded<AtomicU64>>>,
+    /// `release[pid]`: epoch counter bumped by the process that defeated
+    /// `pid`.
+    release: Vec<CachePadded<AtomicU64>>,
+    episode: Vec<CachePadded<AtomicU64>>,
+}
+
+impl TournamentBarrier {
+    /// A tournament barrier for `n` processes.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        let rounds = if n == 1 {
+            0
+        } else {
+            usize::BITS as usize - (n - 1).leading_zeros() as usize
+        };
+        TournamentBarrier {
+            n,
+            rounds,
+            arrive: (0..n)
+                .map(|_| {
+                    (0..rounds)
+                        .map(|_| CachePadded::new(AtomicU64::new(0)))
+                        .collect()
+                })
+                .collect(),
+            release: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            episode: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    /// Release, in reverse round order, every partner this process
+    /// defeated in rounds `0..upto`.
+    fn release_defeated(&self, pid: usize, upto: usize, _e: u64) {
+        for k in (0..upto).rev() {
+            let partner = pid + (1 << k);
+            if partner < self.n {
+                self.release[partner].fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+}
+
+impl BarrierAlg for TournamentBarrier {
+    fn wait(&self, pid: usize) {
+        let e = self.episode[pid].load(Ordering::Relaxed) + 1;
+        self.episode[pid].store(e, Ordering::Relaxed);
+        let backoff = Backoff::new();
+        for k in 0..self.rounds {
+            if pid % (1 << (k + 1)) == 0 {
+                // Winner of round k: wait for the loser (if one exists).
+                let partner = pid + (1 << k);
+                if partner < self.n {
+                    while self.arrive[pid][k].load(Ordering::Acquire) < e {
+                        backoff.snooze();
+                    }
+                }
+            } else {
+                // Loser: report to the winner, wait to be released, then
+                // release everyone *we* defeated in earlier rounds.
+                let winner = pid - (1 << k);
+                self.arrive[winner][k].fetch_add(1, Ordering::AcqRel);
+                while self.release[pid].load(Ordering::Acquire) < e {
+                    backoff.snooze();
+                }
+                self.release_defeated(pid, k, e);
+                return;
+            }
+        }
+        // Champion: all rounds won; start the release cascade.
+        self.release_defeated(pid, self.rounds, e);
+    }
+
+    fn name(&self) -> &'static str {
+        "tournament"
+    }
+
+    fn nproc(&self) -> usize {
+        self.n
+    }
+}
+
+/// Software combining tree barrier: arrivals combine up a tree of arity
+/// `arity`; the root completion publishes a global episode that releases
+/// everyone.
+pub struct CombiningTreeBarrier {
+    n: usize,
+    /// One counter per tree node, leaves first.  Node i's children are
+    /// processes (leaf layer) or lower nodes; we store cumulative arrival
+    /// counts per node per episode via monotone counters.
+    nodes: Vec<CachePadded<AtomicU64>>,
+    /// Children count of each node.
+    fanin: Vec<usize>,
+    /// Parent index of each node (root = usize::MAX).
+    parent: Vec<usize>,
+    /// Leaf node index of each pid.
+    leaf_of: Vec<usize>,
+    done: CachePadded<AtomicU64>,
+    episode: Vec<CachePadded<AtomicU64>>,
+}
+
+impl CombiningTreeBarrier {
+    /// A combining-tree barrier for `n` processes with node fan-in `arity`.
+    pub fn new(n: usize, arity: usize) -> Self {
+        assert!(n > 0 && arity >= 2);
+        // Build the tree bottom-up: level 0 groups processes by `arity`.
+        let mut level_sizes = Vec::new();
+        let mut width = n.div_ceil(arity);
+        loop {
+            level_sizes.push(width);
+            if width == 1 {
+                break;
+            }
+            width = width.div_ceil(arity);
+        }
+        let total: usize = level_sizes.iter().sum();
+        let mut fanin = vec![0usize; total];
+        let mut parent = vec![usize::MAX; total];
+        // Node indices: level 0 first, then level 1, ...
+        let mut level_base = vec![0usize; level_sizes.len()];
+        for l in 1..level_sizes.len() {
+            level_base[l] = level_base[l - 1] + level_sizes[l - 1];
+        }
+        let mut leaf_of = vec![0usize; n];
+        for (pid, slot) in leaf_of.iter_mut().enumerate() {
+            let leaf = pid / arity;
+            *slot = leaf;
+            fanin[leaf] += 1;
+        }
+        for l in 0..level_sizes.len() - 1 {
+            for i in 0..level_sizes[l] {
+                let node = level_base[l] + i;
+                let p = level_base[l + 1] + i / arity;
+                parent[node] = p;
+                fanin[p] += 1;
+            }
+        }
+        CombiningTreeBarrier {
+            n,
+            nodes: (0..total)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            fanin,
+            parent,
+            leaf_of,
+            done: CachePadded::new(AtomicU64::new(0)),
+            episode: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+
+    fn arrive_at(&self, node: usize, e: u64) {
+        let arrivals = self.nodes[node].fetch_add(1, Ordering::AcqRel) + 1;
+        // Episode e at this node completes at e * fanin arrivals.
+        if arrivals == e * self.fanin[node] as u64 {
+            let p = self.parent[node];
+            if p == usize::MAX {
+                self.done.fetch_add(1, Ordering::AcqRel);
+            } else {
+                self.arrive_at(p, e);
+            }
+        }
+    }
+}
+
+impl BarrierAlg for CombiningTreeBarrier {
+    fn wait(&self, pid: usize) {
+        let e = self.episode[pid].load(Ordering::Relaxed) + 1;
+        self.episode[pid].store(e, Ordering::Relaxed);
+        self.arrive_at(self.leaf_of[pid], e);
+        let backoff = Backoff::new();
+        while self.done.load(Ordering::Acquire) < e {
+            backoff.snooze();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "combining tree"
+    }
+
+    fn nproc(&self) -> usize {
+        self.n
+    }
+}
+
+/// MCS static tree barrier (Mellor-Crummey & Scott): each process has a
+/// fixed parent in a 4-ary *arrival* tree and signals it when its own
+/// subtree has arrived; wakeup flows down a binary tree.  All waiting is
+/// on process-local (cache-padded) words.
+pub struct McsTreeBarrier {
+    n: usize,
+    /// `child_arrived[p]`: epoch counters bumped by `p`'s arrival
+    /// children (combined into one counter per parent; a parent with k
+    /// children waits for k increments per episode).
+    arrivals: Vec<CachePadded<AtomicU64>>,
+    arrival_children: Vec<usize>,
+    /// `wakeup[p]`: epoch counter bumped by `p`'s wakeup parent.
+    wakeup: Vec<CachePadded<AtomicU64>>,
+    episode: Vec<CachePadded<AtomicU64>>,
+}
+
+impl McsTreeBarrier {
+    /// An MCS tree barrier for `n` processes (4-ary arrival, binary
+    /// wakeup, as in the original paper).
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        let mut arrival_children = vec![0usize; n];
+        for p in 1..n {
+            let parent = (p - 1) / 4;
+            arrival_children[parent] += 1;
+        }
+        McsTreeBarrier {
+            n,
+            arrivals: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            arrival_children,
+            wakeup: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            episode: (0..n)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+}
+
+impl BarrierAlg for McsTreeBarrier {
+    fn wait(&self, pid: usize) {
+        let e = self.episode[pid].load(Ordering::Relaxed) + 1;
+        self.episode[pid].store(e, Ordering::Relaxed);
+        let backoff = Backoff::new();
+        // Arrival: wait for my subtree, then report to my arrival parent.
+        let need = self.arrival_children[pid] as u64 * e;
+        while self.arrivals[pid].load(Ordering::Acquire) < need {
+            backoff.snooze();
+        }
+        if pid != 0 {
+            let parent = (pid - 1) / 4;
+            self.arrivals[parent].fetch_add(1, Ordering::AcqRel);
+            // Wait for wakeup from the binary wakeup tree.
+            while self.wakeup[pid].load(Ordering::Acquire) < e {
+                backoff.snooze();
+            }
+        }
+        // Wake my binary-tree children.
+        for c in [2 * pid + 1, 2 * pid + 2] {
+            if c < self.n {
+                self.wakeup[c].fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "MCS tree"
+    }
+
+    fn nproc(&self) -> usize {
+        self.n
+    }
+}
+
+/// Build the whole \[AJ87\]-style suite for `n` processes.
+pub fn all_algorithms(machine: &Machine, n: usize) -> Vec<Box<dyn BarrierAlg>> {
+    vec![
+        Box::new(TwoLockAlg::new(machine, n)),
+        Box::new(SenseReversalBarrier::new(n)),
+        Box::new(DisseminationBarrier::new(n)),
+        Box::new(TournamentBarrier::new(n)),
+        Box::new(CombiningTreeBarrier::new(n, 4)),
+        Box::new(McsTreeBarrier::new(n)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use force_machdep::{spawn_force, MachineId};
+    use std::sync::atomic::AtomicUsize as Counter;
+    use std::sync::Arc;
+
+    /// The canonical barrier correctness check: every process increments a
+    /// shared counter each round, crosses the barrier, and must observe
+    /// all `n` increments of the round.
+    fn check(alg: &dyn BarrierAlg, rounds: usize) {
+        let n = alg.nproc();
+        let m = Machine::new(MachineId::EncoreMultimax);
+        let counter = Counter::new(0);
+        spawn_force(n, m.stats(), |pid| {
+            for r in 0..rounds {
+                counter.fetch_add(1, Ordering::SeqCst);
+                alg.wait(pid);
+                let seen = counter.load(Ordering::SeqCst);
+                assert!(
+                    seen >= (r + 1) * n,
+                    "{}: round {r}: saw {seen} < {}",
+                    alg.name(),
+                    (r + 1) * n
+                );
+                alg.wait(pid);
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), rounds * n);
+    }
+
+    #[test]
+    fn sense_reversal_synchronizes() {
+        for n in [1, 2, 3, 4, 7, 8] {
+            check(&SenseReversalBarrier::new(n), 30);
+        }
+    }
+
+    #[test]
+    fn dissemination_synchronizes() {
+        for n in [1, 2, 3, 4, 5, 8, 9] {
+            check(&DisseminationBarrier::new(n), 30);
+        }
+    }
+
+    #[test]
+    fn tournament_synchronizes() {
+        for n in [1, 2, 3, 4, 5, 6, 7, 8, 11] {
+            check(&TournamentBarrier::new(n), 30);
+        }
+    }
+
+    #[test]
+    fn combining_tree_synchronizes() {
+        for n in [1, 2, 3, 4, 5, 8, 13, 16] {
+            check(&CombiningTreeBarrier::new(n, 4), 30);
+        }
+        check(&CombiningTreeBarrier::new(9, 2), 30);
+        check(&CombiningTreeBarrier::new(9, 3), 30);
+    }
+
+    #[test]
+    fn two_lock_adapter_synchronizes() {
+        let m = Machine::new(MachineId::Flex32);
+        for n in [1, 2, 4, 6] {
+            check(&TwoLockAlg::new(&m, n), 30);
+        }
+    }
+
+    #[test]
+    fn suite_contains_six_algorithms() {
+        let m = Machine::new(MachineId::Hep);
+        let algs = all_algorithms(&m, 4);
+        assert_eq!(algs.len(), 6);
+        let names: Vec<_> = algs.iter().map(|a| a.name()).collect();
+        assert!(names.contains(&"two-lock (Force)"));
+        assert!(names.contains(&"dissemination"));
+        assert!(names.contains(&"MCS tree"));
+    }
+
+    #[test]
+    fn mcs_tree_synchronizes() {
+        for n in [1, 2, 3, 4, 5, 8, 13, 16] {
+            check(&McsTreeBarrier::new(n), 30);
+        }
+    }
+
+    #[test]
+    fn heavy_reentry_stress() {
+        // Many episodes back-to-back with no separating work: the classic
+        // way to catch a non-re-enterable barrier.
+        let n = 8;
+        let algs: Vec<Arc<dyn BarrierAlg>> = vec![
+            Arc::new(SenseReversalBarrier::new(n)),
+            Arc::new(DisseminationBarrier::new(n)),
+            Arc::new(TournamentBarrier::new(n)),
+            Arc::new(CombiningTreeBarrier::new(n, 4)),
+            Arc::new(McsTreeBarrier::new(n)),
+        ];
+        let m = Machine::new(MachineId::EncoreMultimax);
+        for alg in algs {
+            spawn_force(n, m.stats(), |pid| {
+                for _ in 0..500 {
+                    alg.wait(pid);
+                }
+            });
+        }
+    }
+}

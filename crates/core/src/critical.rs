@@ -1,0 +1,142 @@
+//! Critical sections — control-oriented mutual exclusion (§3.4).
+//!
+//! "Critical sections implement the mutual exclusion condition.  Only one
+//! process at a given time is allowed to execute within the critical
+//! section."
+//!
+//! Critical sections are *named*: two `Critical name ... End critical`
+//! regions with the same name exclude each other (they share one lock
+//! variable), regions with different names are independent.  The name
+//! table lives in the force's parallel environment, so the same name in
+//! different subroutines aliases the same lock — exactly like a shared
+//! Fortran lock variable.
+
+use force_machdep::{with_lock, LockHandle, LockState, Machine};
+
+use crate::player::Player;
+
+impl Player {
+    /// Execute `body` inside the critical section `name`: at most one
+    /// process of the force is inside any region with this name at a time.
+    pub fn critical<R>(&self, name: &str, body: impl FnOnce() -> R) -> R {
+        let lock = self.named_lock(name);
+        with_lock(lock.as_ref(), body)
+    }
+}
+
+/// A standalone critical section usable outside a force (e.g. between a
+/// force and helper threads), backed by a machine vendor lock.
+pub struct CriticalSection {
+    lock: LockHandle,
+}
+
+impl CriticalSection {
+    /// Create a critical section on `machine`'s vendor lock.
+    pub fn new(machine: &Machine) -> Self {
+        CriticalSection {
+            lock: machine.make_lock(LockState::Unlocked),
+        }
+    }
+
+    /// Execute `body` in mutual exclusion.
+    pub fn enter<R>(&self, body: impl FnOnce() -> R) -> R {
+        with_lock(self.lock.as_ref(), body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::force::Force;
+    use force_machdep::MachineId;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    #[test]
+    fn named_critical_excludes_same_name() {
+        let force = Force::new(8);
+        let counter = AtomicU64::new(0);
+        let inside = AtomicBool::new(false);
+        force.run(|p| {
+            for _ in 0..200 {
+                p.critical("UPDATE", || {
+                    assert!(!inside.swap(true, Ordering::SeqCst));
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    inside.store(false, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8 * 200);
+    }
+
+    #[test]
+    fn different_names_do_not_exclude() {
+        // A process parked inside "A" must not prevent "B" from running:
+        // pid 0 sits in A until B has been executed by pid 1.
+        let force = Force::new(2);
+        let b_done = AtomicBool::new(false);
+        force.run(|p| {
+            if p.pid() == 0 {
+                p.critical("A", || {
+                    while !b_done.load(Ordering::Acquire) {
+                        std::hint::spin_loop();
+                    }
+                });
+            } else {
+                p.critical("B", || {
+                    b_done.store(true, Ordering::Release);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn critical_returns_body_value() {
+        let force = Force::new(3);
+        let results = force.execute(|p| p.critical("R", || p.pid() * 2));
+        let mut r = results;
+        r.sort_unstable();
+        assert_eq!(r, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn standalone_critical_section_excludes() {
+        let m = Machine::new(MachineId::Cray2);
+        let cs = CriticalSection::new(&m);
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        cs.enter(|| {
+                            let v = counter.load(Ordering::Relaxed);
+                            counter.store(v + 1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    fn panic_inside_critical_releases_the_lock() {
+        let force = Force::new(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            force.run(|p| {
+                p.critical("P", || panic!("inside"));
+            });
+        }));
+        assert!(result.is_err());
+        // A fresh force reusing nothing still works; more importantly, a
+        // standalone lock poisoned by panic would deadlock here.
+        let force2 = Force::new(2);
+        let ok = AtomicU64::new(0);
+        force2.run(|p| {
+            p.critical("P", || {
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,327 @@
+//! DOALL work distribution — §3.3 / §4.2.
+//!
+//! "Segments of code that can be executed concurrently, in any order, can
+//! be distributed.  In case of singly (doubly) nested loops, the loop
+//! indices (index pairs) specify concurrently executable sequential
+//! streams of code, which are split up in an unspecified way for
+//! concurrent execution (DOALL loops)."
+//!
+//! Two flavours, as in the paper:
+//!
+//! * **prescheduled** (`Presched DO`) — "completely machine independent,
+//!   since only the number of executing processes is needed to distribute
+//!   the index values among processes": process `p` takes trips
+//!   `p, p+nproc, p+2·nproc, …` (cyclic) or a contiguous block.
+//! * **selfscheduled** (`Selfsched DO`) — "requires a shared variable as
+//!   the loop index which must be updated by processes looking for more
+//!   work": trips are claimed dynamically, one (or a chunk) at a time.
+//!
+//! Every DOALL ends with the barrier exit protocol of the §4.2 expansion,
+//! so the loop is complete (and re-enterable) when any process passes
+//! `End … DO`.  The native selfscheduled implementation claims trip
+//! numbers with one atomic fetch-add rather than the expansion's
+//! lock/read/increment/unlock sequence — observationally identical (each
+//! trip claimed exactly once, in increment order) and tested as such; the
+//! interpreter path (`force-fortran`) executes the paper's literal
+//! lock-based idiom.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::player::Player;
+use crate::schedule::ForceRange;
+
+/// Shared state of one selfscheduled loop occurrence: the next unclaimed
+/// trip number (the `K_shared` cell plus `LOOP100` lock, fused into one
+/// atomic).
+struct SelfSchedState {
+    next: AtomicU64,
+}
+
+impl Player {
+    /// `Presched DO` over a singly nested loop: cyclic (round-robin)
+    /// distribution of index values, then the DOALL-end barrier.
+    pub fn presched_do(&self, range: impl Into<ForceRange>, mut body: impl FnMut(i64)) {
+        let range = range.into();
+        let n = range.count();
+        let mut trip = self.pid() as u64;
+        while trip < n {
+            body(range.nth(trip));
+            trip += self.nproc() as u64;
+        }
+        self.barrier();
+    }
+
+    /// `Presched DO` with *block* distribution: process `p` takes one
+    /// contiguous chunk of trips.  An extension (the paper's presched is
+    /// cyclic); useful when the body has spatial locality.
+    pub fn presched_do_block(&self, range: impl Into<ForceRange>, mut body: impl FnMut(i64)) {
+        let range = range.into();
+        let n = range.count();
+        let p = self.pid() as u64;
+        let nproc = self.nproc() as u64;
+        let base = n / nproc;
+        let extra = n % nproc;
+        // First `extra` processes take base+1 trips.
+        let (lo, hi) = if p < extra {
+            (p * (base + 1), p * (base + 1) + base + 1)
+        } else {
+            let lo = extra * (base + 1) + (p - extra) * base;
+            (lo, lo + base)
+        };
+        for trip in lo..hi {
+            body(range.nth(trip));
+        }
+        self.barrier();
+    }
+
+    /// `Selfsched DO`: dynamic one-trip-at-a-time distribution, then the
+    /// DOALL-end barrier.
+    pub fn selfsched_do(&self, range: impl Into<ForceRange>, body: impl FnMut(i64)) {
+        self.selfsched_do_chunked(range, 1, body)
+    }
+
+    /// Chunked selfscheduling: claim `chunk` consecutive trips per visit
+    /// to the shared index — the natural generalization of the §4.2 loop
+    /// (chunk = 1 is the paper's construct).
+    ///
+    /// # Panics
+    /// Panics if `chunk` is zero.
+    pub fn selfsched_do_chunked(
+        &self,
+        range: impl Into<ForceRange>,
+        chunk: u64,
+        mut body: impl FnMut(i64),
+    ) {
+        assert!(chunk > 0, "selfscheduling chunk must be positive");
+        let range = range.into();
+        let n = range.count();
+        let state = self.collective(|| SelfSchedState {
+            next: AtomicU64::new(0),
+        });
+        loop {
+            let lo = state.next.fetch_add(chunk, Ordering::Relaxed);
+            if lo >= n {
+                break;
+            }
+            let hi = (lo + chunk).min(n);
+            for trip in lo..hi {
+                body(range.nth(trip));
+            }
+        }
+        self.barrier();
+    }
+
+    /// Doubly nested `Presched DO`: cyclic distribution of index *pairs*
+    /// `(i, j)` over the linearized pair space, then the end barrier.
+    pub fn presched_do2(
+        &self,
+        outer: impl Into<ForceRange>,
+        inner: impl Into<ForceRange>,
+        mut body: impl FnMut(i64, i64),
+    ) {
+        let outer = outer.into();
+        let inner = inner.into();
+        let ni = inner.count();
+        let n = outer.count() * ni;
+        let mut trip = self.pid() as u64;
+        while trip < n {
+            body(outer.nth(trip / ni), inner.nth(trip % ni));
+            trip += self.nproc() as u64;
+        }
+        self.barrier();
+    }
+
+    /// Doubly nested `Selfsched DO`: dynamic distribution of index pairs.
+    pub fn selfsched_do2(
+        &self,
+        outer: impl Into<ForceRange>,
+        inner: impl Into<ForceRange>,
+        mut body: impl FnMut(i64, i64),
+    ) {
+        let outer = outer.into();
+        let inner = inner.into();
+        let ni = inner.count();
+        let n = outer.count() * ni;
+        let state = self.collective(|| SelfSchedState {
+            next: AtomicU64::new(0),
+        });
+        loop {
+            let trip = state.next.fetch_add(1, Ordering::Relaxed);
+            if trip >= n {
+                break;
+            }
+            body(outer.nth(trip / ni), inner.nth(trip % ni));
+        }
+        self.barrier();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::force::Force;
+    use crate::schedule::ForceRange;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Run a DOALL flavour and assert every index executes exactly once.
+    fn coverage(
+        nproc: usize,
+        range: ForceRange,
+        run: impl Fn(&crate::player::Player, &dyn Fn(i64)) + Sync,
+    ) {
+        let force = Force::new(nproc);
+        let hits: Mutex<HashMap<i64, usize>> = Mutex::new(HashMap::new());
+        force.run(|p| {
+            run(p, &|i| {
+                *hits.lock().entry(i).or_insert(0) += 1;
+            });
+        });
+        let hits = hits.into_inner();
+        let expected: Vec<i64> = range.iter().collect();
+        assert_eq!(hits.len(), expected.len(), "wrong number of distinct indices");
+        for i in expected {
+            assert_eq!(hits.get(&i), Some(&1), "index {i} not executed exactly once");
+        }
+    }
+
+    #[test]
+    fn presched_covers_every_index_once() {
+        for nproc in [1, 2, 3, 7] {
+            coverage(nproc, ForceRange::to(1, 50), |p, f| {
+                p.presched_do(ForceRange::to(1, 50), |i| f(i));
+            });
+        }
+    }
+
+    #[test]
+    fn presched_block_covers_every_index_once() {
+        for nproc in [1, 2, 3, 7, 11] {
+            coverage(nproc, ForceRange::to(0, 49), |p, f| {
+                p.presched_do_block(ForceRange::to(0, 49), |i| f(i));
+            });
+        }
+    }
+
+    #[test]
+    fn selfsched_covers_every_index_once() {
+        for nproc in [1, 2, 4, 8] {
+            coverage(nproc, ForceRange::new(10, 100, 5), |p, f| {
+                p.selfsched_do(ForceRange::new(10, 100, 5), |i| f(i));
+            });
+        }
+    }
+
+    #[test]
+    fn chunked_selfsched_covers_every_index_once() {
+        for chunk in [1, 3, 7, 100] {
+            coverage(4, ForceRange::to(0, 99), move |p, f| {
+                p.selfsched_do_chunked(ForceRange::to(0, 99), chunk, |i| f(i));
+            });
+        }
+    }
+
+    #[test]
+    fn negative_stride_loops_work() {
+        coverage(3, ForceRange::new(20, 2, -3), |p, f| {
+            p.selfsched_do(ForceRange::new(20, 2, -3), |i| f(i));
+        });
+        coverage(3, ForceRange::new(20, 2, -3), |p, f| {
+            p.presched_do(ForceRange::new(20, 2, -3), |i| f(i));
+        });
+    }
+
+    #[test]
+    fn empty_loops_complete() {
+        let force = Force::new(4);
+        let count = AtomicUsize::new(0);
+        force.run(|p| {
+            p.presched_do(ForceRange::to(5, 4), |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            p.selfsched_do(ForceRange::to(5, 4), |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn doall_is_a_barrier() {
+        // After the DOALL, every process must observe all iterations done.
+        let force = Force::new(6);
+        let done = AtomicUsize::new(0);
+        force.run(|p| {
+            p.selfsched_do(ForceRange::to(1, 100), |_| {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(done.load(Ordering::SeqCst), 100);
+        });
+    }
+
+    #[test]
+    fn consecutive_doalls_do_not_interfere() {
+        let force = Force::new(4);
+        let a = AtomicUsize::new(0);
+        let b = AtomicUsize::new(0);
+        force.run(|p| {
+            for _ in 0..10 {
+                p.selfsched_do(ForceRange::to(1, 20), |_| {
+                    a.fetch_add(1, Ordering::Relaxed);
+                });
+                p.selfsched_do(ForceRange::to(1, 30), |_| {
+                    b.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(a.load(Ordering::Relaxed), 200);
+        assert_eq!(b.load(Ordering::Relaxed), 300);
+    }
+
+    #[test]
+    fn doubly_nested_pairs_cover_the_cross_product() {
+        let force = Force::new(5);
+        let hits = Mutex::new(HashMap::new());
+        force.run(|p| {
+            p.selfsched_do2(ForceRange::to(1, 6), ForceRange::to(1, 9), |i, j| {
+                *hits.lock().entry((i, j)).or_insert(0usize) += 1;
+            });
+        });
+        let hits = hits.into_inner();
+        assert_eq!(hits.len(), 54);
+        assert!(hits.values().all(|&c| c == 1));
+
+        let hits = Mutex::new(HashMap::new());
+        force.run(|p| {
+            p.presched_do2(ForceRange::to(1, 4), ForceRange::to(1, 7), |i, j| {
+                *hits.lock().entry((i, j)).or_insert(0usize) += 1;
+            });
+        });
+        let hits = hits.into_inner();
+        assert_eq!(hits.len(), 28);
+        assert!(hits.values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn presched_is_deterministic_per_process() {
+        // Cyclic distribution: process p gets trips p, p+nproc, ...
+        let force = Force::new(4);
+        let per: Mutex<HashMap<usize, Vec<i64>>> = Mutex::new(HashMap::new());
+        force.run(|p| {
+            let mut mine = Vec::new();
+            p.presched_do(ForceRange::to(0, 11), |i| mine.push(i));
+            per.lock().insert(p.pid(), mine);
+        });
+        let per = per.into_inner();
+        assert_eq!(per[&0], vec![0, 4, 8]);
+        assert_eq!(per[&1], vec![1, 5, 9]);
+        assert_eq!(per[&3], vec![3, 7, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must be positive")]
+    fn zero_chunk_rejected() {
+        let force = Force::new(1);
+        force.run(|p| p.selfsched_do_chunked(ForceRange::to(1, 5), 0, |_| {}));
+    }
+}

@@ -1,0 +1,174 @@
+//! The force of processes — the Force's global-parallelism execution model.
+//!
+//! "A Force program is written with the assumption of the existence of a
+//! force of processes to execute the program" (§4.1.1).  Work is never
+//! assigned to named processes; it is distributed over the whole force by
+//! the parallel constructs, and a correct Force program runs with *any*
+//! number of processes.
+//!
+//! [`Force`] is the driver the preprocessor would generate: it creates the
+//! processes, hands each a [`Player`] context, runs
+//! the program body in all of them, and performs the final `Join`.
+
+use std::sync::Arc;
+
+use force_machdep::{spawn_force, ForceEnvironment, Machine, MachineId};
+
+use crate::barrier::TwoLockBarrier;
+use crate::player::Player;
+use crate::registry::CollectiveRegistry;
+
+/// A configured force: a process count bound to a machine personality.
+pub struct Force {
+    nproc: usize,
+    machine: Arc<Machine>,
+}
+
+impl Force {
+    /// A force of `nproc` processes on the default machine personality
+    /// (Flex/32: combined locks behave well whether or not the host is
+    /// oversubscribed).
+    ///
+    /// # Panics
+    /// Panics if `nproc` is zero.
+    pub fn new(nproc: usize) -> Self {
+        Self::with_machine(nproc, Machine::new(MachineId::Flex32))
+    }
+
+    /// A force of `nproc` processes on an explicit machine personality.
+    ///
+    /// # Panics
+    /// Panics if `nproc` is zero.
+    pub fn with_machine(nproc: usize, machine: Arc<Machine>) -> Self {
+        assert!(nproc > 0, "a force needs at least one process");
+        Force { nproc, machine }
+    }
+
+    /// A force sized to the host's available parallelism.
+    pub fn natural() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self::new(n)
+    }
+
+    /// Number of processes in the force.
+    pub fn nproc(&self) -> usize {
+        self.nproc
+    }
+
+    /// The machine the force runs on.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// Execute `body` on every process of the force and `Join`: the call
+    /// returns when all processes have finished, with each process's
+    /// result in pid order.
+    ///
+    /// `body` is the Force *main program*: it runs `nproc` times
+    /// concurrently, each time with a distinct [`Player`].  Anything the
+    /// closure captures by shared reference is a *shared* variable in the
+    /// Force classification; the closure's locals are *private*.
+    pub fn execute<R, F>(&self, body: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Player) -> R + Sync,
+    {
+        let env = Arc::new(ForceEnvironment::new(Arc::clone(&self.machine), self.nproc));
+        let barrier = Arc::new(TwoLockBarrier::new(&self.machine, self.nproc));
+        let registry = Arc::new(CollectiveRegistry::new());
+        spawn_force(self.nproc, self.machine.stats(), |pid| {
+            let player = Player::new(
+                pid,
+                self.nproc,
+                Arc::clone(&self.machine),
+                Arc::clone(&env),
+                Arc::clone(&barrier),
+                Arc::clone(&registry),
+            );
+            body(&player)
+        })
+    }
+
+    /// Like [`execute`](Self::execute) but discarding per-process results.
+    pub fn run<F>(&self, body: F)
+    where
+        F: Fn(&Player) + Sync,
+    {
+        self.execute(body);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_process_runs_once_with_its_pid() {
+        let force = Force::new(6);
+        let results = force.execute(|p| (p.pid(), p.nproc()));
+        assert_eq!(
+            results,
+            (0..6).map(|i| (i, 6)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn shared_captures_are_shared_private_locals_are_private() {
+        let force = Force::new(4);
+        let shared = AtomicUsize::new(0);
+        let privates = force.execute(|_p| {
+            let mut private = 0usize; // private variable
+            for _ in 0..100 {
+                private += 1;
+                shared.fetch_add(1, Ordering::Relaxed); // shared variable
+            }
+            private
+        });
+        assert_eq!(shared.load(Ordering::Relaxed), 400);
+        assert!(privates.iter().all(|&p| p == 100));
+    }
+
+    #[test]
+    fn execute_can_be_called_repeatedly() {
+        let force = Force::new(3);
+        for round in 0..5 {
+            let r = force.execute(move |p| p.pid() + round);
+            assert_eq!(r, vec![round, 1 + round, 2 + round]);
+        }
+    }
+
+    #[test]
+    fn runs_on_every_machine_personality() {
+        for id in MachineId::all() {
+            let force = Force::with_machine(4, Machine::new(id));
+            let total: usize = force.execute(|p| p.pid()).into_iter().sum();
+            assert_eq!(total, 6, "{}", id.name());
+        }
+    }
+
+    #[test]
+    fn independence_of_process_count() {
+        // The same program must compute the same result for any nproc —
+        // the paper's central claim about the programming model.
+        let expected: usize = (0..1000).sum();
+        for nproc in [1, 2, 3, 5, 8] {
+            let force = Force::new(nproc);
+            let shared = AtomicUsize::new(0);
+            force.run(|p| {
+                p.selfsched_do(crate::schedule::ForceRange::to(0, 999), |i| {
+                    shared.fetch_add(i as usize, Ordering::Relaxed);
+                });
+            });
+            assert_eq!(shared.load(Ordering::Relaxed), expected, "nproc={nproc}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_process_force_rejected() {
+        let _ = Force::new(0);
+    }
+}

@@ -1,0 +1,71 @@
+//! # force-core — the machine-independent layer of The Force
+//!
+//! A native Rust embedding of the Force parallel programming language
+//! (Jordan, Benten, Alaghband & Jakob, ICPP 1989): global parallelism
+//! over a *force* of processes, with the paper's complete construct set
+//! implemented on top of the machine-dependent primitives of
+//! [`force_machdep`].
+//!
+//! | paper construct (§3) | here |
+//! |---|---|
+//! | `Force` program / `Join` | [`force::Force::execute`] |
+//! | `Forcesub` | any `fn(&Player)` |
+//! | shared / private variables | closure captures vs. locals; [`shared`] |
+//! | `Async` variables, Produce/Consume/Void | [`asyncvar::Async`] |
+//! | `Presched DO` / `Selfsched DO` (1-D and 2-D) | [`doall`] methods on [`player::Player`] |
+//! | `Pcase` / `Usect` / `Csect` | [`pcase::Pcase`] |
+//! | `Askfor` | [`askfor`] |
+//! | `Resolve` (paper: future work) | [`resolve`] |
+//! | `Barrier` + barrier section | [`barrier::TwoLockBarrier`], [`player::Player::barrier_section`] |
+//! | `Critical` sections | [`critical`] |
+//!
+//! The barrier-algorithm suite of the paper's \[AJ87\] companion study is in
+//! [`barrier_algs`].
+//!
+//! ## Example
+//!
+//! ```
+//! use force_core::prelude::*;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! // A force of 4 processes on the simulated Encore Multimax.
+//! let force = Force::with_machine(4, Machine::new(MachineId::EncoreMultimax));
+//! let sum = AtomicU64::new(0);
+//! force.run(|p| {
+//!     // work distributed dynamically over the whole force
+//!     p.selfsched_do(ForceRange::to(1, 100), |i| {
+//!         sum.fetch_add(i as u64, Ordering::Relaxed);
+//!     });
+//!     // one process reports, while the others wait
+//!     p.barrier_section(|| {
+//!         assert_eq!(sum.load(Ordering::Relaxed), 5050);
+//!     });
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod askfor;
+pub mod asyncvar;
+pub mod barrier;
+pub mod barrier_algs;
+pub mod critical;
+pub mod doall;
+pub mod force;
+pub mod pcase;
+pub mod player;
+pub mod prelude;
+mod registry;
+pub mod resolve;
+pub mod schedule;
+pub mod shared;
+
+pub use askfor::AskforPot;
+pub use asyncvar::{Async, AsyncArray};
+pub use barrier::TwoLockBarrier;
+pub use critical::CriticalSection;
+pub use force::Force;
+pub use pcase::Pcase;
+pub use player::Player;
+pub use resolve::Component;
+pub use schedule::ForceRange;

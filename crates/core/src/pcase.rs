@@ -1,0 +1,257 @@
+//! Pcase — parallel case over independent code sections (§3.3 / §4.2).
+//!
+//! "Pcase is a similar construct to DOALL, which distributes different
+//! single stream code blocks over the processes of the Force: Each block
+//! may be associated with a condition, and any number of conditions may
+//! be true simultaneously.  The prescheduled version of this macro
+//! allocates the blocks sequentially to the processes and is thus
+//! completely machine independent.  A selfscheduled Pcase is similar to
+//! the selfscheduled do loop in that an asynchronous variable is needed
+//! for work distribution."
+//!
+//! Usage:
+//! ```
+//! # use force_core::prelude::*;
+//! # let force = Force::new(3);
+//! force.run(|p| {
+//!     p.pcase()
+//!         .sect(|| { /* block 1 */ })
+//!         .csect(1 + 1 == 2, || { /* conditional block 2 */ })
+//!         .sect(|| { /* block 3 */ })
+//!         .selfsched();
+//! });
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::player::Player;
+
+/// One section of a Pcase: an optional condition plus the block.
+struct Section<'s> {
+    cond: bool,
+    body: Box<dyn FnOnce() + 's>,
+}
+
+/// Builder for a Pcase statement; created by [`Player::pcase`].
+///
+/// Every process of the force must build the *same number* of sections
+/// (they execute the same program text); which process runs which section
+/// is decided by the scheduling mode.
+pub struct Pcase<'p, 's> {
+    player: &'p Player,
+    sections: Vec<Section<'s>>,
+}
+
+/// Shared state of one selfscheduled Pcase occurrence.
+struct PcaseState {
+    next: AtomicUsize,
+}
+
+impl Player {
+    /// Open a Pcase statement.
+    pub fn pcase(&self) -> Pcase<'_, '_> {
+        Pcase {
+            player: self,
+            sections: Vec::new(),
+        }
+    }
+}
+
+impl<'p, 's> Pcase<'p, 's> {
+    /// An unconditional section (`Usect`).
+    pub fn sect(mut self, body: impl FnOnce() + 's) -> Self {
+        self.sections.push(Section {
+            cond: true,
+            body: Box::new(body),
+        });
+        self
+    }
+
+    /// A conditional section (`Csect`): executed only if `cond` is true.
+    /// Any number of conditions may be true simultaneously.
+    pub fn csect(mut self, cond: bool, body: impl FnOnce() + 's) -> Self {
+        self.sections.push(Section {
+            cond,
+            body: Box::new(body),
+        });
+        self
+    }
+
+    /// Prescheduled execution: block `j` is allocated to process
+    /// `j mod nproc`.  "Completely machine independent."  Ends with the
+    /// construct barrier.
+    pub fn presched(self) {
+        let Pcase { player, sections } = self;
+        let nproc = player.nproc();
+        let pid = player.pid();
+        for (j, s) in sections.into_iter().enumerate() {
+            if j % nproc == pid && s.cond {
+                (s.body)();
+            }
+        }
+        player.barrier();
+    }
+
+    /// Selfscheduled execution: processes claim the next unexecuted block
+    /// from a shared counter.  Ends with the construct barrier.
+    pub fn selfsched(self) {
+        let Pcase { player, sections } = self;
+        let n = sections.len();
+        let state = player.collective(|| PcaseState {
+            next: AtomicUsize::new(0),
+        });
+        // Each player owns its *own* closures; the shared counter only
+        // coordinates which ordinal each player executes.
+        let mut sections: Vec<Option<Section<'s>>> = sections.into_iter().map(Some).collect();
+        loop {
+            let j = state.next.fetch_add(1, Ordering::Relaxed);
+            if j >= n {
+                break;
+            }
+            let s = sections[j].take().expect("section claimed twice");
+            if s.cond {
+                (s.body)();
+            }
+        }
+        player.barrier();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::force::Force;
+    use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_section_runs_exactly_once_presched() {
+        for nproc in [1, 2, 3, 8] {
+            let force = Force::new(nproc);
+            let counts: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+            force.run(|p| {
+                let mut pc = p.pcase();
+                for c in &counts {
+                    pc = pc.sect(|| {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                pc.presched();
+            });
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::SeqCst), 1, "nproc={nproc} section {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_section_runs_exactly_once_selfsched() {
+        for nproc in [1, 2, 3, 8] {
+            let force = Force::new(nproc);
+            let counts: Vec<AtomicUsize> = (0..7).map(|_| AtomicUsize::new(0)).collect();
+            force.run(|p| {
+                let mut pc = p.pcase();
+                for c in &counts {
+                    pc = pc.sect(|| {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                pc.selfsched();
+            });
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::SeqCst), 1, "nproc={nproc} section {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn false_conditions_suppress_sections() {
+        let force = Force::new(4);
+        let ran = Mutex::new(Vec::new());
+        force.run(|p| {
+            p.pcase()
+                .csect(true, || ran.lock().push("a"))
+                .csect(false, || ran.lock().push("b"))
+                .sect(|| ran.lock().push("c"))
+                .csect(false, || ran.lock().push("d"))
+                .selfsched();
+        });
+        let mut r = ran.into_inner();
+        r.sort_unstable();
+        assert_eq!(r, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn pcase_is_a_barrier() {
+        let force = Force::new(6);
+        let done = AtomicUsize::new(0);
+        force.run(|p| {
+            p.pcase()
+                .sect(|| {
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+                .sect(|| {
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+                .sect(|| {
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+                .presched();
+            assert_eq!(done.load(Ordering::SeqCst), 3);
+        });
+    }
+
+    #[test]
+    fn presched_assignment_is_cyclic() {
+        let force = Force::new(3);
+        let who = Mutex::new(vec![usize::MAX; 7]);
+        force.run(|p| {
+            let pid = p.pid();
+            let mut pc = p.pcase();
+            for j in 0..7 {
+                let who = &who;
+                pc = pc.sect(move || {
+                    who.lock()[j] = pid;
+                });
+            }
+            pc.presched();
+        });
+        assert_eq!(who.into_inner(), vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn more_processes_than_sections() {
+        let force = Force::new(8);
+        let c = AtomicUsize::new(0);
+        force.run(|p| {
+            p.pcase()
+                .sect(|| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+                .selfsched();
+        });
+        assert_eq!(c.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn empty_pcase_completes() {
+        let force = Force::new(4);
+        force.run(|p| {
+            p.pcase().presched();
+            p.pcase().selfsched();
+        });
+    }
+
+    #[test]
+    fn sections_can_mutate_private_state() {
+        let force = Force::new(4);
+        let results = force.execute(|p| {
+            let mut private = 0u64;
+            p.pcase()
+                .sect(|| private += 1)
+                .selfsched();
+            private
+        });
+        // Exactly one player's private variable was incremented.
+        assert_eq!(results.iter().sum::<u64>(), 1);
+    }
+}

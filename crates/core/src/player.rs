@@ -1,0 +1,193 @@
+//! One process of the force.
+//!
+//! A [`Player`] is the per-process execution context: its unique process
+//! identifier, the force size, and handles to the parallel environment.
+//! The work-distribution and synchronization constructs are methods on
+//! `Player`, implemented in their own modules (`doall`, `pcase`, `askfor`,
+//! `resolve`, `critical`).
+//!
+//! A `Player` is created by [`Force::execute`](crate::force::Force::execute)
+//! for exactly one thread and is deliberately `!Sync`: the Force model has
+//! no notion of two processes sharing one process context.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use force_machdep::{ForceEnvironment, LockHandle, Machine};
+
+use crate::barrier::TwoLockBarrier;
+use crate::registry::CollectiveRegistry;
+
+/// The per-process context of a Force program.
+pub struct Player {
+    pid: usize,
+    nproc: usize,
+    machine: Arc<Machine>,
+    env: Arc<ForceEnvironment>,
+    barrier: Arc<TwoLockBarrier>,
+    registry: Arc<CollectiveRegistry>,
+    /// Ordinal of the next collective construct this process will
+    /// encounter (private; advances in lockstep across the force for a
+    /// correct SPMD program).
+    seq: Cell<usize>,
+}
+
+impl Player {
+    pub(crate) fn new(
+        pid: usize,
+        nproc: usize,
+        machine: Arc<Machine>,
+        env: Arc<ForceEnvironment>,
+        barrier: Arc<TwoLockBarrier>,
+        registry: Arc<CollectiveRegistry>,
+    ) -> Self {
+        Player {
+            pid,
+            nproc,
+            machine,
+            env,
+            barrier,
+            registry,
+            seq: Cell::new(0),
+        }
+    }
+
+    /// This process's unique identifier, `0..nproc`.
+    pub fn pid(&self) -> usize {
+        self.pid
+    }
+
+    /// The size of the force.
+    pub fn nproc(&self) -> usize {
+        self.nproc
+    }
+
+    /// The machine personality the force runs on.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// The parallel environment (barrier locks, named locks, indices).
+    pub fn env(&self) -> &Arc<ForceEnvironment> {
+        &self.env
+    }
+
+    /// Whether this is process 0 (handy for one-process I/O; note the
+    /// Force's own idiom for one-process work is the barrier section).
+    pub fn is_leader(&self) -> bool {
+        self.pid == 0
+    }
+
+    // ---- barrier statements (§3.4) ----
+
+    /// `Barrier` / `End barrier` with an empty section: wait for the
+    /// whole force.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// The full barrier construct: all processes wait; exactly one
+    /// (the last arriver) executes `section` while the others remain
+    /// suspended; then all proceed.  Returns `Some(result)` in the
+    /// process that executed the section, `None` in the rest.
+    pub fn barrier_section<R>(&self, section: impl FnOnce() -> R) -> Option<R> {
+        self.barrier.wait_section(section)
+    }
+
+    /// Barrier variant whose *first* arriver runs `init` in mutual
+    /// exclusion — the §4.2 loop-entry idiom.
+    pub fn barrier_first(&self, init: impl FnOnce()) {
+        self.barrier.wait_first(init);
+    }
+
+    /// The underlying two-lock barrier (for algorithm studies).
+    pub fn raw_barrier(&self) -> &TwoLockBarrier {
+        &self.barrier
+    }
+
+    // ---- plumbing used by the construct modules ----
+
+    /// Claim the next collective ordinal and fetch/create its shared
+    /// state.
+    pub(crate) fn collective<T, F>(&self, init: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let idx = self.seq.get();
+        self.seq.set(idx + 1);
+        self.registry.nth(idx, init)
+    }
+
+    /// The named lock variable `name` (shared across the force).
+    pub fn named_lock(&self, name: &str) -> LockHandle {
+        self.env.named_lock(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::force::Force;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pids_are_unique_and_dense() {
+        let force = Force::new(8);
+        let mut pids = force.execute(|p| p.pid());
+        pids.sort_unstable();
+        assert_eq!(pids, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exactly_one_leader() {
+        let force = Force::new(5);
+        let leaders = force
+            .execute(|p| p.is_leader())
+            .into_iter()
+            .filter(|&b| b)
+            .count();
+        assert_eq!(leaders, 1);
+    }
+
+    #[test]
+    fn barrier_section_runs_once_per_statement() {
+        let force = Force::new(6);
+        let counter = AtomicUsize::new(0);
+        force.run(|p| {
+            for _ in 0..10 {
+                p.barrier_section(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn barrier_first_runs_once_per_statement() {
+        let force = Force::new(4);
+        let counter = AtomicUsize::new(0);
+        force.run(|p| {
+            p.barrier_first(|| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn named_locks_are_shared_across_the_force() {
+        let force = Force::new(4);
+        let counter = AtomicUsize::new(0);
+        force.run(|p| {
+            for _ in 0..100 {
+                let l = p.named_lock("CS");
+                l.lock();
+                let v = counter.load(Ordering::Relaxed);
+                counter.store(v + 1, Ordering::Relaxed);
+                l.unlock();
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 400);
+    }
+}

@@ -1,0 +1,138 @@
+//! Per-occurrence shared state for collective constructs.
+//!
+//! Force work-distribution constructs (selfscheduled DOALL, selfscheduled
+//! Pcase, Askfor, Resolve) need a piece of *shared* state per dynamic
+//! occurrence — the `K_shared` and `LOOP100` variables the preprocessor
+//! declares for each loop.  In the macro implementation those names are
+//! generated at preprocess time; in the native embedding we recover the
+//! same association dynamically: the Force model is SPMD, every process
+//! executes the same sequence of collective constructs, so the *n*-th
+//! collective a process encounters is the same construct for all
+//! processes.  Each player counts its collectives; the registry maps that
+//! ordinal to a lazily created shared-state slot.
+//!
+//! If processes diverge (one skips a collective another executes), the
+//! program is erroneous in the Force model too; the registry detects the
+//! common cases and panics with a diagnostic instead of deadlocking.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Ordered, lazily created shared-state slots for one force execution.
+pub(crate) struct CollectiveRegistry {
+    slots: Mutex<Vec<Arc<dyn Any + Send + Sync>>>,
+}
+
+impl CollectiveRegistry {
+    pub(crate) fn new() -> Self {
+        CollectiveRegistry {
+            slots: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Fetch the state for collective occurrence `idx`, creating it with
+    /// `init` if this player is the first to arrive.
+    ///
+    /// # Panics
+    /// Panics if `idx` skips ahead of the next unallocated slot (a player
+    /// raced past a collective no one has entered — divergent control
+    /// flow), or if the slot exists with a different type (two players
+    /// executed *different* constructs as their `idx`-th collective).
+    pub(crate) fn nth<T, F>(&self, idx: usize, init: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let mut slots = self.slots.lock();
+        if idx < slots.len() {
+            match Arc::downcast::<T>(Arc::clone(&slots[idx])) {
+                Ok(t) => t,
+                Err(_) => panic!(
+                    "divergent force: collective #{idx} was created as a different \
+                     construct by another process"
+                ),
+            }
+        } else if idx == slots.len() {
+            let state = Arc::new(init());
+            slots.push(Arc::clone(&state) as Arc<dyn Any + Send + Sync>);
+            state
+        } else {
+            panic!(
+                "divergent force: process reached collective #{idx} but only {} have \
+                 been entered (a process skipped a collective construct)",
+                slots.len()
+            );
+        }
+    }
+
+    /// How many collective occurrences have been entered so far.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn first_arrival_creates_then_others_share() {
+        let reg = CollectiveRegistry::new();
+        let a: Arc<AtomicUsize> = reg.nth(0, || AtomicUsize::new(5));
+        let b: Arc<AtomicUsize> = reg.nth(0, || AtomicUsize::new(99));
+        assert_eq!(b.load(Ordering::Relaxed), 5, "init runs only once");
+        a.store(7, Ordering::Relaxed);
+        assert_eq!(b.load(Ordering::Relaxed), 7, "same underlying state");
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn sequential_occurrences_get_distinct_slots() {
+        let reg = CollectiveRegistry::new();
+        let a: Arc<AtomicUsize> = reg.nth(0, || AtomicUsize::new(1));
+        let b: Arc<AtomicUsize> = reg.nth(1, || AtomicUsize::new(2));
+        assert_eq!(a.load(Ordering::Relaxed), 1);
+        assert_eq!(b.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "skipped a collective")]
+    fn skipping_ahead_panics() {
+        let reg = CollectiveRegistry::new();
+        let _: Arc<AtomicUsize> = reg.nth(2, || AtomicUsize::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "different construct")]
+    fn type_mismatch_panics() {
+        let reg = CollectiveRegistry::new();
+        let _: Arc<AtomicUsize> = reg.nth(0, || AtomicUsize::new(0));
+        let _: Arc<String> = reg.nth(0, || String::new());
+    }
+
+    #[test]
+    fn concurrent_first_arrivals_agree() {
+        let reg = Arc::new(CollectiveRegistry::new());
+        let mut values = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let reg = Arc::clone(&reg);
+                    s.spawn(move || {
+                        let slot: Arc<AtomicUsize> = reg.nth(0, || AtomicUsize::new(i));
+                        slot.load(Ordering::Relaxed)
+                    })
+                })
+                .collect();
+            for h in handles {
+                values.push(h.join().unwrap());
+            }
+        });
+        // Whatever value won, everyone saw the same one.
+        assert!(values.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,270 @@
+//! Resolve — partitioning the force into components.
+//!
+//! §3.3 closes: "A yet unimplemented concept is Resolve, which would
+//! partition the set of processes into subsets executing different
+//! parallel code sections."  This module implements that future-work
+//! construct as an extension (EXP-12 measures its effect): the force
+//! *resolves* into components of given sizes, each component runs the
+//! body knowing its own identity, with a component-local barrier; the
+//! construct ends by *unifying* the full force at a force-wide barrier.
+//!
+//! ```
+//! # use force_core::prelude::*;
+//! let force = Force::new(4);
+//! force.run(|p| {
+//!     p.resolve(&[1, 3], |c| {
+//!         if c.index() == 0 {
+//!             // the singleton component: e.g. an I/O server
+//!         } else {
+//!             // the 3-process compute component
+//!             c.barrier();
+//!         }
+//!     });
+//! });
+//! ```
+
+use std::sync::Arc;
+
+use crate::barrier::TwoLockBarrier;
+use crate::player::Player;
+use crate::schedule::ForceRange;
+
+/// A process's view of the component it resolved into.
+pub struct Component<'p> {
+    player: &'p Player,
+    index: usize,
+    rank: usize,
+    size: usize,
+    barrier: Arc<TwoLockBarrier>,
+}
+
+impl Component<'_> {
+    /// Which component this is (`0..sizes.len()`).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// This process's rank within the component (`0..size`).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of processes in the component.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The underlying player (pid, machine, named locks...).
+    pub fn player(&self) -> &Player {
+        self.player
+    }
+
+    /// Component-local barrier: waits only for this component's processes.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Component-local barrier with a one-process section.
+    pub fn barrier_section<R>(&self, section: impl FnOnce() -> R) -> Option<R> {
+        self.barrier.wait_section(section)
+    }
+
+    /// Prescheduled DOALL *within the component*: cyclic distribution of
+    /// the range over the component's processes, ending at the component
+    /// barrier.
+    pub fn presched_do(&self, range: impl Into<ForceRange>, mut body: impl FnMut(i64)) {
+        let range = range.into();
+        let n = range.count();
+        let mut trip = self.rank as u64;
+        while trip < n {
+            body(range.nth(trip));
+            trip += self.size as u64;
+        }
+        self.barrier.wait();
+    }
+}
+
+/// Shared state of one Resolve occurrence: a barrier per component.
+struct ResolveState {
+    barriers: Vec<Arc<TwoLockBarrier>>,
+}
+
+impl Player {
+    /// Resolve the force into components of the given sizes, run `body`
+    /// in every process with its component view, then unify the full
+    /// force at a barrier.
+    ///
+    /// Processes `0..sizes[0]` form component 0, the next `sizes[1]`
+    /// form component 1, and so on.
+    ///
+    /// # Panics
+    /// Panics if `sizes` is empty, contains a zero, or does not sum to
+    /// `nproc`.
+    pub fn resolve<R>(&self, sizes: &[usize], body: impl FnOnce(&Component) -> R) -> R {
+        assert!(!sizes.is_empty(), "resolve needs at least one component");
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "resolve components must be non-empty"
+        );
+        assert_eq!(
+            sizes.iter().sum::<usize>(),
+            self.nproc(),
+            "resolve component sizes must sum to the force size"
+        );
+        let sizes_vec = sizes.to_vec();
+        let machine = Arc::clone(self.machine());
+        let state = self.collective(move || ResolveState {
+            barriers: sizes_vec
+                .iter()
+                .map(|&s| Arc::new(TwoLockBarrier::new(&machine, s)))
+                .collect(),
+        });
+        // Locate this pid's component.
+        let mut base = 0usize;
+        let (index, rank, size) = sizes
+            .iter()
+            .enumerate()
+            .find_map(|(i, &s)| {
+                if self.pid() < base + s {
+                    Some((i, self.pid() - base, s))
+                } else {
+                    base += s;
+                    None
+                }
+            })
+            .expect("pid not covered by component sizes");
+        let comp = Component {
+            player: self,
+            index,
+            rank,
+            size,
+            barrier: Arc::clone(&state.barriers[index]),
+        };
+        let r = body(&comp);
+        // Unify: the whole force re-synchronizes before leaving Resolve.
+        self.barrier();
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::force::Force;
+    use crate::schedule::ForceRange;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn processes_are_partitioned_correctly() {
+        let force = Force::new(6);
+        let map = Mutex::new(Vec::new());
+        force.run(|p| {
+            p.resolve(&[1, 2, 3], |c| {
+                map.lock().push((p.pid(), c.index(), c.rank(), c.size()));
+            });
+        });
+        let mut m = map.into_inner();
+        m.sort_unstable();
+        assert_eq!(
+            m,
+            vec![
+                (0, 0, 0, 1),
+                (1, 1, 0, 2),
+                (2, 1, 1, 2),
+                (3, 2, 0, 3),
+                (4, 2, 1, 3),
+                (5, 2, 2, 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn component_barriers_are_local() {
+        // Component 1 can barrier among themselves even though component 0
+        // never reaches any barrier inside the body.
+        let force = Force::new(4);
+        let c1_rounds = AtomicUsize::new(0);
+        force.run(|p| {
+            p.resolve(&[1, 3], |c| {
+                if c.index() == 1 {
+                    for _ in 0..10 {
+                        c.barrier();
+                        c1_rounds.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                // component 0 does unrelated work and goes straight to
+                // the unify barrier
+            });
+        });
+        assert_eq!(c1_rounds.load(Ordering::Relaxed), 30);
+    }
+
+    #[test]
+    fn component_section_runs_once_per_component() {
+        let force = Force::new(6);
+        let per_comp: Mutex<HashMap<usize, usize>> = Mutex::new(HashMap::new());
+        force.run(|p| {
+            p.resolve(&[2, 4], |c| {
+                c.barrier_section(|| {
+                    *per_comp.lock().entry(c.index()).or_insert(0) += 1;
+                });
+            });
+        });
+        let m = per_comp.into_inner();
+        assert_eq!(m.get(&0), Some(&1));
+        assert_eq!(m.get(&1), Some(&1));
+    }
+
+    #[test]
+    fn component_presched_covers_range() {
+        let force = Force::new(5);
+        let hits: Mutex<HashMap<i64, usize>> = Mutex::new(HashMap::new());
+        force.run(|p| {
+            p.resolve(&[2, 3], |c| {
+                if c.index() == 1 {
+                    c.presched_do(ForceRange::to(1, 30), |i| {
+                        *hits.lock().entry(i).or_insert(0) += 1;
+                    });
+                }
+            });
+        });
+        let m = hits.into_inner();
+        assert_eq!(m.len(), 30);
+        assert!(m.values().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn resolve_returns_body_result_and_unifies() {
+        let force = Force::new(4);
+        let results = force.execute(|p| p.resolve(&[2, 2], |c| c.index() * 10 + c.rank()));
+        let mut r = results;
+        r.sort_unstable();
+        assert_eq!(r, vec![0, 1, 10, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to the force size")]
+    fn wrong_total_rejected() {
+        let force = Force::new(4);
+        force.run(|p| {
+            p.resolve(&[1, 2], |_| {});
+        });
+    }
+
+    #[test]
+    fn repeated_resolve_with_different_shapes() {
+        let force = Force::new(6);
+        let acc = AtomicUsize::new(0);
+        force.run(|p| {
+            p.resolve(&[3, 3], |c| {
+                acc.fetch_add(c.index(), Ordering::Relaxed);
+            });
+            p.resolve(&[1, 1, 4], |c| {
+                acc.fetch_add(c.index() * 10, Ordering::Relaxed);
+            });
+        });
+        // [3,3]: indices 0,0,0,1,1,1 -> 3;  [1,1,4]: 0,10,20,20,20,20 -> 90
+        assert_eq!(acc.load(Ordering::Relaxed), 93);
+    }
+}

@@ -1,0 +1,160 @@
+//! Fortran `DO`-loop index ranges.
+//!
+//! Force work distribution is expressed over Fortran DO ranges
+//! `start, last, incr` with *inclusive* bounds and possibly negative
+//! increments.  [`ForceRange`] reproduces the Fortran iteration-count rule
+//! so both DOALL flavours distribute exactly the indices a sequential
+//! `DO` would visit, in the same per-stream order.
+
+/// An inclusive, strided index range: `DO K = start, last, incr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ForceRange {
+    /// First index value.
+    pub start: i64,
+    /// Inclusive bound (the loop runs while the index has not passed it).
+    pub last: i64,
+    /// Step; must be nonzero.
+    pub incr: i64,
+}
+
+impl ForceRange {
+    /// `DO K = start, last, incr`.
+    ///
+    /// # Panics
+    /// Panics if `incr == 0` (as a Fortran compiler would reject it).
+    pub fn new(start: i64, last: i64, incr: i64) -> Self {
+        assert!(incr != 0, "DO-loop increment must be nonzero");
+        ForceRange { start, last, incr }
+    }
+
+    /// `DO K = start, last` (unit stride).
+    pub fn to(start: i64, last: i64) -> Self {
+        Self::new(start, last, 1)
+    }
+
+    /// The Fortran iteration count: `max(0, (last - start + incr) / incr)`.
+    pub fn count(&self) -> u64 {
+        let span = (self.last - self.start)
+            .checked_add(self.incr)
+            .expect("range arithmetic overflow");
+        let n = span / self.incr;
+        if n <= 0 {
+            0
+        } else {
+            n as u64
+        }
+    }
+
+    /// Whether the loop body would never execute.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// The `i`-th index value of the loop (0-based trip number).
+    ///
+    /// # Panics
+    /// Panics if `i >= self.count()`.
+    pub fn nth(&self, i: u64) -> i64 {
+        assert!(i < self.count(), "trip {i} out of range (count {})", self.count());
+        self.start + (i as i64) * self.incr
+    }
+
+    /// The §4.2 completion test:
+    /// `(INCR > 0 .AND. K <= LAST) .OR. (INCR < 0 .AND. K >= LAST)`.
+    pub fn in_bounds(&self, k: i64) -> bool {
+        (self.incr > 0 && k <= self.last) || (self.incr < 0 && k >= self.last)
+    }
+
+    /// Iterate all index values sequentially (testing aid).
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        (0..self.count()).map(move |i| self.nth(i))
+    }
+}
+
+/// Convert a Rust exclusive range (`0..n`) to a unit-stride Force range.
+impl From<std::ops::Range<i64>> for ForceRange {
+    fn from(r: std::ops::Range<i64>) -> Self {
+        ForceRange::new(r.start, r.end - 1, 1)
+    }
+}
+
+/// Convert a Rust inclusive range (`0..=n`).
+impl From<std::ops::RangeInclusive<i64>> for ForceRange {
+    fn from(r: std::ops::RangeInclusive<i64>) -> Self {
+        ForceRange::new(*r.start(), *r.end(), 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_stride_count_and_values() {
+        let r = ForceRange::to(1, 5);
+        assert_eq!(r.count(), 5);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn strided_count() {
+        let r = ForceRange::new(1, 10, 3);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![1, 4, 7, 10]);
+        let r = ForceRange::new(1, 9, 3);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn negative_stride() {
+        let r = ForceRange::new(10, 1, -4);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![10, 6, 2]);
+        assert!(r.in_bounds(2));
+        assert!(!r.in_bounds(0));
+    }
+
+    #[test]
+    fn empty_ranges() {
+        assert!(ForceRange::to(5, 4).is_empty());
+        assert!(ForceRange::new(1, 10, -1).is_empty());
+        assert_eq!(ForceRange::to(5, 4).count(), 0);
+    }
+
+    #[test]
+    fn single_trip() {
+        let r = ForceRange::to(7, 7);
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.nth(0), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_increment_rejected() {
+        let _ = ForceRange::new(1, 10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn nth_out_of_range_panics() {
+        ForceRange::to(1, 3).nth(3);
+    }
+
+    #[test]
+    fn from_rust_ranges() {
+        let r: ForceRange = (0..4).into();
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        let r: ForceRange = (0..=4).into();
+        assert_eq!(r.count(), 5);
+    }
+
+    #[test]
+    fn completion_test_matches_membership() {
+        // in_bounds is the paper's loop-continuation predicate: it accepts
+        // any k that has not passed LAST, which for the values actually
+        // generated coincides with membership.
+        let r = ForceRange::new(2, 20, 3);
+        for k in r.iter() {
+            assert!(r.in_bounds(k));
+        }
+        assert!(!r.in_bounds(23));
+    }
+}

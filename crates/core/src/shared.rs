@@ -1,0 +1,293 @@
+//! Shared variable classification (§3.2).
+//!
+//! "The variables on which work is performed are either uniformly shared
+//! among all of the processes or strictly private to a single process."
+//! In the native Rust embedding, *private* variables are simply the
+//! body-closure's locals; *shared* variables are what the closure captures
+//! by reference.  This module provides shared numeric storage whose
+//! element-wise access is always race-free at the memory-model level
+//! (word atomics, `Relaxed`): a Force program with a logic race sees value
+//! races — as it would on the original machines — never UB.
+//!
+//! For shared data of arbitrary type there is [`SharedCell`], a small
+//! lock-protected cell.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use force_machdep::{with_lock, LockHandle, LockState, Machine};
+
+/// A shared 1-D array of `f64`, word-atomic per element.
+pub struct SharedF64Array {
+    words: Box<[AtomicU64]>,
+}
+
+impl SharedF64Array {
+    /// A zero-filled shared array of length `n`.
+    pub fn zeroed(n: usize) -> Self {
+        SharedF64Array {
+            words: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Build from a slice.
+    pub fn from_slice(data: &[f64]) -> Self {
+        SharedF64Array {
+            words: data.iter().map(|v| AtomicU64::new(v.to_bits())).collect(),
+        }
+    }
+
+    /// Length.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Read element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        f64::from_bits(self.words[i].load(Ordering::Relaxed))
+    }
+
+    /// Write element `i`.
+    #[inline]
+    pub fn set(&self, i: usize, v: f64) {
+        self.words[i].store(v.to_bits(), Ordering::Relaxed)
+    }
+
+    /// Atomically add `delta` to element `i` (CAS loop).
+    pub fn add(&self, i: usize, delta: f64) {
+        let cell = &self.words[i];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Copy out to a `Vec` (for verification).
+    pub fn to_vec(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+/// A shared 2-D matrix of `f64` in row-major order.
+pub struct SharedF64Matrix {
+    data: SharedF64Array,
+    rows: usize,
+    cols: usize,
+}
+
+impl SharedF64Matrix {
+    /// A zero-filled `rows × cols` matrix.
+    pub fn zeroed(rows: usize, cols: usize) -> Self {
+        SharedF64Matrix {
+            data: SharedF64Array::zeroed(rows * cols),
+            rows,
+            cols,
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn idx(&self, r: usize, c: usize) -> usize {
+        assert!(r < self.rows && c < self.cols, "({r},{c}) out of bounds");
+        r * self.cols + c
+    }
+
+    /// Read element `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data.get(self.idx(r, c))
+    }
+
+    /// Write element `(r, c)`.
+    #[inline]
+    pub fn set(&self, r: usize, c: usize, v: f64) {
+        self.data.set(self.idx(r, c), v)
+    }
+}
+
+/// A shared 1-D array of `i64`, word-atomic per element.
+pub struct SharedI64Array {
+    words: Box<[AtomicU64]>,
+}
+
+impl SharedI64Array {
+    /// A zero-filled shared array of length `n`.
+    pub fn zeroed(n: usize) -> Self {
+        SharedI64Array {
+            words: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Length.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Read element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> i64 {
+        self.words[i].load(Ordering::Relaxed) as i64
+    }
+
+    /// Write element `i`.
+    #[inline]
+    pub fn set(&self, i: usize, v: i64) {
+        self.words[i].store(v as u64, Ordering::Relaxed)
+    }
+
+    /// Atomic add; returns the previous value.
+    #[inline]
+    pub fn fetch_add(&self, i: usize, delta: i64) -> i64 {
+        self.words[i].fetch_add(delta as u64, Ordering::AcqRel) as i64
+    }
+}
+
+/// A lock-protected shared cell for arbitrary `T` — the general shared
+/// scalar, guarded by a machine vendor lock rather than a host mutex so
+/// its cost follows the machine personality.
+pub struct SharedCell<T> {
+    lock: LockHandle,
+    value: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: all access to `value` goes through `with_lock` on a machine
+// lock, which provides mutual exclusion and acquire/release ordering.
+unsafe impl<T: Send> Sync for SharedCell<T> {}
+unsafe impl<T: Send> Send for SharedCell<T> {}
+
+impl<T> SharedCell<T> {
+    /// A shared cell on `machine` holding `value`.
+    pub fn new(machine: &Machine, value: T) -> Self {
+        SharedCell {
+            lock: machine.make_lock(LockState::Unlocked),
+            value: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Run `f` with exclusive access to the value.
+    pub fn update<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        with_lock(self.lock.as_ref(), || {
+            // SAFETY: the lock gives exclusive access.
+            f(unsafe { &mut *self.value.get() })
+        })
+    }
+
+    /// Clone the value out.
+    pub fn get(&self) -> T
+    where
+        T: Clone,
+    {
+        self.update(|v| v.clone())
+    }
+
+    /// Replace the value, returning the old one.
+    pub fn replace(&self, value: T) -> T {
+        self.update(|v| std::mem::replace(v, value))
+    }
+
+    /// Unwrap the cell.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::force::Force;
+    use crate::schedule::ForceRange;
+    use force_machdep::MachineId;
+
+    #[test]
+    fn f64_array_roundtrip() {
+        let a = SharedF64Array::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(1), 2.0);
+        a.set(1, -4.5);
+        assert_eq!(a.get(1), -4.5);
+        assert_eq!(a.to_vec(), vec![1.0, -4.5, 3.0]);
+    }
+
+    #[test]
+    fn f64_atomic_add_is_exact_under_contention() {
+        let a = SharedF64Array::zeroed(1);
+        let force = Force::new(8);
+        force.run(|p| {
+            p.selfsched_do(ForceRange::to(1, 1000), |_| {
+                a.add(0, 1.0);
+            });
+        });
+        assert_eq!(a.get(0), 1000.0);
+    }
+
+    #[test]
+    fn matrix_indexing() {
+        let m = SharedF64Matrix::zeroed(3, 4);
+        m.set(2, 3, 9.0);
+        assert_eq!(m.get(2, 3), 9.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!((m.rows(), m.cols()), (3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn matrix_bounds_checked() {
+        let m = SharedF64Matrix::zeroed(2, 2);
+        m.get(2, 0);
+    }
+
+    #[test]
+    fn i64_array_fetch_add() {
+        let a = SharedI64Array::zeroed(2);
+        assert_eq!(a.fetch_add(0, 5), 0);
+        assert_eq!(a.fetch_add(0, -2), 5);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 0);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn shared_cell_updates_are_exclusive() {
+        let machine = Machine::new(MachineId::SequentBalance);
+        let cell = SharedCell::new(&machine, Vec::<usize>::new());
+        let force = Force::with_machine(6, machine);
+        force.run(|p| {
+            for _ in 0..100 {
+                cell.update(|v| v.push(p.pid()));
+            }
+        });
+        assert_eq!(cell.into_inner().len(), 600);
+    }
+
+    #[test]
+    fn shared_cell_replace_and_get() {
+        let machine = Machine::new(MachineId::Hep);
+        let cell = SharedCell::new(&machine, 1u32);
+        assert_eq!(cell.get(), 1);
+        assert_eq!(cell.replace(5), 1);
+        assert_eq!(cell.get(), 5);
+    }
+}

@@ -1,0 +1,198 @@
+//! AST of the mini-Fortran subset.
+
+use crate::token::DotOp;
+
+/// Fortran types supported by the substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    Integer,
+    /// 64-bit float (REAL here is double precision; the substrate has one
+    /// word size).
+    Real,
+    /// Logical.
+    Logical,
+}
+
+impl Ty {
+    /// Parse a type keyword.
+    pub fn from_keyword(kw: &str) -> Option<Ty> {
+        Some(match kw {
+            "INTEGER" => Ty::Integer,
+            "REAL" | "DOUBLE" => Ty::Real,
+            "LOGICAL" => Ty::Logical,
+            _ => return None,
+        })
+    }
+
+    /// Fortran implicit typing: I–N integer, the rest real.
+    pub fn implicit_for(name: &str) -> Ty {
+        match name.chars().next() {
+            Some(c @ 'I'..='N') => {
+                let _ = c;
+                Ty::Integer
+            }
+            _ => Ty::Real,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical `.NOT.`.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// Map a dotted operator to a binary operator (`.NOT.` is unary).
+    pub fn from_dotop(op: DotOp) -> Option<BinOp> {
+        Some(match op {
+            DotOp::Eq => BinOp::Eq,
+            DotOp::Ne => BinOp::Ne,
+            DotOp::Lt => BinOp::Lt,
+            DotOp::Le => BinOp::Le,
+            DotOp::Gt => BinOp::Gt,
+            DotOp::Ge => BinOp::Ge,
+            DotOp::And => BinOp::And,
+            DotOp::Or => BinOp::Or,
+            DotOp::Not => return None,
+        })
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Logical literal.
+    Logical(bool),
+    /// Character literal (PRINT lists only).
+    Str(String),
+    /// Scalar variable reference.
+    Var(String),
+    /// `NAME(e, …)` — an array element or a function call; which one is
+    /// decided against the symbol table at execution.
+    Index(String, Vec<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Scalar variable.
+    Name(String),
+    /// Array element.
+    Elem(String, Vec<Expr>),
+}
+
+/// One declared item: name plus literal dimensions (empty = scalar).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeclItem {
+    /// Variable name.
+    pub name: String,
+    /// Array dimensions.
+    pub dims: Vec<usize>,
+}
+
+/// One parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `PROGRAM name`
+    Program(String),
+    /// `SUBROUTINE name(params…)`
+    Subroutine(String, Vec<String>),
+    /// `END` (unit terminator)
+    EndUnit,
+    /// `RETURN`
+    Return,
+    /// `STOP`
+    Stop,
+    /// `CONTINUE`
+    Continue,
+    /// Type declaration.
+    Decl {
+        /// The declared type.
+        ty: Ty,
+        /// The declared items.
+        items: Vec<DeclItem>,
+    },
+    /// `COMMON /block/ items`
+    Common {
+        /// Block name.
+        block: String,
+        /// Members, in order.
+        items: Vec<DeclItem>,
+    },
+    /// Assignment.
+    Assign {
+        /// Target.
+        lhs: LValue,
+        /// Source expression.
+        rhs: Expr,
+    },
+    /// `IF (cond) THEN`
+    IfThen(Expr),
+    /// `ELSE IF (cond) THEN`
+    ElseIf(Expr),
+    /// `ELSE`
+    Else,
+    /// `END IF`
+    EndIf,
+    /// `IF (cond) stmt`
+    LogicalIf(Expr, Box<Stmt>),
+    /// Arithmetic IF: `IF (e) l1, l2, l3` — branch on sign.
+    ArithIf(Expr, u32, u32, u32),
+    /// `GO TO label`
+    Goto(u32),
+    /// `DO [label] var = from, to [, step]`
+    Do {
+        /// Terminal label (`None` for `DO … END DO`).
+        label: Option<u32>,
+        /// Loop variable.
+        var: String,
+        /// Initial value.
+        from: Expr,
+        /// Bound.
+        to: Expr,
+        /// Step (default 1).
+        step: Option<Expr>,
+    },
+    /// `END DO`
+    EndDo,
+    /// `CALL name(args…)`
+    Call {
+        /// Subroutine name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+    },
+    /// `PRINT *, items`
+    Print(Vec<Expr>),
+}

@@ -1,0 +1,1285 @@
+//! The execution engine: N interpreter processes over shared COMMON
+//! storage on a simulated machine personality.
+//!
+//! This substitutes for "the manufacturer provided Fortran compiler and
+//! linker" of §4.3: it loads the preprocessor's output
+//! ([`force_prep::ExpandedProgram`]), lays the shared blocks out through
+//! the machine's sharing model (exercising the Encore padding, the
+//! Alliant page alignment and the Sequent startup/link protocol), runs
+//! the machine-dependent driver, and creates the force with the machine's
+//! process model.
+//!
+//! The lock/unlock/produce/consume *mnemonics* emitted by the level-2
+//! macros are runtime services here, and each verifies that it matches
+//! the executing machine's personality — re-running expanded code on the
+//! wrong machine fails with a machine-mismatch error, while re-running
+//! the *source* through the preprocessor ports cleanly.  That asymmetry
+//! is the paper's portability claim in executable form.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use force_machdep::{
+    spawn_force, FullEmptyState, LockHandle, LockKind, LockState, Machine, ProcessModel,
+    SharedRegion, SharingModelId, StatsSnapshot,
+};
+use force_prep::{ExpandedProgram, VarClass};
+use parking_lot::Mutex;
+
+use crate::ast::{Expr, LValue, Ty, UnOp};
+use crate::error::{FortError, FortErrorKind};
+use crate::intrinsics;
+use crate::program::{Op, Program, Storage, Symbol, Unit};
+use crate::value::Value;
+
+/// A loaded Force program bound to a machine personality.
+pub struct Engine {
+    program: Program,
+    machine: Arc<Machine>,
+    env_cells: Vec<String>,
+    /// Force shared/async variables: name → (type, words).
+    shared_vars: Vec<(String, Ty, usize)>,
+}
+
+/// The observable result of one run.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// Lines produced by `PRINT *`.
+    pub prints: Vec<String>,
+    /// Primitive-operation counts for this run (per-machine delta).
+    pub stats: StatsSnapshot,
+    /// Simulated cycles, from the machine's cost model.
+    pub cycles: u64,
+    /// Linker commands emitted by the Sequent link pass (empty elsewhere).
+    pub linker_commands: Vec<String>,
+    /// Final values of the Force shared variables and environment cells.
+    pub shared_values: HashMap<String, Vec<Value>>,
+}
+
+impl RunOutput {
+    /// The final value of a shared scalar.
+    pub fn shared_scalar(&self, name: &str) -> Option<Value> {
+        self.shared_values.get(name).and_then(|v| v.first().copied())
+    }
+}
+
+impl Engine {
+    /// Load a preprocessed program onto a machine.
+    pub fn from_expanded(exp: &ExpandedProgram, machine: Arc<Machine>) -> Result<Engine, FortError> {
+        let mut shared_names: HashMap<String, usize> = HashMap::new();
+        let mut shared_vars = Vec::new();
+        for d in &exp.decls {
+            if matches!(d.class, VarClass::Shared | VarClass::Async) {
+                let ty = match d.ty.as_str() {
+                    "INTEGER" => Ty::Integer,
+                    "REAL" => Ty::Real,
+                    "LOGICAL" => Ty::Logical,
+                    other => {
+                        return Err(FortError::general(FortErrorKind::Structure(format!(
+                            "unsupported shared type {other}"
+                        ))))
+                    }
+                };
+                if shared_names.insert(d.name.clone(), d.words()).is_none() {
+                    shared_vars.push((d.name.clone(), ty, d.words()));
+                }
+            }
+        }
+        let program = Program::compile(&exp.code, &shared_names)?;
+        if program.program_unit.is_none() {
+            return Err(FortError::general(FortErrorKind::Structure(
+                "expanded code has no driver PROGRAM unit".into(),
+            )));
+        }
+        if !program.units.contains_key(&exp.main_unit) {
+            return Err(FortError::general(FortErrorKind::Structure(format!(
+                "main unit {} not found",
+                exp.main_unit
+            ))));
+        }
+        Ok(Engine {
+            program,
+            machine,
+            env_cells: exp.env_cells.clone(),
+            shared_vars,
+        })
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The machine personality.
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// Run the driver (which creates the force of `nproc` processes).
+    pub fn run(&self, nproc: usize) -> Result<RunOutput, FortError> {
+        assert!(nproc > 0, "a force needs at least one process");
+        let before = self.machine.stats().snapshot();
+        let rt = Rt {
+            engine: self,
+            nproc,
+            shared: Mutex::new(None),
+            locks: Mutex::new(HashMap::new()),
+            tags: Mutex::new(HashMap::new()),
+            prints: Mutex::new(Vec::new()),
+            linker: Mutex::new(Vec::new()),
+        };
+        let driver_name = self.program.program_unit.as_deref().expect("checked in load");
+        let driver = self.program.unit(driver_name).expect("driver unit");
+        let proc = Proc {
+            rt: &rt,
+            me: -1,
+            np: nproc as i64,
+        };
+        proc.exec(driver, Vec::new())?;
+
+        // Collect observables.
+        let after = self.machine.stats().snapshot();
+        let stats = after.since(&before);
+        let costs = self.machine.spec().costs;
+        let cycles = stats.lock_acquires * costs.lock_op
+            + stats.lock_releases * costs.lock_op
+            + stats.lock_contended * costs.contended_lock
+            + stats.syscalls * costs.syscall
+            + (stats.fe_produces + stats.fe_consumes) * costs.fullempty_op
+            + stats.processes_created * costs.process_create
+            + stats.shared_words * costs.shared_access;
+        let mut shared_values = HashMap::new();
+        if let Some(state) = rt.shared.lock().as_ref() {
+            for (name, ty, words) in &self.shared_vars {
+                if let Some(&base) = state.bases.get(name) {
+                    let vals = (0..*words)
+                        .map(|i| Value::from_bits(state.region.load_raw(base + i), *ty))
+                        .collect();
+                    shared_values.insert(name.clone(), vals);
+                }
+            }
+            if let Some(&env_base) = state.bases.get("ZZFENV") {
+                let mut offset = 0usize;
+                for cell in &self.env_cells {
+                    // Entries are `NAME` or `NAME(words)` for lock arrays.
+                    let (name, words) = match cell.find('(') {
+                        Some(p) => {
+                            let w: usize = cell[p + 1..cell.len() - 1]
+                                .split(',')
+                                .map(|d| d.trim().parse::<usize>().unwrap_or(1))
+                                .product();
+                            (cell[..p].to_string(), w)
+                        }
+                        None => (cell.clone(), 1),
+                    };
+                    let vals = (0..words)
+                        .map(|i| {
+                            Value::from_bits(state.region.load_raw(env_base + offset + i), Ty::Integer)
+                        })
+                        .collect();
+                    shared_values.insert(name, vals);
+                    offset += words;
+                }
+            }
+        }
+        Ok(RunOutput {
+            prints: rt.prints.into_inner(),
+            stats,
+            cycles,
+            linker_commands: rt.linker.into_inner(),
+            shared_values,
+        })
+    }
+}
+
+/// Shared storage once allocated: the region plus per-block base offsets.
+struct SharedState {
+    region: SharedRegion,
+    bases: HashMap<String, usize>,
+}
+
+/// Per-run runtime state shared by all processes.
+struct Rt<'e> {
+    engine: &'e Engine,
+    nproc: usize,
+    shared: Mutex<Option<Arc<SharedState>>>,
+    /// Lock table: shared word offset → machine lock.
+    locks: Mutex<HashMap<usize, LockHandle>>,
+    /// HEP full/empty tags: shared word offset → cell tag.
+    tags: Mutex<HashMap<usize, Arc<FullEmptyState>>>,
+    prints: Mutex<Vec<String>>,
+    linker: Mutex<Vec<String>>,
+}
+
+impl Rt<'_> {
+    /// The shared region, allocated on first use through the machine's
+    /// sharing model.  On the Sequent this fails until the startup/link
+    /// protocol has run — faithfully.
+    fn shared(&self, line: usize) -> Result<Arc<SharedState>, FortError> {
+        let mut guard = self.shared.lock();
+        if let Some(s) = guard.as_ref() {
+            return Ok(Arc::clone(s));
+        }
+        let machine = &self.engine.machine;
+        let blocks: Vec<force_machdep::BlockRequest> = self
+            .engine
+            .program
+            .shared_blocks
+            .iter()
+            .map(|(n, w)| force_machdep::BlockRequest::new(n.clone(), *w))
+            .collect();
+        let layout = machine.sharing_model().layout(&blocks).map_err(|e| {
+            FortError::at(
+                line,
+                FortErrorKind::Runtime(format!("shared memory designation failed: {e}")),
+            )
+        })?;
+        let mut bases = HashMap::new();
+        for (n, _) in &self.engine.program.shared_blocks {
+            let (base, _) = layout.block(n).expect("block laid out");
+            bases.insert(n.clone(), base);
+        }
+        let region = SharedRegion::allocate(layout, machine.stats());
+        let state = Arc::new(SharedState { region, bases });
+        *guard = Some(Arc::clone(&state));
+        Ok(state)
+    }
+
+    fn lock_handle(&self, offset: usize, line: usize) -> Result<LockHandle, FortError> {
+        self.locks.lock().get(&offset).cloned().ok_or_else(|| {
+            FortError::runtime(line, "lock variable used before initialization")
+        })
+    }
+
+    fn tag_handle(&self, offset: usize) -> Arc<FullEmptyState> {
+        let mut tags = self.tags.lock();
+        Arc::clone(tags.entry(offset).or_insert_with(|| {
+            Arc::new(FullEmptyState::new_empty(Arc::clone(
+                self.engine.machine.stats(),
+            )))
+        }))
+    }
+}
+
+/// One interpreter process.
+struct Proc<'r, 'e> {
+    rt: &'r Rt<'e>,
+    me: i64,
+    np: i64,
+}
+
+/// Actual argument binding.
+#[derive(Clone)]
+enum ArgVal {
+    /// Reference to shared storage (possibly an array base).
+    Shared { offset: usize, ty: Ty, dims: Vec<usize> },
+    /// A copied-in value (read-only in the callee).
+    Value(Value),
+    /// A program-unit name (spawn intrinsics).
+    Unit(String),
+}
+
+/// Per-call frame.
+struct Frame<'u> {
+    unit: &'u Unit,
+    locals: Vec<Value>,
+    args: Vec<ArgVal>,
+}
+
+impl<'u> Frame<'u> {
+    fn new(unit: &'u Unit, args: Vec<ArgVal>) -> Frame<'u> {
+        let mut locals = vec![Value::Int(0); unit.frame_words];
+        for sym in unit.symbols.values() {
+            if let Storage::Local { base } = sym.storage {
+                for w in 0..sym.words() {
+                    locals[base + w] = Value::zero(sym.ty);
+                }
+            }
+        }
+        Frame { unit, locals, args }
+    }
+}
+
+/// Result of running a unit.
+enum Flow {
+    Normal,
+    Stop,
+}
+
+impl Proc<'_, '_> {
+    /// Execute a unit to completion.
+    fn exec(&self, unit: &Unit, args: Vec<ArgVal>) -> Result<Flow, FortError> {
+        let mut frame = Frame::new(unit, args);
+        let mut pc = 0usize;
+        while pc < unit.ops.len() {
+            let line = unit.op_lines[pc];
+            match &unit.ops[pc] {
+                Op::Nop => pc += 1,
+                Op::Jump(t) => pc = *t,
+                Op::JumpIfFalse(cond, t) => {
+                    if self.eval(&mut frame, cond, line)?.as_log(line)? {
+                        pc += 1;
+                    } else {
+                        pc = *t;
+                    }
+                }
+                Op::Assign(lhs, rhs) => {
+                    let v = self.eval(&mut frame, rhs, line)?;
+                    self.assign(&mut frame, lhs, v, line)?;
+                    pc += 1;
+                }
+                Op::Print(items) => {
+                    let mut parts = Vec::with_capacity(items.len());
+                    for it in items {
+                        match it {
+                            Expr::Str(s) => parts.push(s.clone()),
+                            e => parts.push(self.eval(&mut frame, e, line)?.display()),
+                        }
+                    }
+                    self.rt.prints.lock().push(parts.join(" "));
+                    pc += 1;
+                }
+                Op::Return => return Ok(Flow::Normal),
+                Op::Stop => return Ok(Flow::Stop),
+                Op::Call(name, call_args) => {
+                    match self.call(&mut frame, name, call_args, line)? {
+                        Flow::Stop => return Ok(Flow::Stop),
+                        Flow::Normal => pc += 1,
+                    }
+                }
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    // ---- calls ---------------------------------------------------------
+
+    fn call(
+        &self,
+        frame: &mut Frame<'_>,
+        name: &str,
+        args: &[Expr],
+        line: usize,
+    ) -> Result<Flow, FortError> {
+        if self.rt.engine.program.units.contains_key(name) {
+            let mut bound = Vec::with_capacity(args.len());
+            for a in args {
+                bound.push(self.bind_arg(frame, a, line)?);
+            }
+            let unit = self.rt.engine.program.unit(name).expect("checked");
+            if unit.params.len() != bound.len() {
+                return Err(FortError::runtime(
+                    line,
+                    format!(
+                        "{name} expects {} argument(s), got {}",
+                        unit.params.len(),
+                        bound.len()
+                    ),
+                ));
+            }
+            return self.exec(unit, bound);
+        }
+        self.intrinsic_call(frame, name, args, line)
+    }
+
+    /// Bind one actual argument.
+    fn bind_arg(&self, frame: &mut Frame<'_>, arg: &Expr, line: usize) -> Result<ArgVal, FortError> {
+        match arg {
+            Expr::Var(n) => {
+                if self.rt.engine.program.units.contains_key(n) {
+                    return Ok(ArgVal::Unit(n.clone()));
+                }
+                match frame.unit.symbols.get(n) {
+                    Some(sym) => match &sym.storage {
+                        Storage::Shared { block, offset } => {
+                            let base = self.block_base(block, line)?;
+                            Ok(ArgVal::Shared {
+                                offset: base + offset,
+                                ty: sym.ty,
+                                dims: sym.dims.clone(),
+                            })
+                        }
+                        Storage::Local { base } => {
+                            if sym.dims.is_empty() {
+                                Ok(ArgVal::Value(frame.locals[*base]))
+                            } else {
+                                Err(FortError::runtime(
+                                    line,
+                                    format!("cannot pass private array {n} by reference"),
+                                ))
+                            }
+                        }
+                        Storage::PseudoMe => Ok(ArgVal::Value(Value::Int(self.me))),
+                        Storage::PseudoNp => Ok(ArgVal::Value(Value::Int(self.np))),
+                        Storage::Arg(i) => Ok(frame.args[*i].clone()),
+                    },
+                    None => Err(FortError::runtime(line, format!("unknown variable {n}"))),
+                }
+            }
+            Expr::Index(n, idx) => {
+                // Element reference if n is an array symbol; otherwise an
+                // expression value.
+                let is_array = frame
+                    .unit
+                    .symbols
+                    .get(n)
+                    .is_some_and(|s| !s.dims.is_empty());
+                if is_array {
+                    let (offset, ty) = self.array_elem(frame, n, idx, line)?;
+                    match offset {
+                        ElemPlace::Shared(o) => Ok(ArgVal::Shared {
+                            offset: o,
+                            ty,
+                            dims: Vec::new(),
+                        }),
+                        ElemPlace::Local(slot) => Ok(ArgVal::Value(frame.locals[slot])),
+                    }
+                } else {
+                    Ok(ArgVal::Value(self.eval(frame, arg, line)?))
+                }
+            }
+            other => Ok(ArgVal::Value(self.eval(frame, other, line)?)),
+        }
+    }
+
+    // ---- runtime services (the machine layer's intrinsic subroutines) ----
+
+    fn intrinsic_call(
+        &self,
+        frame: &mut Frame<'_>,
+        name: &str,
+        args: &[Expr],
+        line: usize,
+    ) -> Result<Flow, FortError> {
+        let machine = &self.rt.engine.machine;
+        let lock_kind = |mnemonic: &str| -> Option<(LockKind, bool)> {
+            Some(match mnemonic {
+                "ZZTSLCK" => (LockKind::Spin, true),
+                "ZZTSUNL" => (LockKind::Spin, false),
+                "ZZOSLCK" => (LockKind::Syscall, true),
+                "ZZOSUNL" => (LockKind::Syscall, false),
+                "ZZCBLCK" => (LockKind::Combined, true),
+                "ZZCBUNL" => (LockKind::Combined, false),
+                "ZZFELCK" => (LockKind::FullEmpty, true),
+                "ZZFEUNL" => (LockKind::FullEmpty, false),
+                _ => return None,
+            })
+        };
+        if let Some((kind, is_lock)) = lock_kind(name) {
+            if machine.spec().vendor_locks != kind {
+                return Err(FortError::at(
+                    line,
+                    FortErrorKind::MachineMismatch {
+                        expected: kind.name().into(),
+                        found: machine.spec().vendor_locks.name().into(),
+                    },
+                ));
+            }
+            let offset = self.shared_offset_arg(frame, args, 0, name, line)?;
+            let handle = self.rt.lock_handle(offset, line)?;
+            if is_lock {
+                handle.lock();
+            } else {
+                handle.unlock();
+            }
+            return Ok(Flow::Normal);
+        }
+        match name {
+            "ZZINITL" | "ZZINITK" | "ZZINITU" => {
+                let offset = self.shared_offset_arg(frame, args, 0, name, line)?;
+                let state = if name == "ZZINITK" {
+                    LockState::Locked
+                } else {
+                    LockState::Unlocked
+                };
+                // Implementation locks (barrier, loop, Pcase) are held
+                // across whole construct episodes, so they come from the
+                // port's dedicated reserve; only user locks (ZZINITU)
+                // draw on the machine's possibly scarce pool.
+                let lock = if name == "ZZINITU" {
+                    machine.make_lock(state)
+                } else {
+                    machine.make_dedicated_lock(state)
+                };
+                self.rt.locks.lock().insert(offset, lock);
+                Ok(Flow::Normal)
+            }
+            "ZZAINI" => {
+                // Async-variable init: E locked (empty), F unlocked.
+                // These locks *encode state* — E stays locked for as long
+                // as the variable is empty — so they must never alias a
+                // pooled lock: dedicated reserve.
+                let e = self.shared_offset_arg(frame, args, 0, name, line)?;
+                let f = self.shared_offset_arg(frame, args, 1, name, line)?;
+                let mut locks = self.rt.locks.lock();
+                locks.insert(e, machine.make_dedicated_lock(LockState::Locked));
+                locks.insert(f, machine.make_dedicated_lock(LockState::Unlocked));
+                Ok(Flow::Normal)
+            }
+            "ZZVOIDL" => {
+                let e_off = self.shared_offset_arg(frame, args, 0, name, line)?;
+                let f_off = self.shared_offset_arg(frame, args, 1, name, line)?;
+                let e = self.rt.lock_handle(e_off, line)?;
+                let f = self.rt.lock_handle(f_off, line)?;
+                loop {
+                    if e.try_lock() {
+                        // was full: unlock F to reach the empty state
+                        f.unlock();
+                        return Ok(Flow::Normal);
+                    }
+                    if f.try_lock() {
+                        // was empty: restore
+                        f.unlock();
+                        return Ok(Flow::Normal);
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+            "ZZHPRD" | "ZZHCON" | "ZZHVD" | "ZZHCPY" => {
+                if !machine.spec().hardware_fullempty {
+                    return Err(FortError::at(
+                        line,
+                        FortErrorKind::MachineMismatch {
+                            expected: "hardware full/empty".into(),
+                            found: machine.spec().vendor_locks.name().into(),
+                        },
+                    ));
+                }
+                let (offset, ty) = self.shared_place_arg(frame, args, 0, name, line)?;
+                let tag = self.rt.tag_handle(offset);
+                let state = self.rt.shared(line)?;
+                match name {
+                    "ZZHPRD" => {
+                        let v = self.eval(frame, &args[1], line)?.convert_to(ty, line)?;
+                        tag.acquire_empty();
+                        state.region.store_release(offset, v.to_bits());
+                        tag.release_full();
+                    }
+                    "ZZHCON" => {
+                        tag.acquire_full();
+                        let v = Value::from_bits(state.region.load_acquire(offset), ty);
+                        tag.release_empty();
+                        let dest = lvalue_of(&args[1], line)?;
+                        self.assign(frame, &dest, v, line)?;
+                    }
+                    "ZZHCPY" => {
+                        tag.acquire_full();
+                        let v = Value::from_bits(state.region.load_acquire(offset), ty);
+                        tag.release_full();
+                        let dest = lvalue_of(&args[1], line)?;
+                        self.assign(frame, &dest, v, line)?;
+                    }
+                    "ZZHVD" => tag.void(),
+                    _ => unreachable!(),
+                }
+                Ok(Flow::Normal)
+            }
+            "ZZSTRT0" => {
+                let registry = machine.startup_registry().ok_or_else(|| {
+                    FortError::at(
+                        line,
+                        FortErrorKind::MachineMismatch {
+                            expected: "link-time sharing".into(),
+                            found: machine.sharing_model().id().name().into(),
+                        },
+                    )
+                })?;
+                // Re-running an already-linked program skips the first
+                // pass (the registry survives on the machine instance).
+                if registry.is_finalized() {
+                    return Ok(Flow::Normal);
+                }
+                // Every unit's startup routine reports the shared blocks.
+                let blocks: Vec<(String, usize)> = self
+                    .rt
+                    .engine
+                    .program
+                    .shared_blocks
+                    .iter()
+                    .cloned()
+                    .collect();
+                let mut names: Vec<&String> = self.rt.engine.program.units.keys().collect();
+                names.sort();
+                for unit in names {
+                    registry.register_module(unit, &blocks);
+                }
+                Ok(Flow::Normal)
+            }
+            "ZZLINK" => {
+                let registry = machine.startup_registry().ok_or_else(|| {
+                    FortError::at(
+                        line,
+                        FortErrorKind::MachineMismatch {
+                            expected: "link-time sharing".into(),
+                            found: machine.sharing_model().id().name().into(),
+                        },
+                    )
+                })?;
+                let cmds = registry.finalize();
+                *self.rt.linker.lock() = cmds;
+                Ok(Flow::Normal)
+            }
+            "ZZSHPG" => {
+                let id = machine.sharing_model().id();
+                if !matches!(id, SharingModelId::RunTimePaged | SharingModelId::PageAligned) {
+                    return Err(FortError::at(
+                        line,
+                        FortErrorKind::MachineMismatch {
+                            expected: "run-time shared pages".into(),
+                            found: id.name().into(),
+                        },
+                    ));
+                }
+                self.rt.shared(line)?;
+                Ok(Flow::Normal)
+            }
+            "ZZFORKJ" | "ZZSFORK" | "ZZSPAWN" => {
+                let expected = match machine.spec().process_model {
+                    ProcessModel::ForkJoinCopy => "ZZFORKJ",
+                    ProcessModel::SharedDataFork => "ZZSFORK",
+                    ProcessModel::SpawnByCall => "ZZSPAWN",
+                };
+                if name != expected {
+                    return Err(FortError::at(
+                        line,
+                        FortErrorKind::MachineMismatch {
+                            expected: format!("{} process creation", machine.spec().process_model.name()),
+                            found: format!("driver compiled for `{name}`"),
+                        },
+                    ));
+                }
+                let unit_name = match args.first() {
+                    Some(Expr::Var(n)) if self.rt.engine.program.units.contains_key(n) => n.clone(),
+                    _ => {
+                        return Err(FortError::runtime(
+                            line,
+                            format!("{name} needs a program unit to execute"),
+                        ))
+                    }
+                };
+                let unit = self.rt.engine.program.unit(&unit_name).expect("checked");
+                let np = self.rt.nproc;
+                let results = spawn_force(np, machine.stats(), |pid| {
+                    let p = Proc {
+                        rt: self.rt,
+                        me: pid as i64,
+                        np: np as i64,
+                    };
+                    p.exec(unit, Vec::new()).map(|_| ())
+                });
+                for r in results {
+                    r?;
+                }
+                Ok(Flow::Normal)
+            }
+            other => Err(FortError::runtime(
+                line,
+                format!("CALL to unknown subroutine `{other}`"),
+            )),
+        }
+    }
+
+    /// Resolve intrinsic argument `i` to a shared word offset.
+    fn shared_offset_arg(
+        &self,
+        frame: &mut Frame<'_>,
+        args: &[Expr],
+        i: usize,
+        name: &str,
+        line: usize,
+    ) -> Result<usize, FortError> {
+        self.shared_place_arg(frame, args, i, name, line).map(|(o, _)| o)
+    }
+
+    /// Resolve intrinsic argument `i` to shared storage (offset + type).
+    fn shared_place_arg(
+        &self,
+        frame: &mut Frame<'_>,
+        args: &[Expr],
+        i: usize,
+        name: &str,
+        line: usize,
+    ) -> Result<(usize, Ty), FortError> {
+        let arg = args.get(i).ok_or_else(|| {
+            FortError::runtime(line, format!("{name} is missing argument {}", i + 1))
+        })?;
+        match self.bind_arg(frame, arg, line)? {
+            ArgVal::Shared { offset, ty, .. } => Ok((offset, ty)),
+            _ => Err(FortError::runtime(
+                line,
+                format!("{name} argument {} must be a shared variable", i + 1),
+            )),
+        }
+    }
+
+    fn block_base(&self, block: &str, line: usize) -> Result<usize, FortError> {
+        let state = self.rt.shared(line)?;
+        state.bases.get(block).copied().ok_or_else(|| {
+            FortError::runtime(line, format!("unknown shared block {block}"))
+        })
+    }
+
+    // ---- expression evaluation -------------------------------------------
+
+    fn eval(&self, frame: &mut Frame<'_>, expr: &Expr, line: usize) -> Result<Value, FortError> {
+        match expr {
+            Expr::Int(n) => Ok(Value::Int(*n)),
+            Expr::Real(x) => Ok(Value::Real(*x)),
+            Expr::Logical(b) => Ok(Value::Log(*b)),
+            Expr::Str(_) => Err(FortError::runtime(
+                line,
+                "character data are only allowed in PRINT lists",
+            )),
+            Expr::Var(n) => self.read_scalar(frame, n, line),
+            Expr::Index(n, idx) => {
+                let is_array = frame
+                    .unit
+                    .symbols
+                    .get(n)
+                    .is_some_and(|s| !s.dims.is_empty());
+                if is_array {
+                    let (place, ty) = self.array_elem(frame, n, idx, line)?;
+                    match place {
+                        ElemPlace::Shared(o) => {
+                            let state = self.rt.shared(line)?;
+                            Ok(Value::from_bits(state.region.load_raw(o), ty))
+                        }
+                        ElemPlace::Local(slot) => Ok(frame.locals[slot]),
+                    }
+                } else if frame.unit.symbols.contains_key(n) {
+                    Err(FortError::runtime(
+                        line,
+                        format!("{n} is a scalar but was subscripted"),
+                    ))
+                } else if n == "ZZISFL" || n == "ZZHISF" {
+                    // Full/empty state test (§3.4): needs the *address* of
+                    // its argument, not its value.
+                    self.eval_isfull(frame, n, idx, line)
+                } else {
+                    let mut vals = Vec::with_capacity(idx.len());
+                    for a in idx {
+                        vals.push(self.eval(frame, a, line)?);
+                    }
+                    intrinsics::eval_function(n, &vals, line, self.me, self.np)
+                }
+            }
+            Expr::Un(op, a) => {
+                let v = self.eval(frame, a, line)?;
+                match op {
+                    UnOp::Neg => match v {
+                        Value::Int(n) => Ok(Value::Int(-n)),
+                        Value::Real(x) => Ok(Value::Real(-x)),
+                        Value::Log(_) => {
+                            Err(FortError::runtime(line, "cannot negate a LOGICAL"))
+                        }
+                    },
+                    UnOp::Not => Ok(Value::Log(!v.as_log(line)?)),
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                let va = self.eval(frame, a, line)?;
+                let vb = self.eval(frame, b, line)?;
+                eval_binop(*op, va, vb, line)
+            }
+        }
+    }
+
+    /// `ZZISFL(XZZE)` / `ZZHISF(X)`: test an asynchronous variable's
+    /// full/empty state.  A snapshot — the state may change immediately
+    /// after, exactly as on the original machines.
+    fn eval_isfull(
+        &self,
+        frame: &mut Frame<'_>,
+        name: &str,
+        args: &[Expr],
+        line: usize,
+    ) -> Result<Value, FortError> {
+        let machine = &self.rt.engine.machine;
+        if (name == "ZZHISF") != machine.spec().hardware_fullempty {
+            return Err(FortError::at(
+                line,
+                FortErrorKind::MachineMismatch {
+                    expected: if name == "ZZHISF" {
+                        "hardware full/empty".into()
+                    } else {
+                        "two-lock full/empty emulation".into()
+                    },
+                    found: machine.spec().vendor_locks.name().into(),
+                },
+            ));
+        }
+        let (offset, _ty) = self.shared_place_arg(frame, args, 0, name, line)?;
+        if name == "ZZHISF" {
+            Ok(Value::Log(self.rt.tag_handle(offset).is_full()))
+        } else {
+            // Two-lock encoding: full = E unlocked.
+            let e = self.rt.lock_handle(offset, line)?;
+            Ok(Value::Log(!e.is_locked()))
+        }
+    }
+
+    fn read_scalar(&self, frame: &Frame<'_>, name: &str, line: usize) -> Result<Value, FortError> {
+        let sym = frame
+            .unit
+            .symbols
+            .get(name)
+            .ok_or_else(|| FortError::runtime(line, format!("unknown variable {name}")))?;
+        if !sym.dims.is_empty() {
+            return Err(FortError::runtime(
+                line,
+                format!("array {name} used without subscripts"),
+            ));
+        }
+        match &sym.storage {
+            Storage::Local { base } => Ok(frame.locals[*base]),
+            Storage::Shared { block, offset } => {
+                let base = self.block_base(block, line)?;
+                let state = self.rt.shared(line)?;
+                Ok(Value::from_bits(state.region.load_raw(base + offset), sym.ty))
+            }
+            Storage::PseudoMe => Ok(Value::Int(self.me)),
+            Storage::PseudoNp => Ok(Value::Int(self.np)),
+            Storage::Arg(i) => match &frame.args[*i] {
+                ArgVal::Value(v) => Ok(*v),
+                ArgVal::Shared { offset, ty, dims } => {
+                    if !dims.is_empty() {
+                        return Err(FortError::runtime(
+                            line,
+                            format!("array argument {name} used without subscripts"),
+                        ));
+                    }
+                    let state = self.rt.shared(line)?;
+                    Ok(Value::from_bits(state.region.load_raw(*offset), *ty))
+                }
+                ArgVal::Unit(u) => Err(FortError::runtime(
+                    line,
+                    format!("unit name {u} used as a value"),
+                )),
+            },
+        }
+    }
+
+    // ---- assignment ----------------------------------------------------------
+
+    fn assign(
+        &self,
+        frame: &mut Frame<'_>,
+        lhs: &LValue,
+        value: Value,
+        line: usize,
+    ) -> Result<(), FortError> {
+        match lhs {
+            LValue::Name(n) => {
+                let sym = frame
+                    .unit
+                    .symbols
+                    .get(n)
+                    .ok_or_else(|| FortError::runtime(line, format!("unknown variable {n}")))?
+                    .clone();
+                if !sym.dims.is_empty() {
+                    return Err(FortError::runtime(
+                        line,
+                        format!("array {n} assigned without subscripts"),
+                    ));
+                }
+                let v = value.convert_to(sym.ty, line)?;
+                match &sym.storage {
+                    Storage::Local { base } => {
+                        frame.locals[*base] = v;
+                        Ok(())
+                    }
+                    Storage::Shared { block, offset } => {
+                        let base = self.block_base(block, line)?;
+                        let state = self.rt.shared(line)?;
+                        state.region.store_raw(base + offset, v.to_bits());
+                        Ok(())
+                    }
+                    Storage::PseudoMe | Storage::PseudoNp => Err(FortError::runtime(
+                        line,
+                        format!("{n} (process environment) is read-only"),
+                    )),
+                    Storage::Arg(i) => match &frame.args[*i] {
+                        ArgVal::Shared { offset, ty, dims } => {
+                            if !dims.is_empty() {
+                                return Err(FortError::runtime(
+                                    line,
+                                    format!("array argument {n} assigned without subscripts"),
+                                ));
+                            }
+                            let v = value.convert_to(*ty, line)?;
+                            let state = self.rt.shared(line)?;
+                            state.region.store_raw(*offset, v.to_bits());
+                            Ok(())
+                        }
+                        ArgVal::Value(_) => Err(FortError::runtime(
+                            line,
+                            format!("argument {n} was passed by value and is read-only"),
+                        )),
+                        ArgVal::Unit(_) => Err(FortError::runtime(
+                            line,
+                            format!("cannot assign to unit name {n}"),
+                        )),
+                    },
+                }
+            }
+            LValue::Elem(n, idx) => {
+                let (place, ty) = self.array_elem(frame, n, idx, line)?;
+                let v = value.convert_to(ty, line)?;
+                match place {
+                    ElemPlace::Shared(o) => {
+                        let state = self.rt.shared(line)?;
+                        state.region.store_raw(o, v.to_bits());
+                    }
+                    ElemPlace::Local(slot) => frame.locals[slot] = v,
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Resolve an array element to its storage place.
+    fn array_elem(
+        &self,
+        frame: &mut Frame<'_>,
+        name: &str,
+        idx: &[Expr],
+        line: usize,
+    ) -> Result<(ElemPlace, Ty), FortError> {
+        let sym: Symbol = frame
+            .unit
+            .symbols
+            .get(name)
+            .ok_or_else(|| FortError::runtime(line, format!("unknown array {name}")))?
+            .clone();
+        let (dims, ty) = (&sym.dims, sym.ty);
+        // Arg-bound arrays carry their own dims.
+        if let Storage::Arg(i) = sym.storage {
+            let arg = frame.args[i].clone();
+            return match arg {
+                ArgVal::Shared { offset, ty, dims } => {
+                    if dims.is_empty() {
+                        return Err(FortError::runtime(
+                            line,
+                            format!("scalar argument {name} was subscripted"),
+                        ));
+                    }
+                    let off = self.elem_offset(frame, &dims, idx, name, line)?;
+                    Ok((ElemPlace::Shared(offset + off), ty))
+                }
+                _ => Err(FortError::runtime(
+                    line,
+                    format!("argument {name} is not an array reference"),
+                )),
+            };
+        }
+        if dims.is_empty() {
+            return Err(FortError::runtime(
+                line,
+                format!("{name} is a scalar but was subscripted"),
+            ));
+        }
+        let dims = dims.clone();
+        let off = self.elem_offset(frame, &dims, idx, name, line)?;
+        match &sym.storage {
+            Storage::Local { base } => Ok((ElemPlace::Local(base + off), ty)),
+            Storage::Shared { block, offset } => {
+                let base = self.block_base(block, line)?;
+                Ok((ElemPlace::Shared(base + offset + off), ty))
+            }
+            _ => unreachable!("array storage"),
+        }
+    }
+
+    /// Column-major, 1-based element offset with bounds checking.
+    fn elem_offset(
+        &self,
+        frame: &mut Frame<'_>,
+        dims: &[usize],
+        idx: &[Expr],
+        name: &str,
+        line: usize,
+    ) -> Result<usize, FortError> {
+        if idx.len() != dims.len() {
+            return Err(FortError::runtime(
+                line,
+                format!(
+                    "{name} has {} dimension(s) but {} subscript(s) given",
+                    dims.len(),
+                    idx.len()
+                ),
+            ));
+        }
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for (k, (e, &d)) in idx.iter().zip(dims.iter()).enumerate() {
+            let i = self.eval(frame, e, line)?.as_int(line)?;
+            if i < 1 || i as usize > d {
+                return Err(FortError::runtime(
+                    line,
+                    format!("subscript {} of {name} is {i}, outside 1..{d}", k + 1),
+                ));
+            }
+            off += (i as usize - 1) * stride;
+            stride *= d;
+        }
+        Ok(off)
+    }
+}
+
+/// Storage place of one array element.
+enum ElemPlace {
+    Shared(usize),
+    Local(usize),
+}
+
+/// Interpret an expression as an assignment target (for ZZHCON etc.).
+fn lvalue_of(e: &Expr, line: usize) -> Result<LValue, FortError> {
+    match e {
+        Expr::Var(n) => Ok(LValue::Name(n.clone())),
+        Expr::Index(n, idx) => Ok(LValue::Elem(n.clone(), idx.clone())),
+        _ => Err(FortError::runtime(line, "destination must be a variable")),
+    }
+}
+
+/// Numeric/logical binary operation with Fortran coercions.
+fn eval_binop(
+    op: crate::ast::BinOp,
+    a: Value,
+    b: Value,
+    line: usize,
+) -> Result<Value, FortError> {
+    use crate::ast::BinOp::*;
+    match op {
+        And => Ok(Value::Log(a.as_log(line)? && b.as_log(line)?)),
+        Or => Ok(Value::Log(a.as_log(line)? || b.as_log(line)?)),
+        Eq | Ne if matches!(a, Value::Log(_)) || matches!(b, Value::Log(_)) => {
+            let (x, y) = (a.as_log(line)?, b.as_log(line)?);
+            Ok(Value::Log(if op == Eq { x == y } else { x != y }))
+        }
+        Add | Sub | Mul | Div | Pow => match (a, b) {
+            (Value::Int(x), Value::Int(y)) => match op {
+                Add => Ok(Value::Int(x.wrapping_add(y))),
+                Sub => Ok(Value::Int(x.wrapping_sub(y))),
+                Mul => Ok(Value::Int(x.wrapping_mul(y))),
+                Div => {
+                    if y == 0 {
+                        Err(FortError::runtime(line, "integer division by zero"))
+                    } else {
+                        Ok(Value::Int(x / y))
+                    }
+                }
+                Pow => {
+                    if y >= 0 {
+                        Ok(Value::Int(x.pow(y.min(63) as u32)))
+                    } else {
+                        Ok(Value::Real((x as f64).powi(y as i32)))
+                    }
+                }
+                _ => unreachable!(),
+            },
+            _ => {
+                let x = a.as_real(line)?;
+                let y = b.as_real(line)?;
+                match op {
+                    Add => Ok(Value::Real(x + y)),
+                    Sub => Ok(Value::Real(x - y)),
+                    Mul => Ok(Value::Real(x * y)),
+                    Div => {
+                        if y == 0.0 {
+                            Err(FortError::runtime(line, "division by zero"))
+                        } else {
+                            Ok(Value::Real(x / y))
+                        }
+                    }
+                    Pow => Ok(Value::Real(x.powf(y))),
+                    _ => unreachable!(),
+                }
+            }
+        },
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let r = match (a, b) {
+                (Value::Int(x), Value::Int(y)) => x.cmp(&y),
+                _ => {
+                    let x = a.as_real(line)?;
+                    let y = b.as_real(line)?;
+                    x.partial_cmp(&y).ok_or_else(|| {
+                        FortError::runtime(line, "comparison with NaN")
+                    })?
+                }
+            };
+            use std::cmp::Ordering::*;
+            Ok(Value::Log(match op {
+                Eq => r == Equal,
+                Ne => r != Equal,
+                Lt => r == Less,
+                Le => r != Greater,
+                Gt => r == Greater,
+                Ge => r != Less,
+                _ => unreachable!(),
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use force_machdep::MachineId;
+    use force_prep::preprocess;
+
+    fn run_on(source: &str, id: MachineId, nproc: usize) -> RunOutput {
+        let exp = preprocess(source, id).unwrap();
+        let machine = Machine::new(id);
+        let engine = Engine::from_expanded(&exp, machine).unwrap();
+        engine.run(nproc).unwrap()
+    }
+
+    const SUM_PROGRAM: &str = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER TOTAL
+      Private INTEGER K
+      End declarations
+      Barrier
+      TOTAL = 0
+      End barrier
+      Selfsched DO 100 K = 1, 100
+      Critical LCK
+      TOTAL = TOTAL + K
+      End critical
+100   End selfsched DO
+      Join
+";
+
+    #[test]
+    fn selfscheduled_sum_is_exact_on_every_machine() {
+        for id in MachineId::all() {
+            for nproc in [1, 3, 4] {
+                let out = run_on(SUM_PROGRAM, id, nproc);
+                assert_eq!(
+                    out.shared_scalar("TOTAL"),
+                    Some(Value::Int(5050)),
+                    "{} nproc={nproc}",
+                    id.name()
+                );
+                // All processes left the barrier protocol cleanly.
+                assert_eq!(out.shared_scalar("ZZNBAR"), Some(Value::Int(0)));
+            }
+        }
+    }
+
+    #[test]
+    fn presched_loop_covers_all_indices() {
+        let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER HITS(50)
+      Private INTEGER K
+      End declarations
+      Presched DO 10 K = 1, 50
+      HITS(K) = HITS(K) + 1
+10    End presched DO
+      Join
+";
+        for nproc in [1, 2, 5] {
+            let out = run_on(src, MachineId::AlliantFx8, nproc);
+            let hits = &out.shared_values["HITS"];
+            assert!(hits.iter().all(|v| *v == Value::Int(1)), "nproc={nproc}: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn produce_consume_transfers_a_value() {
+        let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER GOT
+      Async INTEGER CHAN
+      Private INTEGER T
+      End declarations
+      IF (ME .EQ. 0) THEN
+      Produce CHAN = 41 + 1
+      ELSE
+      Consume CHAN into T
+      GOT = T
+      END IF
+      Join
+";
+        for id in [MachineId::Hep, MachineId::EncoreMultimax, MachineId::Cray2] {
+            let out = run_on(src, id, 2);
+            assert_eq!(out.shared_scalar("GOT"), Some(Value::Int(42)), "{}", id.name());
+        }
+    }
+
+    #[test]
+    fn sequent_link_pass_emits_linker_commands() {
+        let out = run_on(SUM_PROGRAM, MachineId::SequentBalance, 2);
+        assert!(
+            out.linker_commands.iter().any(|c| c.contains("TOTAL")),
+            "{:?}",
+            out.linker_commands
+        );
+        assert!(out.linker_commands.iter().any(|c| c.contains("ZZFENV")));
+    }
+
+    #[test]
+    fn encore_pads_shared_pages() {
+        let out = run_on(SUM_PROGRAM, MachineId::EncoreMultimax, 2);
+        assert!(out.stats.padding_words > 0, "{:?}", out.stats);
+        let out = run_on(SUM_PROGRAM, MachineId::Flex32, 2);
+        assert_eq!(out.stats.padding_words, 0);
+    }
+
+    #[test]
+    fn machine_mismatch_is_detected() {
+        // Preprocess for Encore (test&set) but run on the Cray (OS locks).
+        let exp = preprocess(SUM_PROGRAM, MachineId::EncoreMultimax).unwrap();
+        let machine = Machine::new(MachineId::Cray2);
+        let engine = Engine::from_expanded(&exp, machine).unwrap();
+        let err = engine.run(2).unwrap_err();
+        assert!(
+            matches!(err.kind, FortErrorKind::MachineMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn print_output_is_captured() {
+        let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER X
+      End declarations
+      Barrier
+      X = 7
+      PRINT *, 'X IS', X
+      End barrier
+      Join
+";
+        let out = run_on(src, MachineId::Flex32, 3);
+        assert_eq!(out.prints, vec!["X IS 7"]);
+    }
+
+    #[test]
+    fn hep_uses_fullempty_everywhere() {
+        let out = run_on(SUM_PROGRAM, MachineId::Hep, 3);
+        assert!(out.stats.fe_produces > 0 || out.stats.fe_consumes > 0, "{:?}", out.stats);
+        assert_eq!(out.stats.syscalls, 0);
+        // and HEP process creation is cheap in simulated cycles
+        let cray = run_on(SUM_PROGRAM, MachineId::Cray2, 3);
+        assert!(cray.cycles > out.cycles, "cray {} vs hep {}", cray.cycles, out.cycles);
+    }
+
+    #[test]
+    fn runtime_errors_have_lines() {
+        let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER A(5)
+      Private INTEGER K
+      End declarations
+      K = 9
+      A(K) = 1
+      Join
+";
+        let exp = preprocess(src, MachineId::Flex32).unwrap();
+        let engine = Engine::from_expanded(&exp, Machine::new(MachineId::Flex32)).unwrap();
+        let err = engine.run(1).unwrap_err();
+        assert!(err.to_string().contains("outside 1..5"), "{err}");
+    }
+}

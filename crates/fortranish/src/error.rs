@@ -1,0 +1,96 @@
+//! Structured errors for the mini-Fortran substrate.
+
+use std::fmt;
+
+/// What went wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FortErrorKind {
+    /// Lexical error.
+    Lex(String),
+    /// Parse error.
+    Parse(String),
+    /// Program-structure error (missing unit, duplicate label, ...).
+    Structure(String),
+    /// Runtime error (out-of-bounds, type error, uninitialized lock, ...).
+    Runtime(String),
+    /// The code was preprocessed for a different machine than it is
+    /// running on ("a Force binary is not portable; the source is").
+    MachineMismatch {
+        /// What the code expects (mnemonic flavour).
+        expected: String,
+        /// What the executing machine provides.
+        found: String,
+    },
+}
+
+/// An error with an optional source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FortError {
+    /// 1-based source line, when known.
+    pub line: Option<usize>,
+    /// The error itself.
+    pub kind: FortErrorKind,
+}
+
+impl FortError {
+    /// An error at a known source line.
+    pub fn at(line: usize, kind: FortErrorKind) -> Self {
+        FortError {
+            line: Some(line),
+            kind,
+        }
+    }
+
+    /// An error with no line attribution.
+    pub fn general(kind: FortErrorKind) -> Self {
+        FortError { line: None, kind }
+    }
+
+    /// Shorthand for a runtime error.
+    pub fn runtime(line: usize, msg: impl Into<String>) -> Self {
+        FortError::at(line, FortErrorKind::Runtime(msg.into()))
+    }
+}
+
+impl fmt::Display for FortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(l) => write!(f, "line {l}: ")?,
+            None => {}
+        }
+        match &self.kind {
+            FortErrorKind::Lex(m) => write!(f, "lexical error: {m}"),
+            FortErrorKind::Parse(m) => write!(f, "parse error: {m}"),
+            FortErrorKind::Structure(m) => write!(f, "program error: {m}"),
+            FortErrorKind::Runtime(m) => write!(f, "runtime error: {m}"),
+            FortErrorKind::MachineMismatch { expected, found } => write!(
+                f,
+                "machine mismatch: code preprocessed for {expected} locks cannot run on a machine providing {found} locks (re-run the preprocessor — the source is portable, the expansion is not)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FortError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = FortError::at(12, FortErrorKind::Parse("bad thing".into()));
+        assert_eq!(e.to_string(), "line 12: parse error: bad thing");
+        let e = FortError::general(FortErrorKind::Structure("no units".into()));
+        assert_eq!(e.to_string(), "program error: no units");
+    }
+
+    #[test]
+    fn machine_mismatch_explains_portability() {
+        let e = FortError::general(FortErrorKind::MachineMismatch {
+            expected: "test&set".into(),
+            found: "system call".into(),
+        });
+        assert!(e.to_string().contains("re-run the preprocessor"));
+    }
+}

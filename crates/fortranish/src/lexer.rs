@@ -1,0 +1,341 @@
+//! Line lexer for the mini-Fortran subset.
+//!
+//! The interpreter is deliberately tolerant of column position (the
+//! preprocessor emits "fixed-ish" form): a line is
+//! `[label] statement`, comments start with `C`, `c`, `*` or `!` in
+//! column 1, and blank lines are ignored.
+
+use crate::error::{FortError, FortErrorKind};
+use crate::token::{DotOp, Token};
+
+/// One significant source line: optional numeric label + tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexedLine {
+    /// 1-based source line number (for diagnostics).
+    pub line_no: usize,
+    /// Optional statement label.
+    pub label: Option<u32>,
+    /// The statement tokens.
+    pub tokens: Vec<Token>,
+}
+
+/// Whether a line is a comment.
+pub fn is_comment(line: &str) -> bool {
+    matches!(line.chars().next(), Some('C') | Some('c') | Some('*') | Some('!'))
+}
+
+/// Lex a whole source into significant lines.
+pub fn lex(source: &str) -> Result<Vec<LexedLine>, FortError> {
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        if is_comment(raw) || raw.trim().is_empty() {
+            continue;
+        }
+        let trimmed = raw.trim_start();
+        // Leading digits form the statement label.
+        let digits: String = trimmed.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let (label, rest) = if digits.is_empty() {
+            (None, trimmed)
+        } else {
+            let label = digits.parse::<u32>().map_err(|_| {
+                FortError::at(line_no, FortErrorKind::Lex(format!("label `{digits}` too large")))
+            })?;
+            (Some(label), trimmed[digits.len()..].trim_start())
+        };
+        let tokens = lex_statement(rest, line_no)?;
+        if tokens.is_empty() && label.is_none() {
+            continue;
+        }
+        out.push(LexedLine {
+            line_no,
+            label,
+            tokens,
+        });
+    }
+    Ok(out)
+}
+
+/// Lex one statement body.
+pub fn lex_statement(s: &str, line_no: usize) -> Result<Vec<Token>, FortError> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let err = |msg: String| FortError::at(line_no, FortErrorKind::Lex(msg));
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            '(' => {
+                toks.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Token::Comma);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Token::Equals);
+                i += 1;
+            }
+            '+' => {
+                toks.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                toks.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                toks.push(Token::Slash);
+                i += 1;
+            }
+            '*' => {
+                if chars.get(i + 1) == Some(&'*') {
+                    toks.push(Token::Power);
+                    i += 2;
+                } else {
+                    toks.push(Token::Star);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // character literal 'like this' ('' = escaped quote)
+                let mut text = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            text.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            text.push(ch);
+                            i += 1;
+                        }
+                        None => return Err(err("unterminated character literal".into())),
+                    }
+                }
+                toks.push(Token::Str(text));
+            }
+            '.' => {
+                // Either a dotted operator/.TRUE./.FALSE., or a real like `.5`.
+                if chars.get(i + 1).is_some_and(|c| c.is_ascii_alphabetic()) {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < chars.len() && chars[j].is_ascii_alphabetic() {
+                        j += 1;
+                    }
+                    if chars.get(j) != Some(&'.') {
+                        return Err(err(format!(
+                            "malformed dotted operator near `.{}`",
+                            chars[start..j].iter().collect::<String>()
+                        )));
+                    }
+                    let name: String = chars[start..j].iter().collect::<String>().to_ascii_uppercase();
+                    i = j + 1;
+                    match name.as_str() {
+                        "TRUE" => toks.push(Token::Logical(true)),
+                        "FALSE" => toks.push(Token::Logical(false)),
+                        other => match DotOp::from_name(other) {
+                            Some(op) => toks.push(Token::DotOp(op)),
+                            None => return Err(err(format!("unknown operator `.{other}.`"))),
+                        },
+                    }
+                } else if chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                    let (tok, next) = lex_number(&chars, i, line_no)?;
+                    toks.push(tok);
+                    i = next;
+                } else {
+                    return Err(err("stray `.`".into()));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(&chars, i, line_no)?;
+                toks.push(tok);
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let name: String = chars[start..i].iter().collect::<String>().to_ascii_uppercase();
+                toks.push(Token::Ident(name));
+            }
+            other => return Err(err(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(toks)
+}
+
+/// Lex an integer or real literal starting at `i`.
+fn lex_number(chars: &[char], start: usize, line_no: usize) -> Result<(Token, usize), FortError> {
+    let mut i = start;
+    let mut text = String::new();
+    let mut is_real = false;
+    while i < chars.len() && chars[i].is_ascii_digit() {
+        text.push(chars[i]);
+        i += 1;
+    }
+    // Decimal point — but only if not the start of a dotted operator
+    // (`1.EQ.2` must lex as `1` `.EQ.` `2`).
+    if i < chars.len() && chars[i] == '.' {
+        let looks_like_dotop = chars
+            .get(i + 1)
+            .is_some_and(|c| c.is_ascii_alphabetic())
+            && {
+                let mut j = i + 2;
+                while j < chars.len() && chars[j].is_ascii_alphabetic() {
+                    j += 1;
+                }
+                chars.get(j) == Some(&'.')
+            };
+        if !looks_like_dotop {
+            is_real = true;
+            text.push('.');
+            i += 1;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                text.push(chars[i]);
+                i += 1;
+            }
+        }
+    }
+    // Exponent.
+    if i < chars.len() && matches!(chars[i], 'e' | 'E' | 'd' | 'D') {
+        let mut j = i + 1;
+        if j < chars.len() && matches!(chars[j], '+' | '-') {
+            j += 1;
+        }
+        if j < chars.len() && chars[j].is_ascii_digit() {
+            is_real = true;
+            text.push('E');
+            i += 1;
+            if matches!(chars[i], '+' | '-') {
+                text.push(chars[i]);
+                i += 1;
+            }
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                text.push(chars[i]);
+                i += 1;
+            }
+        }
+    }
+    let tok = if is_real {
+        Token::Real(text.parse::<f64>().map_err(|_| {
+            FortError::at(line_no, FortErrorKind::Lex(format!("bad real literal `{text}`")))
+        })?)
+    } else {
+        Token::Int(text.parse::<i64>().map_err(|_| {
+            FortError::at(
+                line_no,
+                FortErrorKind::Lex(format!("integer literal `{text}` out of range")),
+            )
+        })?)
+    };
+    Ok((tok, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        lex_statement(s, 1).unwrap()
+    }
+
+    #[test]
+    fn idents_are_uppercased() {
+        assert_eq!(
+            toks("total = k_shared"),
+            vec![
+                Token::Ident("TOTAL".into()),
+                Token::Equals,
+                Token::Ident("K_SHARED".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_int_and_real() {
+        assert_eq!(toks("42"), vec![Token::Int(42)]);
+        assert_eq!(toks("1.5"), vec![Token::Real(1.5)]);
+        assert_eq!(toks("2."), vec![Token::Real(2.0)]);
+        assert_eq!(toks(".25"), vec![Token::Real(0.25)]);
+        assert_eq!(toks("1E3"), vec![Token::Real(1000.0)]);
+        assert_eq!(toks("2.5E-2"), vec![Token::Real(0.025)]);
+        assert_eq!(toks("1D0"), vec![Token::Real(1.0)]);
+    }
+
+    #[test]
+    fn integer_before_dotop_is_not_a_real() {
+        assert_eq!(
+            toks("1.EQ.2"),
+            vec![Token::Int(1), Token::DotOp(DotOp::Eq), Token::Int(2)]
+        );
+    }
+
+    #[test]
+    fn dotted_operators_and_logicals() {
+        assert_eq!(
+            toks("A .GE. B .AND. .NOT. .FALSE."),
+            vec![
+                Token::Ident("A".into()),
+                Token::DotOp(DotOp::Ge),
+                Token::Ident("B".into()),
+                Token::DotOp(DotOp::And),
+                Token::DotOp(DotOp::Not),
+                Token::Logical(false),
+            ]
+        );
+        assert_eq!(toks(".TRUE."), vec![Token::Logical(true)]);
+    }
+
+    #[test]
+    fn power_vs_star() {
+        assert_eq!(
+            toks("A ** 2 * B"),
+            vec![
+                Token::Ident("A".into()),
+                Token::Power,
+                Token::Int(2),
+                Token::Star,
+                Token::Ident("B".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        assert_eq!(toks("'it''s'"), vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn labels_and_comments() {
+        let src = "C a comment\n100   CONTINUE\n* another\n      X = 1\n";
+        let lines = lex(src).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].label, Some(100));
+        assert_eq!(lines[0].tokens, vec![Token::Ident("CONTINUE".into())]);
+        assert_eq!(lines[1].label, None);
+        assert_eq!(lines[1].line_no, 4);
+    }
+
+    #[test]
+    fn unknown_operator_is_an_error() {
+        assert!(lex_statement("A .XO. B", 1).is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex_statement("'open", 1).is_err());
+    }
+}

@@ -1,0 +1,687 @@
+//! Recursive-descent parser: one lexed line → one [`Stmt`].
+
+use crate::ast::{BinOp, DeclItem, Expr, LValue, Stmt, Ty, UnOp};
+use crate::error::{FortError, FortErrorKind};
+use crate::token::{DotOp, Token};
+
+/// Parse the tokens of one statement line.
+pub fn parse_statement(tokens: &[Token], line_no: usize) -> Result<Stmt, FortError> {
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+        line: line_no,
+    };
+    let stmt = p.statement()?;
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> FortError {
+        FortError::at(self.line, FortErrorKind::Parse(msg.into()))
+    }
+
+    fn peek(&self) -> Option<&'a Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token, what: &str) -> Result<(), FortError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, FortError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s.clone()),
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), FortError> {
+        if self.pos == self.toks.len() {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "unexpected trailing tokens: {:?}",
+                &self.toks[self.pos..]
+            )))
+        }
+    }
+
+    fn peek_ident(&self) -> Option<&'a str> {
+        match self.peek() {
+            Some(Token::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Stmt, FortError> {
+        let first = match self.peek_ident() {
+            Some(s) => s.to_string(),
+            None => return Err(self.err("statement must start with a keyword or variable")),
+        };
+        match first.as_str() {
+            "PROGRAM" => {
+                self.next();
+                let name = self.expect_ident("program name")?;
+                Ok(Stmt::Program(name))
+            }
+            "SUBROUTINE" => {
+                self.next();
+                let name = self.expect_ident("subroutine name")?;
+                let mut params = Vec::new();
+                if self.eat(&Token::LParen) {
+                    if !self.eat(&Token::RParen) {
+                        loop {
+                            params.push(self.expect_ident("parameter name")?);
+                            if self.eat(&Token::RParen) {
+                                break;
+                            }
+                            self.expect(&Token::Comma, "`,` in parameter list")?;
+                        }
+                    }
+                }
+                Ok(Stmt::Subroutine(name, params))
+            }
+            "END" => {
+                self.next();
+                match self.peek_ident() {
+                    Some("IF") => {
+                        self.next();
+                        Ok(Stmt::EndIf)
+                    }
+                    Some("DO") => {
+                        self.next();
+                        Ok(Stmt::EndDo)
+                    }
+                    None => Ok(Stmt::EndUnit),
+                    Some(other) => Err(self.err(format!("unexpected `END {other}`"))),
+                }
+            }
+            "ENDIF" => {
+                self.next();
+                Ok(Stmt::EndIf)
+            }
+            "ENDDO" => {
+                self.next();
+                Ok(Stmt::EndDo)
+            }
+            "RETURN" => {
+                self.next();
+                Ok(Stmt::Return)
+            }
+            "STOP" => {
+                self.next();
+                Ok(Stmt::Stop)
+            }
+            "CONTINUE" => {
+                self.next();
+                Ok(Stmt::Continue)
+            }
+            "INTEGER" | "REAL" | "LOGICAL" | "DOUBLE" => {
+                self.next();
+                if first == "DOUBLE" {
+                    // DOUBLE PRECISION
+                    if self.peek_ident() == Some("PRECISION") {
+                        self.next();
+                    }
+                }
+                let ty = Ty::from_keyword(&first).expect("checked keyword");
+                let items = self.decl_items()?;
+                Ok(Stmt::Decl { ty, items })
+            }
+            "COMMON" => {
+                self.next();
+                self.expect(&Token::Slash, "`/` before COMMON block name")?;
+                let block = self.expect_ident("COMMON block name")?;
+                self.expect(&Token::Slash, "`/` after COMMON block name")?;
+                let items = self.decl_items()?;
+                Ok(Stmt::Common { block, items })
+            }
+            "IF" => {
+                self.next();
+                self.expect(&Token::LParen, "`(` after IF")?;
+                let cond = self.expr()?;
+                self.expect(&Token::RParen, "`)` after IF condition")?;
+                if self.peek_ident() == Some("THEN") {
+                    self.next();
+                    Ok(Stmt::IfThen(cond))
+                } else if matches!(self.peek(), Some(Token::Int(_))) {
+                    // Arithmetic IF: IF (e) l1, l2, l3
+                    let mut labels = [0u32; 3];
+                    for (i, slot) in labels.iter_mut().enumerate() {
+                        if i > 0 {
+                            self.expect(&Token::Comma, "`,` in arithmetic IF")?;
+                        }
+                        match self.next() {
+                            Some(Token::Int(n)) => {
+                                *slot = u32::try_from(*n)
+                                    .map_err(|_| self.err("label out of range"))?
+                            }
+                            _ => return Err(self.err("expected a label in arithmetic IF")),
+                        }
+                    }
+                    Ok(Stmt::ArithIf(cond, labels[0], labels[1], labels[2]))
+                } else {
+                    // Logical IF: one simple statement on the same line.
+                    let inner = self.statement()?;
+                    match inner {
+                        Stmt::Assign { .. }
+                        | Stmt::Call { .. }
+                        | Stmt::Goto(_)
+                        | Stmt::Return
+                        | Stmt::Stop
+                        | Stmt::Continue
+                        | Stmt::Print(_) => Ok(Stmt::LogicalIf(cond, Box::new(inner))),
+                        _ => Err(self.err("unsupported statement in logical IF")),
+                    }
+                }
+            }
+            "ELSE" => {
+                self.next();
+                if self.peek_ident() == Some("IF") {
+                    self.next();
+                    self.expect(&Token::LParen, "`(` after ELSE IF")?;
+                    let cond = self.expr()?;
+                    self.expect(&Token::RParen, "`)` after ELSE IF condition")?;
+                    if self.peek_ident() == Some("THEN") {
+                        self.next();
+                    }
+                    Ok(Stmt::ElseIf(cond))
+                } else {
+                    Ok(Stmt::Else)
+                }
+            }
+            "ELSEIF" => {
+                self.next();
+                self.expect(&Token::LParen, "`(` after ELSEIF")?;
+                let cond = self.expr()?;
+                self.expect(&Token::RParen, "`)` after ELSEIF condition")?;
+                if self.peek_ident() == Some("THEN") {
+                    self.next();
+                }
+                Ok(Stmt::ElseIf(cond))
+            }
+            "GO" => {
+                self.next();
+                if self.peek_ident() == Some("TO") {
+                    self.next();
+                } else {
+                    return Err(self.err("expected `GO TO`"));
+                }
+                self.goto_label()
+            }
+            "GOTO" => {
+                self.next();
+                self.goto_label()
+            }
+            "DO" => {
+                self.next();
+                // DO [label] var = from, to [, step]
+                let label = match self.peek() {
+                    Some(Token::Int(n)) => {
+                        let n = *n;
+                        self.next();
+                        Some(u32::try_from(n).map_err(|_| self.err("label out of range"))?)
+                    }
+                    _ => None,
+                };
+                let var = self.expect_ident("loop variable")?;
+                self.expect(&Token::Equals, "`=` in DO statement")?;
+                let from = self.expr()?;
+                self.expect(&Token::Comma, "`,` in DO bounds")?;
+                let to = self.expr()?;
+                let step = if self.eat(&Token::Comma) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                Ok(Stmt::Do {
+                    label,
+                    var,
+                    from,
+                    to,
+                    step,
+                })
+            }
+            "CALL" => {
+                self.next();
+                let name = self.expect_ident("subroutine name")?;
+                let mut args = Vec::new();
+                if self.eat(&Token::LParen) {
+                    if !self.eat(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Token::RParen) {
+                                break;
+                            }
+                            self.expect(&Token::Comma, "`,` in argument list")?;
+                        }
+                    }
+                }
+                Ok(Stmt::Call { name, args })
+            }
+            "PRINT" => {
+                self.next();
+                self.expect(&Token::Star, "`*` after PRINT")?;
+                let mut items = Vec::new();
+                while self.eat(&Token::Comma) {
+                    items.push(self.expr()?);
+                }
+                Ok(Stmt::Print(items))
+            }
+            _ => {
+                // Assignment.
+                let name = self.expect_ident("variable")?;
+                let lhs = if self.eat(&Token::LParen) {
+                    let mut idx = Vec::new();
+                    loop {
+                        idx.push(self.expr()?);
+                        if self.eat(&Token::RParen) {
+                            break;
+                        }
+                        self.expect(&Token::Comma, "`,` in subscript")?;
+                    }
+                    LValue::Elem(name, idx)
+                } else {
+                    LValue::Name(name)
+                };
+                self.expect(&Token::Equals, "`=` in assignment")?;
+                let rhs = self.expr()?;
+                Ok(Stmt::Assign { lhs, rhs })
+            }
+        }
+    }
+
+    fn goto_label(&mut self) -> Result<Stmt, FortError> {
+        match self.next() {
+            Some(Token::Int(n)) => Ok(Stmt::Goto(
+                u32::try_from(*n).map_err(|_| self.err("label out of range"))?,
+            )),
+            _ => Err(self.err("expected a label after GO TO")),
+        }
+    }
+
+    fn decl_items(&mut self) -> Result<Vec<DeclItem>, FortError> {
+        let mut items = Vec::new();
+        loop {
+            let name = self.expect_ident("declared name")?;
+            let mut dims = Vec::new();
+            if self.eat(&Token::LParen) {
+                loop {
+                    match self.next() {
+                        Some(Token::Int(n)) if *n > 0 => dims.push(*n as usize),
+                        _ => {
+                            return Err(self.err(
+                                "array dimensions must be positive integer literals",
+                            ))
+                        }
+                    }
+                    if self.eat(&Token::RParen) {
+                        break;
+                    }
+                    self.expect(&Token::Comma, "`,` in dimensions")?;
+                }
+                if dims.len() > 2 {
+                    return Err(self.err("at most 2 array dimensions are supported"));
+                }
+            }
+            items.push(DeclItem { name, dims });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    // ---- expressions (precedence climbing) ---------------------------------
+    // .OR. < .AND. < .NOT. < relational < additive < multiplicative < ** < unary
+
+    fn expr(&mut self) -> Result<Expr, FortError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, FortError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == Some(&Token::DotOp(DotOp::Or)) {
+            self.next();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, FortError> {
+        let mut lhs = self.not_expr()?;
+        while self.peek() == Some(&Token::DotOp(DotOp::And)) {
+            self.next();
+            let rhs = self.not_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, FortError> {
+        if self.peek() == Some(&Token::DotOp(DotOp::Not)) {
+            self.next();
+            let inner = self.not_expr()?;
+            Ok(Expr::Un(UnOp::Not, Box::new(inner)))
+        } else {
+            self.rel_expr()
+        }
+    }
+
+    fn rel_expr(&mut self) -> Result<Expr, FortError> {
+        let lhs = self.add_expr()?;
+        if let Some(Token::DotOp(op)) = self.peek() {
+            if let Some(bin) = BinOp::from_dotop(*op) {
+                if matches!(
+                    bin,
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                ) {
+                    self.next();
+                    let rhs = self.add_expr()?;
+                    return Ok(Expr::Bin(bin, Box::new(lhs), Box::new(rhs)));
+                }
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, FortError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            match self.peek() {
+                Some(Token::Plus) => {
+                    self.next();
+                    let rhs = self.mul_expr()?;
+                    lhs = Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs));
+                }
+                Some(Token::Minus) => {
+                    self.next();
+                    let rhs = self.mul_expr()?;
+                    lhs = Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, FortError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            match self.peek() {
+                Some(Token::Star) => {
+                    self.next();
+                    let rhs = self.unary_expr()?;
+                    lhs = Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs));
+                }
+                Some(Token::Slash) => {
+                    self.next();
+                    let rhs = self.unary_expr()?;
+                    lhs = Expr::Bin(BinOp::Div, Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, FortError> {
+        match self.peek() {
+            Some(Token::Minus) => {
+                self.next();
+                let inner = self.unary_expr()?;
+                Ok(Expr::Un(UnOp::Neg, Box::new(inner)))
+            }
+            Some(Token::Plus) => {
+                self.next();
+                self.unary_expr()
+            }
+            _ => self.pow_expr(),
+        }
+    }
+
+    fn pow_expr(&mut self) -> Result<Expr, FortError> {
+        let base = self.atom()?;
+        if self.peek() == Some(&Token::Power) {
+            self.next();
+            // Right associative; exponent may itself be unary.
+            let exp = self.unary_expr()?;
+            Ok(Expr::Bin(BinOp::Pow, Box::new(base), Box::new(exp)))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, FortError> {
+        match self.next() {
+            Some(Token::Int(n)) => Ok(Expr::Int(*n)),
+            Some(Token::Real(x)) => Ok(Expr::Real(*x)),
+            Some(Token::Logical(b)) => Ok(Expr::Logical(*b)),
+            Some(Token::Str(s)) => Ok(Expr::Str(s.clone())),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if self.eat(&Token::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Token::RParen) {
+                                break;
+                            }
+                            self.expect(&Token::Comma, "`,` in subscript or argument list")?;
+                        }
+                    }
+                    Ok(Expr::Index(name.clone(), args))
+                } else {
+                    Ok(Expr::Var(name.clone()))
+                }
+            }
+            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex_statement;
+
+    fn parse(s: &str) -> Stmt {
+        let toks = lex_statement(s, 1).unwrap();
+        parse_statement(&toks, 1).unwrap()
+    }
+
+    #[test]
+    fn assignment_and_precedence() {
+        let s = parse("X = A + B * C ** 2");
+        match s {
+            Stmt::Assign { lhs, rhs } => {
+                assert_eq!(lhs, LValue::Name("X".into()));
+                // A + (B * (C ** 2))
+                match rhs {
+                    Expr::Bin(BinOp::Add, _, r) => match *r {
+                        Expr::Bin(BinOp::Mul, _, rr) => {
+                            assert!(matches!(*rr, Expr::Bin(BinOp::Pow, _, _)))
+                        }
+                        other => panic!("expected Mul, got {other:?}"),
+                    },
+                    other => panic!("expected Add, got {other:?}"),
+                }
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_element_assignment() {
+        let s = parse("A(I, J+1) = 0");
+        assert!(matches!(s, Stmt::Assign { lhs: LValue::Elem(_, ref idx), .. } if idx.len() == 2));
+    }
+
+    #[test]
+    fn if_then_vs_logical_if() {
+        assert!(matches!(parse("IF (X .GT. 0) THEN"), Stmt::IfThen(_)));
+        assert!(matches!(
+            parse("IF (X .GT. 0) GO TO 100"),
+            Stmt::LogicalIf(_, _)
+        ));
+        assert!(matches!(parse("ELSE"), Stmt::Else));
+        assert!(matches!(parse("ELSE IF (A .EQ. B) THEN"), Stmt::ElseIf(_)));
+        assert!(matches!(parse("END IF"), Stmt::EndIf));
+    }
+
+    #[test]
+    fn relational_and_logical_operators() {
+        let s = parse("OK = (A .LE. B) .AND. .NOT. (C .EQ. D) .OR. E .GE. F");
+        // .OR. at the top.
+        match s {
+            Stmt::Assign { rhs, .. } => assert!(matches!(rhs, Expr::Bin(BinOp::Or, _, _))),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn do_statements() {
+        assert!(matches!(
+            parse("DO 100 K = 1, N"),
+            Stmt::Do { label: Some(100), ref var, step: None, .. } if var == "K"
+        ));
+        assert!(matches!(
+            parse("DO I = 10, 1, -2"),
+            Stmt::Do { label: None, step: Some(_), .. }
+        ));
+        assert!(matches!(parse("END DO"), Stmt::EndDo));
+    }
+
+    #[test]
+    fn goto_and_continue() {
+        assert_eq!(parse("GO TO 42"), Stmt::Goto(42));
+        assert_eq!(parse("GOTO 42"), Stmt::Goto(42));
+        assert_eq!(parse("CONTINUE"), Stmt::Continue);
+    }
+
+    #[test]
+    fn call_statements() {
+        let s = parse("CALL ZZTSLCK(BARWIN)");
+        match s {
+            Stmt::Call { name, args } => {
+                assert_eq!(name, "ZZTSLCK");
+                assert_eq!(args, vec![Expr::Var("BARWIN".into())]);
+            }
+            _ => unreachable!(),
+        }
+        assert!(matches!(parse("CALL NOARGS"), Stmt::Call { ref args, .. } if args.is_empty()));
+        assert!(matches!(parse("CALL EMPTY()"), Stmt::Call { ref args, .. } if args.is_empty()));
+    }
+
+    #[test]
+    fn declarations_and_common() {
+        let s = parse("INTEGER K, A(10, 20)");
+        match s {
+            Stmt::Decl { ty, items } => {
+                assert_eq!(ty, Ty::Integer);
+                assert_eq!(items[1].dims, vec![10, 20]);
+            }
+            _ => unreachable!(),
+        }
+        let s = parse("COMMON /ZZFENV/ ZZNBAR, BARWIN, BARWOT");
+        assert!(matches!(s, Stmt::Common { ref block, ref items } if block == "ZZFENV" && items.len() == 3));
+    }
+
+    #[test]
+    fn subroutine_headers() {
+        assert!(matches!(
+            parse("SUBROUTINE FMAIN"),
+            Stmt::Subroutine(ref n, ref p) if n == "FMAIN" && p.is_empty()
+        ));
+        assert!(matches!(
+            parse("SUBROUTINE WORK(A, N)"),
+            Stmt::Subroutine(_, ref p) if p.len() == 2
+        ));
+        assert!(matches!(parse("PROGRAM ZZDRIVE"), Stmt::Program(_)));
+        assert!(matches!(parse("END"), Stmt::EndUnit));
+    }
+
+    #[test]
+    fn print_statement() {
+        let s = parse("PRINT *, 'SUM =', TOTAL");
+        match s {
+            Stmt::Print(items) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[0], Expr::Str("SUM =".into()));
+            }
+            _ => unreachable!(),
+        }
+        assert!(matches!(parse("PRINT *"), Stmt::Print(ref v) if v.is_empty()));
+    }
+
+    #[test]
+    fn function_call_in_expression() {
+        let s = parse("X = MOD(K, 2) + ABS(-3)");
+        match s {
+            Stmt::Assign { rhs, .. } => match rhs {
+                Expr::Bin(BinOp::Add, l, r) => {
+                    assert!(matches!(*l, Expr::Index(ref n, _) if n == "MOD"));
+                    assert!(matches!(*r, Expr::Index(ref n, _) if n == "ABS"));
+                }
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn power_is_right_associative_with_unary_exponent() {
+        let s = parse("X = A ** -2");
+        assert!(matches!(
+            s,
+            Stmt::Assign { rhs: Expr::Bin(BinOp::Pow, _, _), .. }
+        ));
+    }
+
+    #[test]
+    fn errors_report_line() {
+        let toks = lex_statement("IF (X", 7).unwrap();
+        let err = parse_statement(&toks, 7).unwrap_err();
+        assert_eq!(err.line, Some(7));
+    }
+
+    #[test]
+    fn three_dims_rejected() {
+        let toks = lex_statement("INTEGER A(2,2,2)", 1).unwrap();
+        assert!(parse_statement(&toks, 1).is_err());
+    }
+}

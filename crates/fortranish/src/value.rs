@@ -1,0 +1,165 @@
+//! Runtime values and their coercions.
+
+use crate::ast::Ty;
+use crate::error::{FortError, FortErrorKind};
+
+/// A runtime value (one storage word).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// INTEGER
+    Int(i64),
+    /// REAL
+    Real(f64),
+    /// LOGICAL
+    Log(bool),
+}
+
+impl Value {
+    /// The zero/default value of a type.
+    pub fn zero(ty: Ty) -> Value {
+        match ty {
+            Ty::Integer => Value::Int(0),
+            Ty::Real => Value::Real(0.0),
+            Ty::Logical => Value::Log(false),
+        }
+    }
+
+    /// The value's type.
+    pub fn ty(&self) -> Ty {
+        match self {
+            Value::Int(_) => Ty::Integer,
+            Value::Real(_) => Ty::Real,
+            Value::Log(_) => Ty::Logical,
+        }
+    }
+
+    /// Coerce to integer (Fortran truncation for reals).
+    pub fn as_int(&self, line: usize) -> Result<i64, FortError> {
+        match self {
+            Value::Int(n) => Ok(*n),
+            Value::Real(x) => Ok(*x as i64),
+            Value::Log(_) => Err(FortError::at(
+                line,
+                FortErrorKind::Runtime("LOGICAL used where a number is required".into()),
+            )),
+        }
+    }
+
+    /// Coerce to real.
+    pub fn as_real(&self, line: usize) -> Result<f64, FortError> {
+        match self {
+            Value::Int(n) => Ok(*n as f64),
+            Value::Real(x) => Ok(*x),
+            Value::Log(_) => Err(FortError::at(
+                line,
+                FortErrorKind::Runtime("LOGICAL used where a number is required".into()),
+            )),
+        }
+    }
+
+    /// Coerce to logical.
+    pub fn as_log(&self, line: usize) -> Result<bool, FortError> {
+        match self {
+            Value::Log(b) => Ok(*b),
+            _ => Err(FortError::at(
+                line,
+                FortErrorKind::Runtime("numeric value used where a LOGICAL is required".into()),
+            )),
+        }
+    }
+
+    /// Convert for storing into a slot of type `ty` (assignment coercion).
+    pub fn convert_to(&self, ty: Ty, line: usize) -> Result<Value, FortError> {
+        Ok(match ty {
+            Ty::Integer => Value::Int(self.as_int(line)?),
+            Ty::Real => Value::Real(self.as_real(line)?),
+            Ty::Logical => Value::Log(self.as_log(line)?),
+        })
+    }
+
+    /// Encode into a 64-bit storage word.
+    pub fn to_bits(&self) -> u64 {
+        match self {
+            Value::Int(n) => *n as u64,
+            Value::Real(x) => x.to_bits(),
+            Value::Log(b) => *b as u64,
+        }
+    }
+
+    /// Decode from a 64-bit storage word, given the slot type.
+    pub fn from_bits(bits: u64, ty: Ty) -> Value {
+        match ty {
+            Ty::Integer => Value::Int(bits as i64),
+            Ty::Real => Value::Real(f64::from_bits(bits)),
+            Ty::Logical => Value::Log(bits != 0),
+        }
+    }
+
+    /// Format as Fortran list-directed output.
+    pub fn display(&self) -> String {
+        match self {
+            Value::Int(n) => n.to_string(),
+            Value::Real(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    format!("{x:.1}")
+                } else {
+                    format!("{x}")
+                }
+            }
+            Value::Log(true) => "T".to_string(),
+            Value::Log(false) => "F".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Real(2.9).as_int(1).unwrap(), 2);
+        assert_eq!(Value::Int(-3).as_real(1).unwrap(), -3.0);
+        assert!(Value::Log(true).as_int(1).is_err());
+        assert!(Value::Int(1).as_log(1).is_err());
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        for (v, ty) in [
+            (Value::Int(-42), Ty::Integer),
+            (Value::Real(2.5), Ty::Real),
+            (Value::Log(true), Ty::Logical),
+            (Value::Log(false), Ty::Logical),
+        ] {
+            assert_eq!(Value::from_bits(v.to_bits(), ty), v);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(7).display(), "7");
+        assert_eq!(Value::Real(2.0).display(), "2.0");
+        assert_eq!(Value::Real(2.5).display(), "2.5");
+        assert_eq!(Value::Log(true).display(), "T");
+    }
+
+    #[test]
+    fn zero_defaults() {
+        assert_eq!(Value::zero(Ty::Integer), Value::Int(0));
+        assert_eq!(Value::zero(Ty::Real), Value::Real(0.0));
+        assert_eq!(Value::zero(Ty::Logical), Value::Log(false));
+    }
+
+    #[test]
+    fn assignment_conversion() {
+        assert_eq!(
+            Value::Real(3.7).convert_to(Ty::Integer, 1).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            Value::Int(3).convert_to(Ty::Real, 1).unwrap(),
+            Value::Real(3.0)
+        );
+    }
+}

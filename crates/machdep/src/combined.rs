@@ -1,0 +1,205 @@
+//! Combined lock — the Flex/32 lock personality.
+//!
+//! §4.1.3: "combined lock: spinlock for limited time, then make operating
+//! system call (Flex)".  The acquire path spins on a test&set word for a
+//! bounded number of attempts; if the lock is still held it falls back to
+//! parking in the "operating system" (mutex + condvar).  Short critical
+//! sections therefore pay spin-lock cost, long ones syscall cost — the
+//! rationale behind the Flex design, measured in EXP-5.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::Backoff;
+use parking_lot::{Condvar, Mutex};
+
+use crate::lock::{LockKind, LockState, RawLock};
+use crate::stats::OpStats;
+
+/// Default number of spin attempts before falling back to the OS.
+pub const DEFAULT_SPIN_LIMIT: u32 = 64;
+
+/// A spin-then-park binary semaphore.
+pub struct CombinedLock {
+    locked: AtomicBool,
+    /// Guards the sleep/wake protocol only; the lock state itself lives in
+    /// `locked` so the fast path never touches the mutex.
+    wait: Mutex<()>,
+    cond: Condvar,
+    spin_limit: u32,
+    stats: Arc<OpStats>,
+}
+
+impl CombinedLock {
+    /// Create a combined lock with the default spin limit.
+    pub fn new(initial: LockState, stats: Arc<OpStats>) -> Self {
+        Self::with_spin_limit(initial, DEFAULT_SPIN_LIMIT, stats)
+    }
+
+    /// Create a combined lock that spins `spin_limit` times before parking.
+    pub fn with_spin_limit(initial: LockState, spin_limit: u32, stats: Arc<OpStats>) -> Self {
+        OpStats::count(&stats.locks_created);
+        CombinedLock {
+            locked: AtomicBool::new(initial == LockState::Locked),
+            wait: Mutex::new(()),
+            cond: Condvar::new(),
+            spin_limit,
+            stats,
+        }
+    }
+}
+
+impl RawLock for CombinedLock {
+    fn lock(&self) {
+        // Phase 1: bounded spin.
+        let backoff = Backoff::new();
+        let mut spun: u64 = 0;
+        for _ in 0..self.spin_limit {
+            if !self.locked.swap(true, Ordering::Acquire) {
+                OpStats::count(&self.stats.lock_acquires);
+                if spun > 0 {
+                    OpStats::count(&self.stats.lock_contended);
+                    OpStats::add(&self.stats.spin_retries, spun);
+                }
+                return;
+            }
+            spun += 1;
+            backoff.spin();
+        }
+        OpStats::add(&self.stats.spin_retries, spun);
+        OpStats::count(&self.stats.lock_contended);
+
+        // Phase 2: give up the processor.  Holding `wait` while testing the
+        // flag and while the releaser notifies closes the missed-wakeup
+        // window.
+        OpStats::count(&self.stats.syscalls);
+        let mut guard = self.wait.lock();
+        loop {
+            if !self.locked.swap(true, Ordering::Acquire) {
+                OpStats::count(&self.stats.lock_acquires);
+                return;
+            }
+            OpStats::count(&self.stats.parks);
+            self.cond.wait(&mut guard);
+        }
+    }
+
+    fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+        // Take the wait mutex so a waiter between its flag test and its
+        // `wait()` cannot miss this notification.
+        let _guard = self.wait.lock();
+        self.cond.notify_one();
+        OpStats::count(&self.stats.lock_releases);
+    }
+
+    fn try_lock(&self) -> bool {
+        let got = !self.locked.swap(true, Ordering::Acquire);
+        if got {
+            OpStats::count(&self.stats.lock_acquires);
+        }
+        got
+    }
+
+    fn is_locked(&self) -> bool {
+        self.locked.load(Ordering::Relaxed)
+    }
+
+    fn kind(&self) -> LockKind {
+        LockKind::Combined
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    fn mk(initial: LockState) -> (Arc<CombinedLock>, Arc<OpStats>) {
+        let stats = Arc::new(OpStats::new());
+        (
+            Arc::new(CombinedLock::new(initial, Arc::clone(&stats))),
+            stats,
+        )
+    }
+
+    #[test]
+    fn uncontended_acquire_never_syscalls() {
+        let (l, stats) = mk(LockState::Unlocked);
+        l.lock();
+        l.unlock();
+        let s = stats.snapshot();
+        assert_eq!(s.syscalls, 0, "fast path must avoid the OS");
+        assert_eq!(s.lock_acquires, 1);
+    }
+
+    #[test]
+    fn long_hold_forces_parking() {
+        let (l, stats) = mk(LockState::Locked);
+        let l2 = Arc::clone(&l);
+        let t = std::thread::spawn(move || {
+            l2.lock();
+            l2.unlock();
+        });
+        // Keep it held long enough that the waiter exhausts its spin budget.
+        std::thread::sleep(Duration::from_millis(50));
+        l.unlock();
+        t.join().unwrap();
+        let s = stats.snapshot();
+        assert!(s.syscalls >= 1, "waiter should have fallen back to the OS");
+        assert!(s.spin_retries >= 1, "waiter should have spun first");
+    }
+
+    #[test]
+    fn initially_locked_and_cross_thread_unlock() {
+        let (l, _) = mk(LockState::Locked);
+        assert!(!l.try_lock());
+        let l2 = Arc::clone(&l);
+        let t = std::thread::spawn(move || l2.unlock());
+        l.lock();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let (l, _) = mk(LockState::Unlocked);
+        let counter = Arc::new(AtomicU64::new(0));
+        let inside = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let l = Arc::clone(&l);
+                let counter = Arc::clone(&counter);
+                let inside = Arc::clone(&inside);
+                s.spawn(move || {
+                    for _ in 0..300 {
+                        l.lock();
+                        assert!(!inside.swap(true, Ordering::SeqCst));
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        inside.store(false, Ordering::SeqCst);
+                        l.unlock();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8 * 300);
+    }
+
+    #[test]
+    fn custom_spin_limit_zero_goes_straight_to_os() {
+        let stats = Arc::new(OpStats::new());
+        let l = Arc::new(CombinedLock::with_spin_limit(
+            LockState::Locked,
+            0,
+            Arc::clone(&stats),
+        ));
+        let l2 = Arc::clone(&l);
+        let t = std::thread::spawn(move || {
+            l2.lock();
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        l.unlock();
+        t.join().unwrap();
+        assert!(stats.snapshot().syscalls >= 1);
+    }
+}

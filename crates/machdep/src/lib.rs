@@ -1,0 +1,48 @@
+//! # force-machdep — the machine-dependent layer of The Force
+//!
+//! This crate is the Rust rendering of §4.1 of Jordan, Benten, Alaghband &
+//! Jakob, *The Force: A Highly Portable Parallel Programming Language*
+//! (ICPP 1989): the small set of machine-dependent primitives on which the
+//! whole language is built, together with six simulated *machine
+//! personalities* standing in for the multiprocessors that hosted the
+//! original implementation.
+//!
+//! The paper's machine-dependent macro list maps to this crate as follows:
+//!
+//! | paper macro | here |
+//! |---|---|
+//! | `force_environment` | [`env::ForceEnvironment`] |
+//! | `define_lock` / `init_lock` / `lock` / `unlock` | [`lock::RawLock`] and its four implementations |
+//! | `shared` / `shared_common` / `async` / `private` | [`sharedmem::SharingModel`] + [`sharedmem::SharedRegion`] |
+//! | process creation / driver / `Join` | [`process::ProcessModel`], [`process::spawn_force`] |
+//!
+//! Everything above this crate (force-core, force-prep, force-fortran) is
+//! machine independent and consumes only these interfaces — which is the
+//! paper's portability thesis made into a crate boundary.
+
+#![warn(missing_docs)]
+
+pub mod combined;
+pub mod cost;
+pub mod env;
+pub mod fullempty;
+pub mod linkreg;
+pub mod lock;
+pub mod lockpool;
+pub mod machine;
+pub mod process;
+pub mod sharedmem;
+pub mod spin;
+pub mod stats;
+pub mod syscall_lock;
+
+pub use cost::{CostModel, CycleAccount};
+pub use env::ForceEnvironment;
+pub use fullempty::{FullEmptyState, HepLock};
+pub use lock::{with_lock, LockHandle, LockKind, LockState, RawLock};
+pub use machine::{Machine, MachineId, MachineSpec};
+pub use process::{spawn_force, ChildPrivateInit, ProcessModel};
+pub use sharedmem::{
+    BlockRequest, SharedLayout, SharedRegion, SharingError, SharingModel, SharingModelId,
+};
+pub use stats::{OpStats, StatsSnapshot};

@@ -1,0 +1,137 @@
+//! The generic lock interface — the paper's machine-dependent lock macros.
+//!
+//! §4.1 lists `define_lock`, `init_lock`, `lock` and `unlock` as the only
+//! lock operations the machine-independent layer may use.  [`RawLock`] is
+//! the Rust rendering of that contract.
+//!
+//! Two properties matter and are deliberately *not* what `std::sync::Mutex`
+//! provides:
+//!
+//! 1. **Cross-process unlock.**  The Produce/Consume protocol (§4.2) locks
+//!    a variable's `E` lock in one process and unlocks it in *another*.  A
+//!    `RawLock` is therefore a binary semaphore, not an owned mutex.
+//! 2. **Initially-locked creation.**  An empty asynchronous variable starts
+//!    with `E` locked and `F` unlocked, so locks must be creatable in
+//!    either state ([`LockState`]).
+
+use std::sync::Arc;
+
+/// Initial state of a freshly created lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockState {
+    /// The lock starts available; the first `lock()` succeeds immediately.
+    Unlocked,
+    /// The lock starts held; a `lock()` blocks until some process calls
+    /// `unlock()`.
+    Locked,
+}
+
+/// A generic lock in the sense of the Force's machine-dependent layer.
+///
+/// Implementations are binary semaphores: `unlock` may be called by a
+/// process other than the one that called `lock`, and `unlock` of an
+/// already-unlocked lock is a protocol error that implementations are
+/// allowed to tolerate silently (the Force macro layer never does it).
+pub trait RawLock: Send + Sync {
+    /// Acquire the lock, blocking (by whatever mechanism the machine
+    /// provides — busy wait, OS call, or a combination) until available.
+    fn lock(&self);
+
+    /// Release the lock, waking one waiter if the machine parks waiters.
+    fn unlock(&self);
+
+    /// Attempt to acquire the lock without blocking.
+    fn try_lock(&self) -> bool;
+
+    /// Whether the lock is currently held.  Inherently racy; useful only
+    /// for diagnostics and the async-variable state test.
+    fn is_locked(&self) -> bool;
+
+    /// A short machine-flavoured name ("test&set", "system call", ...).
+    fn kind(&self) -> LockKind;
+}
+
+/// The lock taxonomy of §4.1.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockKind {
+    /// Software lock: spinning with test&set on a shared variable
+    /// (Sequent, Encore).
+    Spin,
+    /// System-call lock: the operating system manages a queue of blocked
+    /// processes (Cray).
+    Syscall,
+    /// Combined lock: spin for a limited time, then make an OS call
+    /// (Flex/32).
+    Combined,
+    /// Hardware full/empty access state bit used as a lock (HEP).
+    FullEmpty,
+}
+
+impl LockKind {
+    /// Human-readable name matching the paper's wording.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockKind::Spin => "test&set spin",
+            LockKind::Syscall => "system call",
+            LockKind::Combined => "combined spin/syscall",
+            LockKind::FullEmpty => "hardware full/empty",
+        }
+    }
+}
+
+/// Shared handle to a machine lock.
+///
+/// Cloning the handle aliases the same underlying lock, exactly as two
+/// occurrences of the same lock variable name alias one lock in the
+/// macro implementation.
+pub type LockHandle = Arc<dyn RawLock>;
+
+/// Run `f` with the lock held (convenience used by higher layers).
+pub fn with_lock<R>(lock: &dyn RawLock, f: impl FnOnce() -> R) -> R {
+    lock.lock();
+    // A panic inside `f` must still release the lock: the Force model has
+    // no lock poisoning, and a leaked lock would deadlock the force.
+    struct Release<'a>(&'a dyn RawLock);
+    impl Drop for Release<'_> {
+        fn drop(&mut self) {
+            self.0.unlock();
+        }
+    }
+    let _release = Release(lock);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spin::SpinLock;
+    use crate::stats::OpStats;
+
+    #[test]
+    fn lock_kind_names() {
+        assert_eq!(LockKind::Spin.name(), "test&set spin");
+        assert_eq!(LockKind::Syscall.name(), "system call");
+        assert_eq!(LockKind::Combined.name(), "combined spin/syscall");
+        assert_eq!(LockKind::FullEmpty.name(), "hardware full/empty");
+    }
+
+    #[test]
+    fn with_lock_releases_on_success() {
+        let stats = Arc::new(OpStats::new());
+        let l = SpinLock::new(LockState::Unlocked, stats);
+        let out = with_lock(&l, || 42);
+        assert_eq!(out, 42);
+        assert!(!l.is_locked());
+    }
+
+    #[test]
+    fn with_lock_releases_on_panic() {
+        let stats = Arc::new(OpStats::new());
+        let l = SpinLock::new(LockState::Unlocked, stats);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_lock(&l, || panic!("boom"));
+        }));
+        assert!(res.is_err());
+        assert!(!l.is_locked(), "lock must be released after a panic");
+    }
+}

@@ -1,0 +1,149 @@
+//! Scarce-lock management — §4.1.3: "In some machines, locks may be scarce
+//! resources.  On these machines, some parallel programs may not execute as
+//! efficiently as others if a large number of asynchronous variables are
+//! needed."
+//!
+//! The Cray-2 personality owns a fixed pool of OS locks.  While the pool
+//! has free slots, every logical lock gets a dedicated slot.  Once the pool
+//! is exhausted, new logical locks *alias* existing slots round-robin: the
+//! program still works (the lock protocol is untouched) but unrelated
+//! logical locks now contend on the same physical lock — the inefficiency
+//! the paper warns about, measured in EXP-11.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::lock::{LockHandle, LockState};
+use crate::stats::OpStats;
+
+/// Factory that builds one physical lock in a given initial state.
+pub type LockFactory = Arc<dyn Fn(LockState) -> LockHandle + Send + Sync>;
+
+/// A fixed-capacity pool of physical locks onto which logical locks map.
+pub struct LockPool {
+    inner: Mutex<PoolInner>,
+    capacity: usize,
+    factory: LockFactory,
+    stats: Arc<OpStats>,
+}
+
+struct PoolInner {
+    slots: Vec<LockHandle>,
+    cursor: usize,
+}
+
+impl LockPool {
+    /// Create an empty pool of `capacity` physical lock slots.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a machine with no locks at all
+    /// cannot host the Force.
+    pub fn new(capacity: usize, factory: LockFactory, stats: Arc<OpStats>) -> Self {
+        assert!(capacity > 0, "lock pool capacity must be positive");
+        LockPool {
+            inner: Mutex::new(PoolInner {
+                slots: Vec::with_capacity(capacity),
+                cursor: 0,
+            }),
+            capacity,
+            factory,
+            stats,
+        }
+    }
+
+    /// Allocate a logical lock.
+    ///
+    /// Returns a dedicated physical lock while slots remain; afterwards
+    /// returns an aliased handle to an existing slot (and counts the alias).
+    /// An aliased allocation ignores `initial`: the physical lock already
+    /// has a state that other logical locks depend on.
+    pub fn allocate(&self, initial: LockState) -> LockHandle {
+        let mut inner = self.inner.lock();
+        if inner.slots.len() < self.capacity {
+            let lock = (self.factory)(initial);
+            inner.slots.push(Arc::clone(&lock));
+            lock
+        } else {
+            OpStats::count(&self.stats.locks_aliased);
+            let idx = inner.cursor % self.capacity;
+            inner.cursor = inner.cursor.wrapping_add(1);
+            Arc::clone(&inner.slots[idx])
+        }
+    }
+
+    /// Number of physical slots currently in use.
+    pub fn allocated(&self) -> usize {
+        self.inner.lock().slots.len()
+    }
+
+    /// Pool capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syscall_lock::SyscallLock;
+
+    fn pool(capacity: usize) -> (LockPool, Arc<OpStats>) {
+        let stats = Arc::new(OpStats::new());
+        let st = Arc::clone(&stats);
+        let factory: LockFactory =
+            Arc::new(move |init| Arc::new(SyscallLock::new(init, Arc::clone(&st))) as LockHandle);
+        (LockPool::new(capacity, factory, Arc::clone(&stats)), stats)
+    }
+
+    #[test]
+    fn dedicated_until_capacity() {
+        let (p, stats) = pool(3);
+        let a = p.allocate(LockState::Unlocked);
+        let b = p.allocate(LockState::Unlocked);
+        let c = p.allocate(LockState::Unlocked);
+        assert_eq!(p.allocated(), 3);
+        assert_eq!(stats.snapshot().locks_aliased, 0);
+        // Distinct physical locks: locking one leaves the others free.
+        a.lock();
+        assert!(b.try_lock());
+        assert!(c.try_lock());
+        a.unlock();
+        b.unlock();
+        c.unlock();
+    }
+
+    #[test]
+    fn aliases_after_capacity() {
+        let (p, stats) = pool(2);
+        let a = p.allocate(LockState::Unlocked);
+        let _b = p.allocate(LockState::Unlocked);
+        let c = p.allocate(LockState::Unlocked); // aliases slot 0 (= a)
+        assert_eq!(stats.snapshot().locks_aliased, 1);
+        a.lock();
+        // c shares a's physical lock, so it is observed locked.
+        assert!(!c.try_lock());
+        a.unlock();
+    }
+
+    #[test]
+    fn aliasing_is_round_robin() {
+        let (p, _) = pool(2);
+        let a = p.allocate(LockState::Unlocked);
+        let b = p.allocate(LockState::Unlocked);
+        let c = p.allocate(LockState::Unlocked); // slot 0
+        let d = p.allocate(LockState::Unlocked); // slot 1
+        a.lock();
+        assert!(!c.try_lock(), "c aliases a");
+        b.lock();
+        assert!(!d.try_lock(), "d aliases b");
+        a.unlock();
+        b.unlock();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = pool(0);
+    }
+}

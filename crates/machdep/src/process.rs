@@ -1,0 +1,170 @@
+//! Process creation and termination models — §4.1.1.
+//!
+//! The paper encountered three models:
+//!
+//! * the **standard UNIX fork/join** model (Encore, Sequent), where "a
+//!   complete copy of the data and stack is produced for each forked
+//!   process" — high creation cost, child starts with a copy of the
+//!   parent's private data ([`ProcessModel::ForkJoinCopy`]);
+//! * the **Alliant variation** "where all data segments are shared and
+//!   only the stack is considered private" — the child's private state is
+//!   a fresh stack ([`ProcessModel::SharedDataFork`]);
+//! * the **HEP** model, where "one can create processes with a subroutine
+//!   call" and a return terminates the process independently of the
+//!   caller — very cheap creation, fresh locals
+//!   ([`ProcessModel::SpawnByCall`]).
+//!
+//! All are realized on host threads; the observable differences are (a)
+//! what a child sees of the parent's private data at spawn
+//! ([`ChildPrivateInit`]) and (b) the simulated creation cost charged by
+//! the cost model.
+
+use std::sync::Arc;
+
+use crate::stats::OpStats;
+
+/// How a child process's private storage is initialized at spawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChildPrivateInit {
+    /// The child starts with a copy of the parent's private data at the
+    /// moment of the fork (UNIX fork/join model).
+    CopyOfParent,
+    /// The child starts with fresh (zero) private storage: only the stack
+    /// is private (Alliant) or the process begins in a new subroutine
+    /// activation (HEP).
+    Zeroed,
+}
+
+/// One of the paper's process-creation models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcessModel {
+    /// UNIX fork/join with full copy of data and stack (Encore, Sequent).
+    ForkJoinCopy,
+    /// Fork sharing all data segments; only the stack is private (Alliant).
+    SharedDataFork,
+    /// Process creation by subroutine call; return terminates the process
+    /// (HEP).
+    SpawnByCall,
+}
+
+impl ProcessModel {
+    /// The paper's description of the model.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProcessModel::ForkJoinCopy => "UNIX fork/join (data+stack copied)",
+            ProcessModel::SharedDataFork => "fork with shared data, private stack",
+            ProcessModel::SpawnByCall => "process creation by subroutine call",
+        }
+    }
+
+    /// What the child sees of the parent's private data.
+    pub fn child_private_init(self) -> ChildPrivateInit {
+        match self {
+            ProcessModel::ForkJoinCopy => ChildPrivateInit::CopyOfParent,
+            ProcessModel::SharedDataFork | ProcessModel::SpawnByCall => ChildPrivateInit::Zeroed,
+        }
+    }
+
+    /// Whether creation is cheap enough for fine-grained parallelism
+    /// (§4.1.1: the fork/join model "prevents fine grained parallelism").
+    pub fn fine_grained(self) -> bool {
+        matches!(self, ProcessModel::SpawnByCall)
+    }
+}
+
+/// Spawn a force of `nproc` processes and join them all — the Force
+/// driver's create/`Join` cycle.
+///
+/// Every process runs `body(pid)`; the call returns each process's result
+/// in pid order.  A panicking process propagates its panic after all
+/// processes have been joined, so the force is never abandoned half-alive.
+pub fn spawn_force<R, F>(nproc: usize, stats: &Arc<OpStats>, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert!(nproc > 0, "a force needs at least one process");
+    OpStats::add(&stats.processes_created, nproc as u64);
+    let body = &body;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..nproc)
+            .map(|pid| {
+                scope
+                    .spawn(move || body(pid))
+            })
+            .collect();
+        let mut results = Vec::with_capacity(nproc);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(p) => panic = Some(p),
+            }
+        }
+        if let Some(p) = panic {
+            std::panic::resume_unwind(p);
+        }
+        results
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn model_metadata() {
+        assert_eq!(
+            ProcessModel::ForkJoinCopy.child_private_init(),
+            ChildPrivateInit::CopyOfParent
+        );
+        assert_eq!(
+            ProcessModel::SharedDataFork.child_private_init(),
+            ChildPrivateInit::Zeroed
+        );
+        assert_eq!(
+            ProcessModel::SpawnByCall.child_private_init(),
+            ChildPrivateInit::Zeroed
+        );
+        assert!(ProcessModel::SpawnByCall.fine_grained());
+        assert!(!ProcessModel::ForkJoinCopy.fine_grained());
+    }
+
+    #[test]
+    fn spawn_force_runs_every_pid_once() {
+        let stats = Arc::new(OpStats::new());
+        let hits = AtomicUsize::new(0);
+        let results = spawn_force(6, &stats, |pid| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            pid * 2
+        });
+        assert_eq!(results, vec![0, 2, 4, 6, 8, 10]);
+        assert_eq!(hits.load(Ordering::Relaxed), 6);
+        assert_eq!(stats.snapshot().processes_created, 6);
+    }
+
+    #[test]
+    fn spawn_force_propagates_panics_after_join() {
+        let stats = Arc::new(OpStats::new());
+        let survivors = AtomicUsize::new(0);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            spawn_force(4, &stats, |pid| {
+                if pid == 2 {
+                    panic!("process 2 died");
+                }
+                survivors.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(res.is_err());
+        // The other three processes completed before the panic resurfaced.
+        assert_eq!(survivors.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_rejected() {
+        let stats = Arc::new(OpStats::new());
+        let _ = spawn_force(0, &stats, |_| ());
+    }
+}

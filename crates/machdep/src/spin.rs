@@ -1,0 +1,163 @@
+//! Software test&set spin lock — the Sequent Balance / Encore Multimax
+//! lock personality ("spinning with test&set on shared variables", §4.1.3).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::Backoff;
+
+use crate::lock::{LockKind, LockState, RawLock};
+use crate::stats::OpStats;
+
+/// A test-and-test-and-set spin lock with exponential backoff.
+///
+/// The acquire path first *tests* (plain load) and only then *sets*
+/// (`swap`), the classic optimization that keeps the cache line shared
+/// while the lock is held.  Waiters never park: on the Sequent and the
+/// Encore the manufacturer primitive was a pure busy wait.
+pub struct SpinLock {
+    locked: AtomicBool,
+    stats: Arc<OpStats>,
+}
+
+impl SpinLock {
+    /// Create a spin lock in the given initial state.
+    pub fn new(initial: LockState, stats: Arc<OpStats>) -> Self {
+        OpStats::count(&stats.locks_created);
+        SpinLock {
+            locked: AtomicBool::new(initial == LockState::Locked),
+            stats,
+        }
+    }
+}
+
+impl RawLock for SpinLock {
+    fn lock(&self) {
+        let mut retries: u64 = 0;
+        let backoff = Backoff::new();
+        // test&set with a preceding test; Acquire pairs with the Release
+        // in `unlock` so that everything the unlocker did is visible.
+        while self.locked.swap(true, Ordering::Acquire) {
+            while self.locked.load(Ordering::Relaxed) {
+                retries += 1;
+                backoff.snooze();
+            }
+        }
+        OpStats::count(&self.stats.lock_acquires);
+        if retries > 0 {
+            OpStats::count(&self.stats.lock_contended);
+            OpStats::add(&self.stats.spin_retries, retries);
+        }
+    }
+
+    fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+        OpStats::count(&self.stats.lock_releases);
+    }
+
+    fn try_lock(&self) -> bool {
+        let got = !self.locked.swap(true, Ordering::Acquire);
+        if got {
+            OpStats::count(&self.stats.lock_acquires);
+        }
+        got
+    }
+
+    fn is_locked(&self) -> bool {
+        self.locked.load(Ordering::Relaxed)
+    }
+
+    fn kind(&self) -> LockKind {
+        LockKind::Spin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn mk(initial: LockState) -> (SpinLock, Arc<OpStats>) {
+        let stats = Arc::new(OpStats::new());
+        (SpinLock::new(initial, Arc::clone(&stats)), stats)
+    }
+
+    #[test]
+    fn starts_unlocked_and_locks() {
+        let (l, _) = mk(LockState::Unlocked);
+        assert!(!l.is_locked());
+        l.lock();
+        assert!(l.is_locked());
+        l.unlock();
+        assert!(!l.is_locked());
+    }
+
+    #[test]
+    fn starts_locked_when_requested() {
+        let (l, _) = mk(LockState::Locked);
+        assert!(l.is_locked());
+        assert!(!l.try_lock());
+        l.unlock();
+        assert!(l.try_lock());
+    }
+
+    #[test]
+    fn try_lock_fails_when_held() {
+        let (l, _) = mk(LockState::Unlocked);
+        assert!(l.try_lock());
+        assert!(!l.try_lock());
+        l.unlock();
+        assert!(l.try_lock());
+    }
+
+    #[test]
+    fn cross_thread_unlock_is_allowed() {
+        let stats = Arc::new(OpStats::new());
+        let l = Arc::new(SpinLock::new(LockState::Locked, stats));
+        let l2 = Arc::clone(&l);
+        let t = std::thread::spawn(move || {
+            l2.unlock(); // releasing a lock acquired "elsewhere"
+        });
+        l.lock(); // succeeds once the other thread unlocks
+        t.join().unwrap();
+        assert!(l.is_locked());
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let stats = Arc::new(OpStats::new());
+        let l = Arc::new(SpinLock::new(LockState::Unlocked, stats));
+        let counter = Arc::new(AtomicU64::new(0));
+        let inside = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let l = Arc::clone(&l);
+                let counter = Arc::clone(&counter);
+                let inside = Arc::clone(&inside);
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        l.lock();
+                        assert!(!inside.swap(true, Ordering::SeqCst));
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        inside.store(false, Ordering::SeqCst);
+                        l.unlock();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8 * 500);
+    }
+
+    #[test]
+    fn stats_count_acquires_and_releases() {
+        let (l, stats) = mk(LockState::Unlocked);
+        l.lock();
+        l.unlock();
+        l.lock();
+        l.unlock();
+        let s = stats.snapshot();
+        assert_eq!(s.lock_acquires, 2);
+        assert_eq!(s.lock_releases, 2);
+        assert_eq!(s.locks_created, 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Operation accounting for a simulated machine.
+//!
+//! The paper's portability argument is that different machines force the
+//! Force onto different low-level primitives (§4.1).  To make that visible
+//! without the original hardware, every machine personality counts the
+//! primitive operations it performs.  The counters use relaxed atomics so
+//! that accounting never perturbs the synchronization being measured.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-machine counters of low-level primitive operations.
+///
+/// All increments are `Relaxed`: the counts are diagnostics, not
+/// synchronization, and exact cross-thread ordering of increments is
+/// irrelevant to their totals.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    /// Successful lock acquisitions (all lock kinds).
+    pub lock_acquires: AtomicU64,
+    /// Lock acquisitions that did not succeed on the first attempt.
+    pub lock_contended: AtomicU64,
+    /// Lock releases.
+    pub lock_releases: AtomicU64,
+    /// Simulated operating-system calls (Cray-style system-call locks,
+    /// and the parked phase of Flex/32 combined locks).
+    pub syscalls: AtomicU64,
+    /// Times a process parked (blocked in the OS) waiting for a lock.
+    pub parks: AtomicU64,
+    /// Busy-wait retry iterations across all spinning locks.
+    pub spin_retries: AtomicU64,
+    /// Hardware full/empty produce operations (HEP personality).
+    pub fe_produces: AtomicU64,
+    /// Hardware full/empty consume operations (HEP personality).
+    pub fe_consumes: AtomicU64,
+    /// Barrier episodes completed.
+    pub barrier_episodes: AtomicU64,
+    /// Logical locks created.
+    pub locks_created: AtomicU64,
+    /// Logical locks that aliased an already-used pool slot (scarce-lock
+    /// machines only).
+    pub locks_aliased: AtomicU64,
+    /// Shared-memory words allocated.
+    pub shared_words: AtomicU64,
+    /// Padding words inserted by the sharing model to keep private data
+    /// off shared pages (Encore) or to align blocks to pages (Alliant).
+    pub padding_words: AtomicU64,
+    /// Processes created.
+    pub processes_created: AtomicU64,
+}
+
+impl OpStats {
+    /// A fresh, all-zero counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment one counter by one (relaxed).
+    #[inline]
+    pub fn count(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment one counter by `n` (relaxed).
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters into a plain struct for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            lock_acquires: g(&self.lock_acquires),
+            lock_contended: g(&self.lock_contended),
+            lock_releases: g(&self.lock_releases),
+            syscalls: g(&self.syscalls),
+            parks: g(&self.parks),
+            spin_retries: g(&self.spin_retries),
+            fe_produces: g(&self.fe_produces),
+            fe_consumes: g(&self.fe_consumes),
+            barrier_episodes: g(&self.barrier_episodes),
+            locks_created: g(&self.locks_created),
+            locks_aliased: g(&self.locks_aliased),
+            shared_words: g(&self.shared_words),
+            padding_words: g(&self.padding_words),
+            processes_created: g(&self.processes_created),
+        }
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        let z = |c: &AtomicU64| c.store(0, Ordering::Relaxed);
+        z(&self.lock_acquires);
+        z(&self.lock_contended);
+        z(&self.lock_releases);
+        z(&self.syscalls);
+        z(&self.parks);
+        z(&self.spin_retries);
+        z(&self.fe_produces);
+        z(&self.fe_consumes);
+        z(&self.barrier_episodes);
+        z(&self.locks_created);
+        z(&self.locks_aliased);
+        z(&self.shared_words);
+        z(&self.padding_words);
+        z(&self.processes_created);
+    }
+}
+
+/// A point-in-time copy of [`OpStats`]; fields mirror the counters there.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub lock_acquires: u64,
+    pub lock_contended: u64,
+    pub lock_releases: u64,
+    pub syscalls: u64,
+    pub parks: u64,
+    pub spin_retries: u64,
+    pub fe_produces: u64,
+    pub fe_consumes: u64,
+    pub barrier_episodes: u64,
+    pub locks_created: u64,
+    pub locks_aliased: u64,
+    pub shared_words: u64,
+    pub padding_words: u64,
+    pub processes_created: u64,
+}
+
+impl StatsSnapshot {
+    /// Difference of two snapshots (`self - earlier`), saturating at zero.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            lock_acquires: self.lock_acquires.saturating_sub(earlier.lock_acquires),
+            lock_contended: self.lock_contended.saturating_sub(earlier.lock_contended),
+            lock_releases: self.lock_releases.saturating_sub(earlier.lock_releases),
+            syscalls: self.syscalls.saturating_sub(earlier.syscalls),
+            parks: self.parks.saturating_sub(earlier.parks),
+            spin_retries: self.spin_retries.saturating_sub(earlier.spin_retries),
+            fe_produces: self.fe_produces.saturating_sub(earlier.fe_produces),
+            fe_consumes: self.fe_consumes.saturating_sub(earlier.fe_consumes),
+            barrier_episodes: self.barrier_episodes.saturating_sub(earlier.barrier_episodes),
+            locks_created: self.locks_created.saturating_sub(earlier.locks_created),
+            locks_aliased: self.locks_aliased.saturating_sub(earlier.locks_aliased),
+            shared_words: self.shared_words.saturating_sub(earlier.shared_words),
+            padding_words: self.padding_words.saturating_sub(earlier.padding_words),
+            processes_created: self.processes_created.saturating_sub(earlier.processes_created),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero() {
+        let s = OpStats::new().snapshot();
+        assert_eq!(s, StatsSnapshot::default());
+    }
+
+    #[test]
+    fn count_and_snapshot() {
+        let st = OpStats::new();
+        OpStats::count(&st.lock_acquires);
+        OpStats::count(&st.lock_acquires);
+        OpStats::add(&st.spin_retries, 5);
+        let s = st.snapshot();
+        assert_eq!(s.lock_acquires, 2);
+        assert_eq!(s.spin_retries, 5);
+        assert_eq!(s.lock_releases, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let st = OpStats::new();
+        OpStats::count(&st.syscalls);
+        OpStats::count(&st.parks);
+        st.reset();
+        assert_eq!(st.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn since_subtracts_saturating() {
+        let st = OpStats::new();
+        OpStats::add(&st.lock_acquires, 10);
+        let a = st.snapshot();
+        OpStats::add(&st.lock_acquires, 7);
+        let b = st.snapshot();
+        assert_eq!(b.since(&a).lock_acquires, 7);
+        // Saturates instead of underflowing.
+        assert_eq!(a.since(&b).lock_acquires, 0);
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        let st = std::sync::Arc::new(OpStats::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let st = std::sync::Arc::clone(&st);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        OpStats::count(&st.lock_acquires);
+                    }
+                });
+            }
+        });
+        assert_eq!(st.snapshot().lock_acquires, 8000);
+    }
+}

@@ -1,0 +1,157 @@
+//! System-call lock — the Cray-2 lock personality.
+//!
+//! §4.1.3: "system call locks: operating system handles a list of locked
+//! processes in cooperation with the scheduler (Cray)".  Every operation
+//! goes through the "operating system" (here a `parking_lot` mutex +
+//! condvar, i.e. a futex on Linux) and blocked processes are parked, not
+//! spinning.  Each acquire and release is accounted as a system call.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::lock::{LockKind, LockState, RawLock};
+use crate::stats::OpStats;
+
+/// An OS-managed binary semaphore: waiters are descheduled.
+pub struct SyscallLock {
+    state: Mutex<bool>, // true = locked
+    cond: Condvar,
+    stats: Arc<OpStats>,
+}
+
+impl SyscallLock {
+    /// Create a system-call lock in the given initial state.
+    pub fn new(initial: LockState, stats: Arc<OpStats>) -> Self {
+        OpStats::count(&stats.locks_created);
+        SyscallLock {
+            state: Mutex::new(initial == LockState::Locked),
+            cond: Condvar::new(),
+            stats,
+        }
+    }
+}
+
+impl RawLock for SyscallLock {
+    fn lock(&self) {
+        OpStats::count(&self.stats.syscalls);
+        let mut locked = self.state.lock();
+        let mut waited = false;
+        while *locked {
+            waited = true;
+            OpStats::count(&self.stats.parks);
+            self.cond.wait(&mut locked);
+        }
+        *locked = true;
+        OpStats::count(&self.stats.lock_acquires);
+        if waited {
+            OpStats::count(&self.stats.lock_contended);
+        }
+    }
+
+    fn unlock(&self) {
+        OpStats::count(&self.stats.syscalls);
+        {
+            let mut locked = self.state.lock();
+            *locked = false;
+        }
+        self.cond.notify_one();
+        OpStats::count(&self.stats.lock_releases);
+    }
+
+    fn try_lock(&self) -> bool {
+        OpStats::count(&self.stats.syscalls);
+        let mut locked = self.state.lock();
+        if *locked {
+            false
+        } else {
+            *locked = true;
+            OpStats::count(&self.stats.lock_acquires);
+            true
+        }
+    }
+
+    fn is_locked(&self) -> bool {
+        *self.state.lock()
+    }
+
+    fn kind(&self) -> LockKind {
+        LockKind::Syscall
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    fn mk(initial: LockState) -> (Arc<SyscallLock>, Arc<OpStats>) {
+        let stats = Arc::new(OpStats::new());
+        (
+            Arc::new(SyscallLock::new(initial, Arc::clone(&stats))),
+            stats,
+        )
+    }
+
+    #[test]
+    fn basic_lock_unlock() {
+        let (l, _) = mk(LockState::Unlocked);
+        l.lock();
+        assert!(l.is_locked());
+        assert!(!l.try_lock());
+        l.unlock();
+        assert!(!l.is_locked());
+    }
+
+    #[test]
+    fn initially_locked_blocks_until_released() {
+        let (l, _) = mk(LockState::Locked);
+        let l2 = Arc::clone(&l);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            l2.unlock();
+        });
+        l.lock(); // must block ~20ms then acquire
+        t.join().unwrap();
+        assert!(l.is_locked());
+    }
+
+    #[test]
+    fn waiters_park_instead_of_spin() {
+        let (l, stats) = mk(LockState::Locked);
+        let l2 = Arc::clone(&l);
+        let t = std::thread::spawn(move || {
+            l2.lock();
+            l2.unlock();
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        l.unlock();
+        t.join().unwrap();
+        let s = stats.snapshot();
+        assert!(s.parks >= 1, "waiter should have parked, stats: {s:?}");
+        assert_eq!(s.spin_retries, 0, "a syscall lock never spins");
+        assert!(s.syscalls >= 3, "every op is a syscall");
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let (l, _) = mk(LockState::Unlocked);
+        let counter = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let l = Arc::clone(&l);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        l.lock();
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        l.unlock();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8 * 200);
+    }
+}

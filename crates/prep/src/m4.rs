@@ -1,0 +1,802 @@
+//! A from-scratch m4-subset macro processor.
+//!
+//! §4.3: "The stream editor sed translates the Force syntax into
+//! parameterized function macros.  Then the macro processor m4 replaces
+//! the function macros with Fortran code and the language extensions
+//! supporting parallel programming."
+//!
+//! This engine implements the m4 semantics the Force macro set needs:
+//!
+//! * `define(name, body)` / `undefine` / `defn` / `pushdef` / `popdef`;
+//! * argument substitution `$0`–`$9`, `$#`, `$*`;
+//! * quoting with `` ` `` and `'` (one quote level stripped per scan);
+//! * conditionals `ifdef` and multi-branch `ifelse`;
+//! * arithmetic `incr`, `decr`, `eval` (integer `+ - * / % ( )`);
+//! * `dnl` (discard to end of line);
+//! * the Force *utility macros* of §4.2 — "returning the first element of
+//!   a list, storing and retrieving definitions, concatenating and
+//!   truncating arguments, and deletion of dimensions for common
+//!   declarations": `zzfirst`, `zzrest`, `zzconcat`, `zzstripdims`,
+//!   plus stateful recording builtins (`zzrecord`, `zzgensym`) standing in
+//!   for m4's divert/define bookkeeping tricks.
+//!
+//! Macro results are recursively rescanned (with a depth limit that turns
+//! runaway recursion into an error instead of a hang).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Maximum rescan depth before reporting runaway recursion.
+const MAX_DEPTH: usize = 200;
+
+/// Errors from macro expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum M4Error {
+    /// Quote or parenthesis never closed.
+    Unterminated(&'static str),
+    /// Macro recursion exceeded [`MAX_DEPTH`].
+    RecursionLimit(String),
+    /// A builtin was called with unusable arguments.
+    BadArguments { builtin: &'static str, detail: String },
+}
+
+impl fmt::Display for M4Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            M4Error::Unterminated(what) => write!(f, "unterminated {what}"),
+            M4Error::RecursionLimit(name) => {
+                write!(f, "macro recursion limit exceeded while expanding `{name}`")
+            }
+            M4Error::BadArguments { builtin, detail } => {
+                write!(f, "bad arguments to `{builtin}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for M4Error {}
+
+/// A macro definition: replacement text or a built-in function.
+#[derive(Clone)]
+enum Def {
+    Text(String),
+    Builtin(&'static str),
+}
+
+/// The macro processor state.
+pub struct M4 {
+    /// name -> definition stack (top = active; pushdef/popdef).
+    defs: HashMap<String, Vec<Def>>,
+    /// Recording lists (`zzrecord`): ordered, deduplicated.
+    lists: HashMap<String, Vec<String>>,
+    gensym: u64,
+}
+
+impl Default for M4 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const BUILTINS: &[&str] = &[
+    "define", "undefine", "defn", "pushdef", "popdef", "ifdef", "ifelse", "incr", "decr", "eval",
+    "dnl", "len", "zzfirst", "zzrest", "zzconcat", "zzstripdims", "zzrecord", "zzgensym",
+    "zzdeclrec", "zzname", "zzsubs",
+];
+
+impl M4 {
+    /// A fresh engine with the builtins registered.
+    pub fn new() -> Self {
+        let mut defs = HashMap::new();
+        for &b in BUILTINS {
+            defs.insert(b.to_string(), vec![Def::Builtin(b)]);
+        }
+        M4 {
+            defs,
+            lists: HashMap::new(),
+            gensym: 0,
+        }
+    }
+
+    /// Define (or redefine) a text macro programmatically.
+    pub fn define(&mut self, name: &str, body: &str) {
+        self.defs
+            .insert(name.to_string(), vec![Def::Text(body.to_string())]);
+    }
+
+    /// Whether `name` is currently defined.
+    pub fn is_defined(&self, name: &str) -> bool {
+        self.defs.get(name).is_some_and(|s| !s.is_empty())
+    }
+
+    /// The items recorded under `list` by `zzrecord`, in first-recorded
+    /// order.
+    pub fn recorded(&self, list: &str) -> &[String] {
+        self.lists.get(list).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Expand `input` fully.
+    pub fn expand(&mut self, input: &str) -> Result<String, M4Error> {
+        self.expand_depth(input, 0)
+    }
+
+    fn expand_depth(&mut self, input: &str, depth: usize) -> Result<String, M4Error> {
+        if depth > MAX_DEPTH {
+            return Err(M4Error::RecursionLimit(
+                input.chars().take(32).collect::<String>(),
+            ));
+        }
+        let bytes: Vec<char> = input.chars().collect();
+        let mut out = String::with_capacity(input.len());
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let c = bytes[i];
+            if c == '`' {
+                // Quoted text: copy verbatim, stripping one quote level.
+                let (inner, next) = scan_quote(&bytes, i)?;
+                out.push_str(&inner);
+                i = next;
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let name: String = bytes[start..i].iter().collect();
+                if self.is_defined(&name) {
+                    // Collect arguments if a '(' immediately follows.
+                    let args = if i < bytes.len() && bytes[i] == '(' {
+                        let (raw_args, next) = scan_args(&bytes, i)?;
+                        i = next;
+                        let mut expanded = Vec::with_capacity(raw_args.len());
+                        for a in raw_args {
+                            expanded.push(self.expand_depth(a.trim_start(), depth + 1)?);
+                        }
+                        expanded
+                    } else {
+                        Vec::new()
+                    };
+                    let replaced = self.apply(&name, &args, depth)?;
+                    if let Some(text) = replaced {
+                        let rescanned = self.expand_depth(&text, depth + 1)?;
+                        out.push_str(&rescanned);
+                    }
+                    // `dnl` handling: swallow to end of line.
+                    if name == "dnl" {
+                        while i < bytes.len() && bytes[i] != '\n' {
+                            i += 1;
+                        }
+                        if i < bytes.len() {
+                            i += 1; // the newline itself
+                        }
+                    }
+                } else {
+                    out.push_str(&name);
+                }
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Apply a macro; `None` means "no output" (already handled).
+    fn apply(&mut self, name: &str, args: &[String], _depth: usize) -> Result<Option<String>, M4Error> {
+        let def = self
+            .defs
+            .get(name)
+            .and_then(|s| s.last())
+            .cloned()
+            .expect("apply called for undefined macro");
+        match def {
+            Def::Text(body) => Ok(Some(substitute(name, &body, args))),
+            Def::Builtin(b) => self.builtin(b, args),
+        }
+    }
+
+    fn builtin(&mut self, b: &'static str, args: &[String]) -> Result<Option<String>, M4Error> {
+        let arg = |i: usize| args.get(i).map(String::as_str).unwrap_or("");
+        match b {
+            "define" => {
+                if !arg(0).is_empty() {
+                    self.defs
+                        .insert(arg(0).to_string(), vec![Def::Text(arg(1).to_string())]);
+                }
+                Ok(None)
+            }
+            "pushdef" => {
+                self.defs
+                    .entry(arg(0).to_string())
+                    .or_default()
+                    .push(Def::Text(arg(1).to_string()));
+                Ok(None)
+            }
+            "popdef" => {
+                if let Some(stack) = self.defs.get_mut(arg(0)) {
+                    stack.pop();
+                    if stack.is_empty() {
+                        self.defs.remove(arg(0));
+                    }
+                }
+                Ok(None)
+            }
+            "undefine" => {
+                self.defs.remove(arg(0));
+                Ok(None)
+            }
+            "defn" => {
+                let text = match self.defs.get(arg(0)).and_then(|s| s.last()) {
+                    Some(Def::Text(t)) => t.clone(),
+                    _ => String::new(),
+                };
+                // Return quoted so the definition is not re-expanded here.
+                Ok(Some(format!("`{text}'")))
+            }
+            "ifdef" => {
+                if self.is_defined(arg(0)) {
+                    Ok(Some(arg(1).to_string()))
+                } else {
+                    Ok(Some(arg(2).to_string()))
+                }
+            }
+            "ifelse" => {
+                // ifelse(a, b, then [, a2, b2, then2]... [, else])
+                let mut i = 0;
+                loop {
+                    if args.len() >= i + 3 {
+                        if args[i] == args[i + 1] {
+                            return Ok(Some(args[i + 2].clone()));
+                        }
+                        if args.len() == i + 4 {
+                            return Ok(Some(args[i + 3].clone()));
+                        }
+                        i += 3;
+                    } else {
+                        return Ok(Some(String::new()));
+                    }
+                }
+            }
+            "incr" => Ok(Some((parse_int(b, arg(0))? + 1).to_string())),
+            "decr" => Ok(Some((parse_int(b, arg(0))? - 1).to_string())),
+            "eval" => Ok(Some(eval_expr(arg(0))?.to_string())),
+            "dnl" => Ok(None),
+            "len" => Ok(Some(arg(0).chars().count().to_string())),
+            "zzfirst" => {
+                // First element of a comma list (commas inside parentheses
+                // do not split, so `A(10,10), B` has first element `A(10,10)`).
+                Ok(Some(
+                    split_list(arg(0)).into_iter().next().unwrap_or_default(),
+                ))
+            }
+            "zzrest" => {
+                // The list with its first element removed.
+                let items = split_list(arg(0));
+                Ok(Some(items.get(1..).unwrap_or(&[]).join(", ")))
+            }
+            "zzconcat" => Ok(Some(args.concat())),
+            "zzstripdims" | "zzname" => Ok(Some(strip_dims(arg(0)))),
+            "zzsubs" => {
+                // The subscript part of a variable reference: `C(I)` ->
+                // `(I)`, `C` -> `` (empty).
+                let a = arg(0).trim();
+                Ok(Some(match a.find('(') {
+                    Some(p) => a[p..].to_string(),
+                    None => String::new(),
+                }))
+            }
+            "zzrecord" => {
+                let list = self.lists.entry(arg(0).to_string()).or_default();
+                let item = arg(1).trim().to_string();
+                if !item.is_empty() && !list.contains(&item) {
+                    list.push(item);
+                }
+                Ok(None)
+            }
+            "zzgensym" => {
+                self.gensym += 1;
+                Ok(Some(format!("{}{}", arg(0), self.gensym)))
+            }
+            "zzdeclrec" => {
+                // Record one declaration list: `zzdeclrec(class, type, decls)`
+                // appends `unit|class|type|item` to the `decls` list for each
+                // top-level comma-separated item, where `unit` is the current
+                // text definition of `ZZUNIT`.
+                let unit = match self.defs.get("ZZUNIT").and_then(|s| s.last()) {
+                    Some(Def::Text(t)) => t.clone(),
+                    _ => {
+                        return Err(M4Error::BadArguments {
+                            builtin: "zzdeclrec",
+                            detail: "no Force unit is open (missing Force/Forcesub header)".into(),
+                        })
+                    }
+                };
+                let class = arg(0).to_string();
+                let ty = arg(1).to_string();
+                let items = split_list(arg(2));
+                let list = self.lists.entry("decls".to_string()).or_default();
+                for item in items {
+                    let entry = format!("{unit}|{class}|{ty}|{item}");
+                    if !list.contains(&entry) {
+                        list.push(entry);
+                    }
+                }
+                Ok(None)
+            }
+            other => unreachable!("unknown builtin {other}"),
+        }
+    }
+}
+
+/// Scan a quoted region starting at `` ` ``; returns (inner text with one
+/// quote level stripped, index after the closing `'`).
+fn scan_quote(bytes: &[char], start: usize) -> Result<(String, usize), M4Error> {
+    debug_assert_eq!(bytes[start], '`');
+    let mut depth = 1usize;
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            '`' => {
+                depth += 1;
+                out.push('`');
+            }
+            '\'' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok((out, i + 1));
+                }
+                out.push('\'');
+            }
+            c => out.push(c),
+        }
+        i += 1;
+    }
+    Err(M4Error::Unterminated("quote"))
+}
+
+/// Scan a parenthesized argument list starting at `(`; returns the raw
+/// (unexpanded) arguments and the index after the closing `)`.
+/// Commas inside nested parentheses or quotes do not split.
+fn scan_args(bytes: &[char], start: usize) -> Result<(Vec<String>, usize), M4Error> {
+    debug_assert_eq!(bytes[start], '(');
+    let mut args = Vec::new();
+    let mut cur = String::new();
+    let mut paren = 1usize;
+    let mut quote = 0usize;
+    let mut i = start + 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '`' => {
+                quote += 1;
+                cur.push(c);
+            }
+            '\'' if quote > 0 => {
+                quote -= 1;
+                cur.push(c);
+            }
+            '(' if quote == 0 => {
+                paren += 1;
+                cur.push(c);
+            }
+            ')' if quote == 0 => {
+                paren -= 1;
+                if paren == 0 {
+                    args.push(cur);
+                    return Ok((args, i + 1));
+                }
+                cur.push(c);
+            }
+            ',' if quote == 0 && paren == 1 => {
+                args.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+        i += 1;
+    }
+    Err(M4Error::Unterminated("argument list"))
+}
+
+/// Substitute `$0`–`$9`, `$#`, `$*` in a macro body.
+fn substitute(name: &str, body: &str, args: &[String]) -> String {
+    let chars: Vec<char> = body.chars().collect();
+    let mut out = String::with_capacity(body.len());
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '$' && i + 1 < chars.len() {
+            match chars[i + 1] {
+                '0' => {
+                    out.push_str(name);
+                    i += 2;
+                }
+                d @ '1'..='9' => {
+                    let idx = d as usize - '1' as usize;
+                    if let Some(a) = args.get(idx) {
+                        out.push_str(a);
+                    }
+                    i += 2;
+                }
+                '#' => {
+                    out.push_str(&args.len().to_string());
+                    i += 2;
+                }
+                '*' => {
+                    out.push_str(&args.join(","));
+                    i += 2;
+                }
+                _ => {
+                    out.push('$');
+                    i += 1;
+                }
+            }
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn parse_int(builtin: &'static str, s: &str) -> Result<i64, M4Error> {
+    s.trim().parse::<i64>().map_err(|_| M4Error::BadArguments {
+        builtin,
+        detail: format!("`{s}` is not an integer"),
+    })
+}
+
+/// Split a comma list on top-level commas (parentheses nest).
+fn split_list(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ',' if depth == 0 => parts.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    parts.push(cur);
+    parts
+        .into_iter()
+        .map(|p| p.trim().to_string())
+        .filter(|p| !p.is_empty())
+        .collect()
+}
+
+/// "Deletion of dimensions for common declarations": `A(10,20)` -> `A`.
+fn strip_dims(decl: &str) -> String {
+    match decl.find('(') {
+        Some(p) => decl[..p].trim().to_string(),
+        None => decl.trim().to_string(),
+    }
+}
+
+/// Minimal integer expression evaluator for `eval` (`+ - * / % ( )`,
+/// unary minus).
+fn eval_expr(s: &str) -> Result<i64, M4Error> {
+    struct P<'a> {
+        s: &'a [u8],
+        i: usize,
+    }
+    impl P<'_> {
+        fn skip(&mut self) {
+            while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn peek(&mut self) -> Option<u8> {
+            self.skip();
+            self.s.get(self.i).copied()
+        }
+        fn expr(&mut self) -> Result<i64, M4Error> {
+            let mut v = self.term()?;
+            loop {
+                match self.peek() {
+                    Some(b'+') => {
+                        self.i += 1;
+                        v += self.term()?;
+                    }
+                    Some(b'-') => {
+                        self.i += 1;
+                        v -= self.term()?;
+                    }
+                    _ => return Ok(v),
+                }
+            }
+        }
+        fn term(&mut self) -> Result<i64, M4Error> {
+            let mut v = self.atom()?;
+            loop {
+                match self.peek() {
+                    Some(b'*') => {
+                        self.i += 1;
+                        v *= self.atom()?;
+                    }
+                    Some(b'/') => {
+                        self.i += 1;
+                        let d = self.atom()?;
+                        if d == 0 {
+                            return Err(M4Error::BadArguments {
+                                builtin: "eval",
+                                detail: "division by zero".into(),
+                            });
+                        }
+                        v /= d;
+                    }
+                    Some(b'%') => {
+                        self.i += 1;
+                        let d = self.atom()?;
+                        if d == 0 {
+                            return Err(M4Error::BadArguments {
+                                builtin: "eval",
+                                detail: "modulo by zero".into(),
+                            });
+                        }
+                        v %= d;
+                    }
+                    _ => return Ok(v),
+                }
+            }
+        }
+        fn atom(&mut self) -> Result<i64, M4Error> {
+            match self.peek() {
+                Some(b'-') => {
+                    self.i += 1;
+                    Ok(-self.atom()?)
+                }
+                Some(b'(') => {
+                    self.i += 1;
+                    let v = self.expr()?;
+                    if self.peek() == Some(b')') {
+                        self.i += 1;
+                        Ok(v)
+                    } else {
+                        Err(M4Error::Unterminated("parenthesis in eval"))
+                    }
+                }
+                Some(c) if c.is_ascii_digit() => {
+                    let start = self.i;
+                    while self.i < self.s.len() && self.s[self.i].is_ascii_digit() {
+                        self.i += 1;
+                    }
+                    std::str::from_utf8(&self.s[start..self.i])
+                        .unwrap()
+                        .parse()
+                        .map_err(|_| M4Error::BadArguments {
+                            builtin: "eval",
+                            detail: "integer overflow".into(),
+                        })
+                }
+                _ => Err(M4Error::BadArguments {
+                    builtin: "eval",
+                    detail: format!("unexpected input in `{}`", String::from_utf8_lossy(self.s)),
+                }),
+            }
+        }
+    }
+    let mut p = P { s: s.as_bytes(), i: 0 };
+    let v = p.expr()?;
+    p.skip();
+    if p.i != p.s.len() {
+        return Err(M4Error::BadArguments {
+            builtin: "eval",
+            detail: format!("trailing input in `{s}`"),
+        });
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp(src: &str) -> String {
+        M4::new().expand(src).unwrap()
+    }
+
+    #[test]
+    fn plain_text_passes_through() {
+        assert_eq!(exp("hello world 123"), "hello world 123");
+    }
+
+    #[test]
+    fn define_and_expand() {
+        assert_eq!(exp("define(`X', `42')X + X"), "42 + 42");
+    }
+
+    #[test]
+    fn define_with_arguments() {
+        assert_eq!(exp("define(`ADD', `$1 + $2')ADD(a, b)"), "a + b");
+    }
+
+    #[test]
+    fn dollar_zero_hash_star() {
+        // `$0` must be quoted in the body or the rescan would re-expand
+        // the macro's own name — the same discipline real m4 requires.
+        assert_eq!(exp("define(`M', ``$0':$#:$*')M(x, y)"), "M:2:x,y");
+    }
+
+    #[test]
+    fn quoting_defers_expansion() {
+        assert_eq!(exp("define(`A', `1')`A' A"), "A 1");
+    }
+
+    #[test]
+    fn nested_quotes_strip_one_level() {
+        assert_eq!(exp("``double''"), "`double'");
+    }
+
+    #[test]
+    fn macros_rescan_their_result() {
+        assert_eq!(exp("define(`A', `B')define(`B', `final')A"), "final");
+    }
+
+    #[test]
+    fn arguments_are_expanded_before_substitution() {
+        assert_eq!(exp("define(`ID', `$1')define(`V', `7')ID(V)"), "7");
+    }
+
+    #[test]
+    fn ifdef_branches() {
+        assert_eq!(exp("define(`Y', `1')ifdef(`Y', `yes', `no')"), "yes");
+        assert_eq!(exp("ifdef(`NOPE', `yes', `no')"), "no");
+    }
+
+    #[test]
+    fn ifelse_multibranch() {
+        let src = "define(`K', `b')ifelse(K, `a', `A', K, `b', `B', `other')";
+        assert_eq!(exp(src), "B");
+        assert_eq!(exp("ifelse(`x', `y', `eq', `ne')"), "ne");
+        assert_eq!(exp("ifelse(`x', `x', `eq', `ne')"), "eq");
+    }
+
+    #[test]
+    fn incr_decr_eval() {
+        assert_eq!(exp("incr(4) decr(4)"), "5 3");
+        assert_eq!(exp("eval(2 + 3 * 4)"), "14");
+        assert_eq!(exp("eval((2 + 3) * -2)"), "-10");
+        assert_eq!(exp("eval(17 % 5)"), "2");
+    }
+
+    #[test]
+    fn eval_division_by_zero_is_an_error() {
+        assert!(matches!(
+            M4::new().expand("eval(1/0)"),
+            Err(M4Error::BadArguments { .. })
+        ));
+    }
+
+    #[test]
+    fn dnl_discards_rest_of_line() {
+        assert_eq!(exp("keep dnl this vanishes\nnext"), "keep next");
+    }
+
+    #[test]
+    fn pushdef_popdef_stack() {
+        let src = "define(`A', `one')pushdef(`A', `two')A popdef(`A')A";
+        assert_eq!(exp(src), "two one");
+    }
+
+    #[test]
+    fn defn_retrieves_quoted_definition() {
+        let src = "define(`A', `body')define(`B', defn(`A'))B";
+        assert_eq!(exp(src), "body");
+    }
+
+    #[test]
+    fn utility_first_and_rest() {
+        assert_eq!(exp("zzfirst(`a, b, c')"), "a");
+        assert_eq!(exp("zzrest(`a, b, c')"), "b, c");
+        assert_eq!(exp("zzfirst(`only')"), "only");
+        assert_eq!(exp("zzrest(`only')"), "");
+        // parentheses protect inner commas
+        assert_eq!(exp("zzfirst(`A(10,10), B')"), "A(10,10)");
+        assert_eq!(exp("zzrest(`A(10,10), B, C(1,2)')"), "B, C(1,2)");
+    }
+
+    #[test]
+    fn zzdeclrec_requires_an_open_unit() {
+        let mut m4 = M4::new();
+        assert!(matches!(
+            m4.expand("zzdeclrec(`shared', `INTEGER', `X')"),
+            Err(M4Error::BadArguments { .. })
+        ));
+        m4.define("ZZUNIT", "MAIN");
+        m4.expand("zzdeclrec(`shared', `INTEGER', `X, A(3,4)')")
+            .unwrap();
+        assert_eq!(
+            m4.recorded("decls"),
+            &[
+                "MAIN|shared|INTEGER|X".to_string(),
+                "MAIN|shared|INTEGER|A(3,4)".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn utility_concat_and_stripdims() {
+        assert_eq!(exp("zzconcat(`K', `_shared')"), "K_shared");
+        assert_eq!(exp("zzstripdims(`A(10,20)')"), "A");
+        assert_eq!(exp("zzstripdims(`X')"), "X");
+    }
+
+    #[test]
+    fn recording_lists_are_ordered_and_deduped() {
+        let mut m4 = M4::new();
+        m4.expand("zzrecord(`L', `A')zzrecord(`L', `B')zzrecord(`L', `A')")
+            .unwrap();
+        assert_eq!(m4.recorded("L"), &["A".to_string(), "B".to_string()]);
+        assert!(m4.recorded("NONE").is_empty());
+    }
+
+    #[test]
+    fn gensym_is_monotonic() {
+        let mut m4 = M4::new();
+        let out = m4.expand("zzgensym(`T') zzgensym(`T')").unwrap();
+        assert_eq!(out, "T1 T2");
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        assert!(matches!(
+            M4::new().expand("`never closed"),
+            Err(M4Error::Unterminated("quote"))
+        ));
+    }
+
+    #[test]
+    fn unterminated_args_are_an_error() {
+        assert!(matches!(
+            M4::new().expand("define(`A', `x')A(1, 2"),
+            Err(M4Error::Unterminated("argument list"))
+        ));
+    }
+
+    #[test]
+    fn runaway_recursion_is_detected() {
+        let mut m4 = M4::new();
+        m4.define("LOOP", "LOOP");
+        assert!(matches!(
+            m4.expand("LOOP"),
+            Err(M4Error::RecursionLimit(_))
+        ));
+    }
+
+    #[test]
+    fn nested_macro_calls_in_arguments() {
+        let src = "define(`A', `<$1>')define(`B', `[$1]')A(B(x))";
+        assert_eq!(exp(src), "<[x]>");
+    }
+
+    #[test]
+    fn commas_inside_nested_parens_do_not_split_args() {
+        let src = "define(`F', `$#')F((a,b), c)";
+        assert_eq!(exp(src), "2");
+    }
+
+    #[test]
+    fn multiline_bodies_expand() {
+        let src = "define(`BLOCK', `line one\nline two')BLOCK";
+        assert_eq!(exp(src), "line one\nline two");
+    }
+
+    #[test]
+    fn undefine_removes() {
+        assert_eq!(exp("define(`A', `1')undefine(`A')A"), "A");
+    }
+
+    #[test]
+    fn recursive_counting_macro_terminates() {
+        // A classic m4 pattern: recursion with ifelse termination.
+        let src = "define(`COUNT', `ifelse($1, `0', `', `$1 COUNT(decr($1))')')COUNT(3)";
+        assert_eq!(exp(src).trim(), "3 2 1");
+    }
+}

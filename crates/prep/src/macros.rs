@@ -1,0 +1,547 @@
+//! Level 1 — the machine-independent statement macros (§4.2).
+//!
+//! "The statement macros explicitly process the Force language constructs
+//! in programs.  They translate them into Fortran code and low level
+//! machine dependent macro calls."
+//!
+//! The definitions installed here expand the `ZZ…` calls produced by the
+//! sed pass into Fortran plus calls to the *machine layer* names —
+//! `lock(…)`, `unlock(…)`, `zzprod(…)`, `zzcons(…)`, `zzvoid(…)`,
+//! `zzcopyf(…)` — which remain unexpanded text after this level (the
+//! paper's intermediate form; compare the §4.2 listing) and are resolved
+//! by the machine-dependent definitions of
+//! [`crate::machdep_macros`] in the second m4 pass.
+//!
+//! *Internal macros* (the paper's third category) used here:
+//! `ZZFULLBAR` (a complete barrier episode) and `ZZPCCLAIM` (the
+//! selfscheduled-Pcase claim step).
+//!
+//! Bookkeeping relies on the engine's recording lists:
+//!
+//! | list | contents |
+//! |---|---|
+//! | `units` | program unit names, main first |
+//! | `envlocks` | implementation lock variables (`LOOPnnn`, Pcase locks) |
+//! | `userlocks` | user lock variables (critical sections) |
+//! | `envints` | non-lock environment integers (`K_shared`, Pcase counters) |
+//! | `decls` | `unit|class|type|item` per declared Force variable |
+//! | `externf` | externally compiled Force subroutines |
+
+use crate::m4::M4;
+
+/// Install the statement-macro layer into an m4 engine.
+pub fn install_statement_macros(m4: &mut M4) {
+    // ---- program structure ------------------------------------------------
+    m4.define(
+        "ZZFORCE",
+        "define(`ZZUNIT', `$1')define(`ZZNPV', `$2')define(`ZZMEV', `$3')dnl
+zzrecord(`units', `$1')dnl
+      SUBROUTINE $1
+C --- Force main program $1 (force of $2, ident $3) ---
+      INTEGER $3, $2
+      COMMON /ZZPENV/ $3, $2",
+    );
+    m4.define(
+        "ZZFORCESUB",
+        "define(`ZZUNIT', `$1')define(`ZZNPV', `$3')define(`ZZMEV', `$4')dnl
+zzrecord(`units', `$1')dnl
+ifelse(`$2', `', `      SUBROUTINE $1', `      SUBROUTINE $1($2)')
+C --- Force subroutine $1 (force of $3, ident $4) ---
+      INTEGER $4, $3
+      COMMON /ZZPENV/ $4, $3",
+    );
+    m4.define(
+        "ZZEXTERNF",
+        "zzrecord(`externf', `$1')dnl
+C     external Force subroutine $1",
+    );
+    m4.define(
+        "ZZENDDECL",
+        "C*ZZENVDECL*ZZUNIT",
+    );
+    m4.define(
+        "ZZJOIN",
+        "      RETURN
+      END",
+    );
+
+    // ---- declarations ------------------------------------------------------
+    m4.define(
+        "ZZSHARED",
+        "zzdeclrec(`shared', `$1', `$2')dnl
+      $1 $2",
+    );
+    m4.define(
+        "ZZPRIVATE",
+        "zzdeclrec(`private', `$1', `$2')dnl
+      $1 $2",
+    );
+    m4.define(
+        "ZZASYNC",
+        "zzdeclrec(`async', `$1', `$2')dnl
+      $1 $2",
+    );
+
+    // ---- internal macros ----------------------------------------------------
+    // A complete barrier episode (entry + exit), §4.2's two-lock protocol.
+    m4.define(
+        "ZZFULLBAR",
+        "      lock(BARWIN)
+      ZZNBAR = ZZNBAR + 1
+      IF (ZZNBAR .EQ. ZZNPV) THEN
+      unlock(BARWOT)
+      ELSE
+      unlock(BARWIN)
+      END IF
+      lock(BARWOT)
+      ZZNBAR = ZZNBAR - 1
+      IF (ZZNBAR .EQ. 0) THEN
+      unlock(BARWIN)
+      ELSE
+      unlock(BARWOT)
+      END IF",
+    );
+
+    // Internal: the barrier *exit* phase alone — pairs with an entry
+    // emitted earlier (selfscheduled constructs enter at their top and
+    // exit at their End).
+    m4.define(
+        "ZZBAREXIT",
+        "      lock(BARWOT)
+      ZZNBAR = ZZNBAR - 1
+      IF (ZZNBAR .EQ. 0) THEN
+      unlock(BARWIN)
+      ELSE
+      unlock(BARWOT)
+      END IF",
+    );
+
+    // ---- barrier statement ---------------------------------------------------
+    // The section between Barrier and End barrier is executed by the last
+    // arriver while every other process is held at `lock(BARWOT)`.
+    m4.define(
+        "ZZBARRIER",
+        "C barrier entry code
+      lock(BARWIN)
+C report arrival of processes
+      ZZNBAR = ZZNBAR + 1
+      IF (ZZNBAR .EQ. ZZNPV) THEN
+C barrier section (one process)",
+    );
+    m4.define(
+        "ZZENDBARRIER",
+        "C end barrier section
+      unlock(BARWOT)
+      ELSE
+      unlock(BARWIN)
+      END IF
+C barrier exit code
+      lock(BARWOT)
+C report exit of processes
+      ZZNBAR = ZZNBAR - 1
+      IF (ZZNBAR .EQ. 0) THEN
+      unlock(BARWIN)
+      ELSE
+      unlock(BARWOT)
+      END IF",
+    );
+
+    // ---- critical sections -----------------------------------------------------
+    m4.define(
+        "ZZCRITICAL",
+        "zzrecord(`userlocks', `$1')pushdef(`ZZCRIT', `$1')dnl
+C critical section $1
+      lock($1)",
+    );
+    m4.define(
+        "ZZENDCRITICAL",
+        "ifelse(`$1', `', `      unlock(defn(`ZZCRIT'))', `      unlock($1)')popdef(`ZZCRIT')",
+    );
+
+    // ---- selfscheduled DO (the §4.2 worked example) ------------------------------
+    m4.define(
+        "ZZSELFSCHEDDO",
+        "define(`ZZDOVAR$1', `$2')define(`ZZDOLAST$1', `$4')define(`ZZDOINCR$1', `$5')dnl
+zzrecord(`envlocks', `LOOP$1')zzrecord(`envints', `$2_shared')dnl
+C loop entry code
+      lock(BARWIN)
+      IF (ZZNBAR .EQ. 0) THEN
+C initialize loop index
+      $2_shared = $3
+      END IF
+C report arrival of processes
+      ZZNBAR = ZZNBAR + 1
+      IF (ZZNBAR .EQ. ZZNPV) THEN
+      unlock(BARWOT)
+      ELSE
+      unlock(BARWIN)
+      END IF
+C self scheduled loop index distribution
+$1    lock(LOOP$1)
+C get next index value
+      $2 = $2_shared
+      $2_shared = $2 + $5
+      unlock(LOOP$1)
+C test for completion
+      IF ((($5) .GT. 0 .AND. $2 .LE. ($4)) .OR. (($5) .LT. 0 .AND. $2 .GE. ($4))) THEN",
+    );
+    m4.define(
+        "ZZENDSELFSCHEDDO",
+        "      GO TO $1
+      END IF
+C loop exit code
+      lock(BARWOT)
+C report exit of processes
+      ZZNBAR = ZZNBAR - 1
+      IF (ZZNBAR .EQ. 0) THEN
+      unlock(BARWIN)
+      ELSE
+      unlock(BARWOT)
+      END IF",
+    );
+
+    // ---- prescheduled DO -------------------------------------------------------
+    // "completely machine independent, since only the number of executing
+    // processes is needed to distribute the index values among processes":
+    // cyclic distribution K = start + me*incr, stepping by nproc*incr.
+    m4.define(
+        "ZZPRESCHEDDO",
+        "define(`ZZDOVAR$1', `$2')define(`ZZDOLAST$1', `$4')define(`ZZDOINCR$1', `$5')dnl
+define(`ZZDOEXIT$1', zzgensym(`99'))dnl
+C prescheduled loop over $2
+      $2 = ($3) + ZZMEV*($5)
+$1    CONTINUE
+      IF (.NOT. ((($5) .GT. 0 .AND. $2 .LE. ($4)) .OR. (($5) .LT. 0 .AND. $2 .GE. ($4)))) GO TO ZZDOEXIT$1",
+    );
+    m4.define(
+        "ZZENDPRESCHEDDO",
+        "C next prescheduled index
+      ZZDOVAR$1 = ZZDOVAR$1 + ZZNPV*(ZZDOINCR$1)
+      GO TO $1
+ZZDOEXIT$1 CONTINUE
+C prescheduled loop exit barrier
+ZZFULLBAR",
+    );
+
+    // ---- doubly nested DOALL: index pairs (§3.3) ---------------------------------
+    // $1 label; $2..$5 outer var/from/to/step; $6..$9 inner var/from/to/step.
+    // The pair space is linearized: trip T of N1*N2 maps to
+    //   outer = a1 + (T / N2)*c1,  inner = a2 + MOD(T, N2)*c2.
+    m4.define(
+        "ZZSELFSCHEDDO2",
+        "define(`ZZDOEXIT$1', zzgensym(`99'))dnl
+zzrecord(`envlocks', `LOOP$1')zzrecord(`envints', `ZZT$1_shared')dnl
+C doubly nested selfscheduled loop entry
+      lock(BARWIN)
+      IF (ZZNBAR .EQ. 0) THEN
+C initialize pair index
+      ZZT$1_shared = 0
+      END IF
+      ZZNBAR = ZZNBAR + 1
+      IF (ZZNBAR .EQ. ZZNPV) THEN
+      unlock(BARWOT)
+      ELSE
+      unlock(BARWIN)
+      END IF
+C pair trip counts
+      ZZN1 = MAX(0, (($4) - ($3) + ($5)) / ($5))
+      ZZN2 = MAX(0, (($8) - ($7) + ($9)) / ($9))
+C self scheduled pair distribution
+$1    lock(LOOP$1)
+      ZZT = ZZT$1_shared
+      ZZT$1_shared = ZZT + 1
+      unlock(LOOP$1)
+      IF (ZZT .LT. ZZN1 * ZZN2) THEN
+      $2 = ($3) + (ZZT / ZZN2) * ($5)
+      $6 = ($7) + MOD(ZZT, ZZN2) * ($9)",
+    );
+    m4.define(
+        "ZZENDSELFSCHEDDO2",
+        "      GO TO $1
+      END IF
+C doubly nested loop exit code
+ZZBAREXIT",
+    );
+    m4.define(
+        "ZZPRESCHEDDO2",
+        "define(`ZZDOEXIT$1', zzgensym(`99'))dnl
+C doubly nested prescheduled loop over pairs
+      ZZN1 = MAX(0, (($4) - ($3) + ($5)) / ($5))
+      ZZN2 = MAX(0, (($8) - ($7) + ($9)) / ($9))
+      ZZT = ZZMEV
+$1    CONTINUE
+      IF (ZZT .GE. ZZN1 * ZZN2) GO TO ZZDOEXIT$1
+      $2 = ($3) + (ZZT / ZZN2) * ($5)
+      $6 = ($7) + MOD(ZZT, ZZN2) * ($9)",
+    );
+    m4.define(
+        "ZZENDPRESCHEDDO2",
+        "C next prescheduled pair
+      ZZT = ZZT + ZZNPV
+      GO TO $1
+ZZDOEXIT$1 CONTINUE
+C prescheduled pair loop exit barrier
+ZZFULLBAR",
+    );
+
+    // ---- Pcase -------------------------------------------------------------------
+    // kind P = prescheduled (blocks allocated cyclically to processes),
+    // kind S = selfscheduled (blocks claimed through a locked counter).
+    m4.define(
+        "ZZPCASE",
+        "pushdef(`ZZPCKIND', `$1')define(`ZZPCOPEN', `0')dnl
+ifelse(`$1', `P', `C prescheduled pcase
+      ZZPSEC = -1', `pushdef(`ZZPCID', zzgensym(`ZZPC'))dnl
+zzrecord(`envints', ZZPCID)zzrecord(`envlocks', zzconcat(ZZPCID, `L'))dnl
+C selfsched pcase entry
+      lock(BARWIN)
+      IF (ZZNBAR .EQ. 0) THEN
+      ZZPCID = 0
+      END IF
+      ZZNBAR = ZZNBAR + 1
+      IF (ZZNBAR .EQ. ZZNPV) THEN
+      unlock(BARWOT)
+      ELSE
+      unlock(BARWIN)
+      END IF
+      ZZPSEC = -1
+ZZPCCLAIM')",
+    );
+    // Internal: claim the next selfscheduled pcase section number.
+    m4.define(
+        "ZZPCCLAIM",
+        "      lock(zzconcat(ZZPCID, `L'))
+      ZZNXT = ZZPCID
+      ZZPCID = ZZPCID + 1
+      unlock(zzconcat(ZZPCID, `L'))",
+    );
+    // Internal: close the currently open section, if any.
+    m4.define(
+        "ZZPCCLOSE",
+        "ifelse(ZZPCOPEN, `1', `      END IF
+ifelse(defn(`ZZPCKIND'), `S', `ZZPCCLAIM
+')      END IF
+')dnl",
+    );
+    m4.define(
+        "ZZUSECT",
+        "ZZPCCLOSE()define(`ZZPCOPEN', `1')dnl
+C pcase section
+      ZZPSEC = ZZPSEC + 1
+ifelse(defn(`ZZPCKIND'), `P', `      IF (MOD(ZZPSEC, ZZNPV) .EQ. ZZMEV) THEN', `      IF (ZZPSEC .EQ. ZZNXT) THEN')
+      IF (.TRUE.) THEN",
+    );
+    m4.define(
+        "ZZCSECT",
+        "ZZPCCLOSE()define(`ZZPCOPEN', `1')dnl
+C conditional pcase section
+      ZZPSEC = ZZPSEC + 1
+ifelse(defn(`ZZPCKIND'), `P', `      IF (MOD(ZZPSEC, ZZNPV) .EQ. ZZMEV) THEN', `      IF (ZZPSEC .EQ. ZZNXT) THEN')
+      IF ($1) THEN",
+    );
+    m4.define(
+        "ZZENDPCASE",
+        "ZZPCCLOSE()dnl
+ifelse(defn(`ZZPCKIND'), `S', `C end selfsched pcase (exit the entry barrier)
+ZZBAREXIT
+popdef(`ZZPCID')', `C end pcase barrier
+ZZFULLBAR')popdef(`ZZPCKIND')dnl",
+    );
+
+    // ---- asynchronous variable operations -------------------------------------
+    // Level 1 leaves the produce/consume mechanism to the machine layer:
+    // the HEP maps these to hardware full/empty accesses, every other
+    // machine to the two-lock protocol (§4.2).
+    m4.define("ZZPRODUCE", "      zzprod($1, `$2')");
+    m4.define("ZZCONSUME", "      zzcons($1, $2)");
+    m4.define("ZZVOID", "      zzvoid($1)");
+    m4.define("ZZCOPYF", "      zzcopyf($1, $2)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::m4::M4;
+
+    fn engine() -> M4 {
+        let mut m4 = M4::new();
+        install_statement_macros(&mut m4);
+        m4
+    }
+
+    fn expand(src: &str) -> String {
+        engine().expand(src).unwrap()
+    }
+
+    #[test]
+    fn force_header_emits_subroutine_and_private_env() {
+        let out = expand("ZZFORCE(MAIN, NP, ME)");
+        assert!(out.contains("SUBROUTINE MAIN"), "{out}");
+        assert!(out.contains("COMMON /ZZPENV/ ME, NP"), "{out}");
+    }
+
+    #[test]
+    fn barrier_brackets_a_single_process_section() {
+        let out = expand("ZZFORCE(M, NP, ME)\nZZBARRIER\n      TOTAL = 0\nZZENDBARRIER");
+        assert!(out.contains("lock(BARWIN)"), "{out}");
+        assert!(out.contains("IF (ZZNBAR .EQ. NP) THEN"), "{out}");
+        assert!(out.contains("TOTAL = 0"), "{out}");
+        assert!(out.contains("unlock(BARWOT)"), "{out}");
+        assert!(out.contains("ZZNBAR = ZZNBAR - 1"), "{out}");
+    }
+
+    #[test]
+    fn selfsched_do_matches_the_papers_expansion_shape() {
+        let src = "ZZFORCE(M, NP, ME)\nZZSELFSCHEDDO(100, K, START, LAST, INCR)\nC LOOPBODY\nZZENDSELFSCHEDDO(100)";
+        let out = expand(src);
+        // The structural landmarks of the §4.2 listing, in order:
+        let landmarks = [
+            "lock(BARWIN)",
+            "IF (ZZNBAR .EQ. 0) THEN",
+            "K_shared = START",
+            "ZZNBAR = ZZNBAR + 1",
+            "IF (ZZNBAR .EQ. NP) THEN",
+            "unlock(BARWOT)",
+            "unlock(BARWIN)",
+            "100    lock(LOOP100)",
+            "K = K_shared",
+            "K_shared = K + INCR",
+            "unlock(LOOP100)",
+            "C LOOPBODY",
+            "GO TO 100",
+            "lock(BARWOT)",
+            "ZZNBAR = ZZNBAR - 1",
+        ];
+        let mut pos = 0;
+        for lm in landmarks {
+            let found = out[pos..]
+                .find(lm)
+                .unwrap_or_else(|| panic!("landmark `{lm}` missing or out of order in:\n{out}"));
+            pos += found + lm.len();
+        }
+    }
+
+    #[test]
+    fn selfsched_records_its_environment_variables() {
+        let mut m4 = engine();
+        m4.expand("ZZFORCE(M, NP, ME)\nZZSELFSCHEDDO(100, K, 1, 10, 1)\nZZENDSELFSCHEDDO(100)")
+            .unwrap();
+        assert!(m4.recorded("envlocks").contains(&"LOOP100".to_string()));
+        assert!(m4.recorded("envints").contains(&"K_shared".to_string()));
+    }
+
+    #[test]
+    fn presched_do_distributes_cyclically() {
+        let src = "ZZFORCE(M, NP, ME)\nZZPRESCHEDDO(10, I, 1, N, 1)\nC BODY\nZZENDPRESCHEDDO(10)";
+        let out = expand(src);
+        assert!(out.contains("I = (1) + ME*(1)"), "{out}");
+        assert!(out.contains("I = I + NP*(1)"), "{out}");
+        assert!(out.contains("GO TO 10"), "{out}");
+        // exit label generated and used consistently
+        let exit_label: Vec<&str> = out
+            .lines()
+            .filter(|l| l.contains("GO TO 99"))
+            .collect();
+        assert_eq!(exit_label.len(), 1, "{out}");
+        // loop ends with a full barrier
+        assert!(out.contains("lock(BARWOT)"), "{out}");
+    }
+
+    #[test]
+    fn critical_sections_lock_and_unlock_the_named_variable() {
+        let out = expand("ZZFORCE(M, NP, ME)\nZZCRITICAL(LCK)\n      X = X + 1\nZZENDCRITICAL(LCK)");
+        assert!(out.contains("lock(LCK)"), "{out}");
+        assert!(out.contains("unlock(LCK)"), "{out}");
+    }
+
+    #[test]
+    fn end_critical_without_name_uses_the_open_one() {
+        let out = expand("ZZFORCE(M, NP, ME)\nZZCRITICAL(LCK)\n      X = X + 1\nZZENDCRITICAL()");
+        assert!(out.contains("unlock(LCK)"), "{out}");
+    }
+
+    #[test]
+    fn produce_consume_defer_to_the_machine_layer() {
+        let out = expand("ZZPRODUCE(C, K + 1)\nZZCONSUME(C, T)\nZZVOID(C)\nZZCOPYF(C, T)");
+        assert!(out.contains("zzprod(C, K + 1)"), "{out}");
+        assert!(out.contains("zzcons(C, T)"), "{out}");
+        assert!(out.contains("zzvoid(C)"), "{out}");
+        assert!(out.contains("zzcopyf(C, T)"), "{out}");
+    }
+
+    #[test]
+    fn presched_pcase_assigns_sections_cyclically() {
+        let src = "ZZFORCE(M, NP, ME)\nZZPCASE(P)\nZZUSECT\nC S1\nZZCSECT(N .GT. 0)\nC S2\nZZENDPCASE";
+        let out = expand(src);
+        assert!(out.contains("ZZPSEC = -1"), "{out}");
+        assert_eq!(
+            out.matches("IF (MOD(ZZPSEC, NP) .EQ. ME) THEN").count(),
+            2,
+            "{out}"
+        );
+        assert!(out.contains("IF (N .GT. 0) THEN"), "{out}");
+        // both sections closed + final barrier
+        assert!(out.matches("END IF").count() >= 4, "{out}");
+        assert!(out.contains("lock(BARWOT)"), "{out}");
+    }
+
+    #[test]
+    fn selfsched_pcase_claims_through_a_locked_counter() {
+        let src = "ZZFORCE(M, NP, ME)\nZZPCASE(S)\nZZUSECT\nC S1\nZZUSECT\nC S2\nZZENDPCASE";
+        let out = expand(src);
+        assert!(out.contains("ZZNXT = ZZPC"), "{out}");
+        assert!(out.contains("IF (ZZPSEC .EQ. ZZNXT) THEN"), "{out}");
+        // counter initialized by the first arriver under BARWIN
+        assert!(out.contains("IF (ZZNBAR .EQ. 0) THEN"), "{out}");
+        // claim happens at entry and after each executed section
+        assert!(out.matches("ZZNXT = ZZPC").count() >= 3, "{out}");
+    }
+
+    #[test]
+    fn declarations_emit_fortran_and_record_metadata() {
+        let mut m4 = engine();
+        let out = m4
+            .expand("ZZFORCE(M, NP, ME)\nZZSHARED(INTEGER, `TOTAL, A(10,10)')\nZZASYNC(INTEGER, `C')\nZZPRIVATE(REAL, `X')")
+            .unwrap();
+        assert!(out.contains("INTEGER TOTAL, A(10,10)"), "{out}");
+        assert!(out.contains("INTEGER C"), "{out}");
+        assert!(out.contains("REAL X"), "{out}");
+        let decls = m4.recorded("decls");
+        assert!(decls.contains(&"M|shared|INTEGER|TOTAL".to_string()), "{decls:?}");
+        assert!(decls.contains(&"M|shared|INTEGER|A(10,10)".to_string()));
+        assert!(decls.contains(&"M|async|INTEGER|C".to_string()));
+        assert!(decls.contains(&"M|private|REAL|X".to_string()));
+    }
+
+    #[test]
+    fn join_closes_the_unit() {
+        let out = expand("ZZJOIN");
+        assert!(out.contains("RETURN"));
+        assert!(out.contains("END"));
+    }
+
+    #[test]
+    fn units_are_recorded_in_order() {
+        let mut m4 = engine();
+        m4.expand("ZZFORCE(MAIN, NP, ME)\nZZJOIN\nZZFORCESUB(WORK, `A', NP, ME)\nZZJOIN")
+            .unwrap();
+        assert_eq!(
+            m4.recorded("units"),
+            &["MAIN".to_string(), "WORK".to_string()]
+        );
+    }
+
+    #[test]
+    fn forcesub_with_args_emits_parameter_list() {
+        let out = expand("ZZFORCESUB(WORK, `A, N', NP, ME)");
+        assert!(out.contains("SUBROUTINE WORK(A, N)"), "{out}");
+        let out = expand("ZZFORCESUB(NOP, `', NP, ME)");
+        assert!(out.contains("SUBROUTINE NOP\n"), "{out}");
+    }
+
+    #[test]
+    fn enddecl_emits_the_env_marker_for_the_unit() {
+        let out = expand("ZZFORCE(MAIN, NP, ME)\nZZENDDECL");
+        assert!(out.contains("C*ZZENVDECL*MAIN"), "{out}");
+    }
+}

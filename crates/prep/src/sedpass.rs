@@ -1,0 +1,731 @@
+//! Phase 1 — the `sed` pass.
+//!
+//! §4.3: "The stream editor sed translates the Force syntax into
+//! parameterized function macros."  This module is that stream editor: a
+//! line-oriented rewriter that recognizes the Force statement forms and
+//! emits `ZZ…(args)` macro calls for the m4 phase, leaving every other
+//! line (ordinary Fortran) untouched.
+//!
+//! Statement forms recognized (keywords are case-insensitive; `[..]`
+//! optional):
+//!
+//! ```text
+//! Force <name> of <np> ident <me>
+//! Forcesub <name>[(<args>)] of <np> ident <me>
+//! Externf <name>
+//! End declarations
+//! Join
+//! Barrier                      / End barrier
+//! Critical <lockvar>           / End critical [<lockvar>]
+//! Presched DO <label> <v> = <e1>, <e2> [, <e3>]
+//! <label> End presched DO
+//! Selfsched DO <label> <v> = <e1>, <e2> [, <e3>]
+//! <label> End selfsched DO
+//! Presched DO2 <label> <v1> = <e1>, <e2> [, <e3>] ; <v2> = <f1>, <f2> [, <f3>]
+//! <label> End presched DO2     (likewise Selfsched DO2)
+//! [Presched|Selfsched] Pcase   / Usect / Csect (<cond>) / End pcase
+//! Produce <var> = <expr>
+//! Consume <var> into <dest>
+//! Copy <var> into <dest>
+//! Void <var>
+//! Isfull(<var>)                (expression form, rewritten in place)
+//! Shared <type> <decls>
+//! Private <type> <decls>
+//! Async <type> <decls>
+//! ```
+//!
+//! Comment lines (`C`, `c`, `*`, `!` in column 1) pass through unchanged.
+
+/// Errors from the sed pass, with 1-based source line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SedError {
+    /// 1-based line number in the Force source.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SedError {}
+
+/// Translate a whole Force source file into macro-call form.
+pub fn sed_pass(source: &str) -> Result<String, SedError> {
+    let mut out = String::with_capacity(source.len() + 256);
+    for (idx, line) in source.lines().enumerate() {
+        let translated = translate_line(line).map_err(|message| SedError {
+            line: idx + 1,
+            message,
+        })?;
+        out.push_str(&translated);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Translate one line; ordinary Fortran passes through.
+fn translate_line(line: &str) -> Result<String, String> {
+    // Comments pass through untouched.
+    if matches!(line.chars().next(), Some('C') | Some('c') | Some('*') | Some('!')) {
+        return Ok(line.to_string());
+    }
+    // The full/empty state *test* (§3.4 "the state can also be tested")
+    // is an expression-level form: rewrite `Isfull(X)` to the machine
+    // macro `zzisfull(X)` wherever it appears.
+    let line = &rewrite_isfull(line);
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Ok(line.to_string());
+    }
+
+    // A leading numeric label (needed for `<label> End … DO`).
+    let (label, rest) = split_label(trimmed);
+    let mut words = Words::new(rest);
+
+    let first = match words.peek_word() {
+        Some(w) => w.to_ascii_uppercase(),
+        None => return Ok(line.to_string()),
+    };
+
+    let translated = match first.as_str() {
+        "FORCE" => {
+            words.next_word();
+            let name = words.expect_ident("program name")?;
+            words.expect_keyword("of")?;
+            let np = words.expect_ident("process count variable")?;
+            words.expect_keyword("ident")?;
+            let me = words.expect_ident("process id variable")?;
+            words.expect_end()?;
+            Some(format!("ZZFORCE({name}, {np}, {me})"))
+        }
+        "FORCESUB" => {
+            words.next_word();
+            let name = words.expect_ident("subroutine name")?;
+            let args = words.maybe_paren_group();
+            words.expect_keyword("of")?;
+            let np = words.expect_ident("process count variable")?;
+            words.expect_keyword("ident")?;
+            let me = words.expect_ident("process id variable")?;
+            words.expect_end()?;
+            Some(format!("ZZFORCESUB({name}, `{args}', {np}, {me})"))
+        }
+        "EXTERNF" => {
+            words.next_word();
+            let name = words.expect_ident("subroutine name")?;
+            words.expect_end()?;
+            Some(format!("ZZEXTERNF({name})"))
+        }
+        "JOIN" => {
+            words.next_word();
+            words.expect_end()?;
+            Some("ZZJOIN".to_string())
+        }
+        "BARRIER" => {
+            words.next_word();
+            words.expect_end()?;
+            Some("ZZBARRIER".to_string())
+        }
+        "CRITICAL" => {
+            words.next_word();
+            let var = words.expect_ident("lock variable")?;
+            words.expect_end()?;
+            Some(format!("ZZCRITICAL({var})"))
+        }
+        "PRODUCE" => {
+            words.next_word();
+            let var = words.expect_async_ref("asynchronous variable")?;
+            let rest = words.rest().trim();
+            let expr = rest
+                .strip_prefix('=')
+                .ok_or_else(|| "expected `=` after Produce variable".to_string())?
+                .trim();
+            if expr.is_empty() {
+                return Err("Produce needs an expression".to_string());
+            }
+            Some(format!("ZZPRODUCE({var}, `{expr}')"))
+        }
+        "CONSUME" => {
+            words.next_word();
+            let var = words.expect_async_ref("asynchronous variable")?;
+            words.expect_keyword("into")?;
+            let dest = words.expect_ident("destination variable")?;
+            words.expect_end()?;
+            Some(format!("ZZCONSUME({var}, {dest})"))
+        }
+        "COPY" => {
+            words.next_word();
+            let var = words.expect_async_ref("asynchronous variable")?;
+            words.expect_keyword("into")?;
+            let dest = words.expect_ident("destination variable")?;
+            words.expect_end()?;
+            Some(format!("ZZCOPYF({var}, {dest})"))
+        }
+        "VOID" => {
+            words.next_word();
+            let var = words.expect_async_ref("asynchronous variable")?;
+            words.expect_end()?;
+            Some(format!("ZZVOID({var})"))
+        }
+        "SHARED" | "PRIVATE" | "ASYNC" => {
+            words.next_word();
+            let ty = words.expect_type()?;
+            let decls = words.rest().trim().to_string();
+            if decls.is_empty() {
+                return Err(format!("{first} declaration lists no variables"));
+            }
+            Some(format!("ZZ{first}({ty}, `{decls}')"))
+        }
+        "PRESCHED" | "SELFSCHED" => {
+            words.next_word();
+            let second = words.expect_word("DO, DO2 or Pcase")?.to_ascii_uppercase();
+            match second.as_str() {
+                "DO" => {
+                    let label = words.expect_label()?;
+                    let (var, e1, e2, e3) = parse_do_control(words.rest())?;
+                    Some(format!(
+                        "ZZ{first}DO({label}, {var}, `{e1}', `{e2}', `{e3}')"
+                    ))
+                }
+                "DO2" => {
+                    // Doubly nested loop over index *pairs* (§3.3):
+                    //   Presched DO2 10 I = 1, N ; J = 1, M [, step]
+                    let label = words.expect_label()?;
+                    let rest = words.rest();
+                    let (outer, inner) = rest.split_once(';').ok_or_else(|| {
+                        "DO2 needs two index sets separated by `;`".to_string()
+                    })?;
+                    let (v1, a1, b1, c1) = parse_do_control(outer)?;
+                    let (v2, a2, b2, c2) = parse_do_control(inner)?;
+                    Some(format!(
+                        "ZZ{first}DO2({label}, {v1}, `{a1}', `{b1}', `{c1}', {v2}, `{a2}', `{b2}', `{c2}')"
+                    ))
+                }
+                "PCASE" => Some(format!("ZZPCASE({})", if first == "PRESCHED" { "P" } else { "S" })),
+                other => return Err(format!("expected DO, DO2 or Pcase after {first}, found `{other}`")),
+            }
+        }
+        "PCASE" => {
+            words.next_word();
+            words.expect_end()?;
+            Some("ZZPCASE(P)".to_string())
+        }
+        "USECT" => {
+            words.next_word();
+            words.expect_end()?;
+            Some("ZZUSECT".to_string())
+        }
+        "CSECT" => {
+            words.next_word();
+            let cond = words.rest().trim();
+            let inner = cond
+                .strip_prefix('(')
+                .and_then(|c| c.strip_suffix(')'))
+                .ok_or_else(|| "Csect needs a parenthesized condition".to_string())?;
+            Some(format!("ZZCSECT(`{inner}')"))
+        }
+        "END" => {
+            words.next_word();
+            let what = words.expect_word("construct name")?.to_ascii_uppercase();
+            match what.as_str() {
+                "DECLARATIONS" => {
+                    words.expect_end()?;
+                    Some("ZZENDDECL".to_string())
+                }
+                "BARRIER" => {
+                    words.expect_end()?;
+                    Some("ZZENDBARRIER".to_string())
+                }
+                "CRITICAL" => {
+                    let var = words.next_word().unwrap_or_default();
+                    Some(format!("ZZENDCRITICAL({var})"))
+                }
+                "PCASE" => {
+                    words.expect_end()?;
+                    Some("ZZENDPCASE".to_string())
+                }
+                "PRESCHED" | "SELFSCHED" => {
+                    let kw = words.expect_word("DO or DO2")?.to_ascii_uppercase();
+                    if kw != "DO" && kw != "DO2" {
+                        return Err(format!("expected DO or DO2, found `{kw}`"));
+                    }
+                    words.expect_end()?;
+                    let label =
+                        label.ok_or_else(|| format!("End {what} {kw} needs its loop label"))?;
+                    return Ok(format!("ZZEND{what}{kw}({label})"));
+                }
+                // `END IF`, `END DO` etc. are ordinary Fortran.
+                _ => None,
+            }
+        }
+        _ => None,
+    };
+
+    match translated {
+        Some(t) => {
+            if let Some(label) = label {
+                Err(format!(
+                    "unexpected statement label {label} on a Force statement"
+                ))
+            } else {
+                Ok(t)
+            }
+        }
+        None => Ok(line.to_string()),
+    }
+}
+
+/// Rewrite case-insensitive `Isfull(` tokens to the machine-layer macro
+/// `zzisfull(`.  Token-boundary aware (an identifier like `XISFULL(` is
+/// left alone).
+fn rewrite_isfull(line: &str) -> String {
+    let chars: Vec<char> = line.chars().collect();
+    let mut out = String::with_capacity(line.len());
+    let mut i = 0usize;
+    while i < chars.len() {
+        let boundary = i == 0 || !(chars[i - 1].is_ascii_alphanumeric() || chars[i - 1] == '_');
+        let is_kw = boundary
+            && i + 6 <= chars.len()
+            && chars[i..i + 6]
+                .iter()
+                .zip("isfull".chars())
+                .all(|(&c, k)| c.to_ascii_lowercase() == k)
+            && chars[i + 6..]
+                .iter()
+                .find(|c| !c.is_whitespace())
+                .is_some_and(|&c| c == '(');
+        if is_kw {
+            out.push_str("zzisfull");
+            i += 6;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Split a leading numeric label off a trimmed line.
+fn split_label(s: &str) -> (Option<&str>, &str) {
+    let end = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    if end == 0 {
+        (None, s)
+    } else {
+        (Some(&s[..end]), s[end..].trim_start())
+    }
+}
+
+/// Parse the `V = E1, E2 [, E3]` DO-control after the label.
+fn parse_do_control(s: &str) -> Result<(String, String, String, String), String> {
+    let (var, rhs) = s
+        .split_once('=')
+        .ok_or_else(|| "DO statement needs `var = e1, e2[, e3]`".to_string())?;
+    let var = var.trim();
+    if !is_ident(var) {
+        return Err(format!("`{var}` is not a valid loop variable"));
+    }
+    let parts = split_top_commas(rhs);
+    match parts.len() {
+        2 => Ok((
+            var.to_string(),
+            parts[0].clone(),
+            parts[1].clone(),
+            "1".to_string(),
+        )),
+        3 => Ok((
+            var.to_string(),
+            parts[0].clone(),
+            parts[1].clone(),
+            parts[2].clone(),
+        )),
+        n => Err(format!("DO control needs 2 or 3 bounds, found {n}")),
+    }
+}
+
+/// Split on commas not nested in parentheses.
+pub(crate) fn split_top_commas(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ',' if depth == 0 => parts.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    parts.push(cur);
+    parts
+        .into_iter()
+        .map(|p| p.trim().to_string())
+        .filter(|p| !p.is_empty())
+        .collect()
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// A tiny word scanner over one statement.
+struct Words<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Words<'a> {
+    fn new(s: &'a str) -> Self {
+        Words { rest: s.trim() }
+    }
+
+    fn peek_word(&self) -> Option<&'a str> {
+        let s = self.rest.trim_start();
+        if s.is_empty() {
+            return None;
+        }
+        let end = s
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .unwrap_or(s.len());
+        if end == 0 {
+            None
+        } else {
+            Some(&s[..end])
+        }
+    }
+
+    fn next_word(&mut self) -> Option<&'a str> {
+        let s = self.rest.trim_start();
+        let w = {
+            let end = s
+                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                .unwrap_or(s.len());
+            if end == 0 {
+                return None;
+            }
+            &s[..end]
+        };
+        self.rest = &s[w.len()..];
+        Some(w)
+    }
+
+    fn expect_word(&mut self, what: &str) -> Result<&'a str, String> {
+        self.next_word()
+            .ok_or_else(|| format!("expected {what}, found end of statement"))
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, String> {
+        let w = self.expect_word(what)?;
+        if is_ident(w) {
+            Ok(w.to_string())
+        } else {
+            Err(format!("expected {what}, found `{w}`"))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), String> {
+        let w = self.expect_word(kw)?;
+        if w.eq_ignore_ascii_case(kw) {
+            Ok(())
+        } else {
+            Err(format!("expected `{kw}`, found `{w}`"))
+        }
+    }
+
+    fn expect_label(&mut self) -> Result<String, String> {
+        let w = self.expect_word("statement label")?;
+        if w.chars().all(|c| c.is_ascii_digit()) && !w.is_empty() {
+            Ok(w.to_string())
+        } else {
+            Err(format!("expected a numeric label, found `{w}`"))
+        }
+    }
+
+    fn expect_type(&mut self) -> Result<String, String> {
+        let w = self.expect_word("type name")?.to_ascii_uppercase();
+        match w.as_str() {
+            "INTEGER" | "REAL" | "LOGICAL" => Ok(w),
+            other => Err(format!("unsupported declaration type `{other}`")),
+        }
+    }
+
+    /// An asynchronous variable reference: `C` or `C(subscripts)`.
+    fn expect_async_ref(&mut self, what: &str) -> Result<String, String> {
+        let name = self.expect_ident(what)?;
+        let s = self.rest.trim_start();
+        if s.starts_with('(') {
+            let subs = self.maybe_paren_group();
+            Ok(format!("{name}({subs})"))
+        } else {
+            Ok(name)
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), String> {
+        if self.rest.trim().is_empty() {
+            Ok(())
+        } else {
+            Err(format!("unexpected trailing text `{}`", self.rest.trim()))
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        self.rest
+    }
+
+    /// Consume a parenthesized group immediately following, returning its
+    /// inner text ("" if absent).
+    fn maybe_paren_group(&mut self) -> String {
+        let s = self.rest.trim_start();
+        if !s.starts_with('(') {
+            return String::new();
+        }
+        let mut depth = 0usize;
+        for (i, c) in s.char_indices() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let inner = &s[1..i];
+                        self.rest = &s[i + 1..];
+                        return inner.trim().to_string();
+                    }
+                }
+                _ => {}
+            }
+        }
+        String::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(line: &str) -> String {
+        translate_line(line).unwrap()
+    }
+
+    #[test]
+    fn force_header() {
+        assert_eq!(
+            one("      Force MAIN of NP ident ME"),
+            "ZZFORCE(MAIN, NP, ME)"
+        );
+    }
+
+    #[test]
+    fn forcesub_with_and_without_args() {
+        assert_eq!(
+            one("      Forcesub WORK(A, N) of NP ident ME"),
+            "ZZFORCESUB(WORK, `A, N', NP, ME)"
+        );
+        assert_eq!(
+            one("      Forcesub NOP of NP ident ME"),
+            "ZZFORCESUB(NOP, `', NP, ME)"
+        );
+    }
+
+    #[test]
+    fn selfsched_do_statement() {
+        assert_eq!(
+            one("      Selfsched DO 100 K = START, LAST, INCR"),
+            "ZZSELFSCHEDDO(100, K, `START', `LAST', `INCR')"
+        );
+        assert_eq!(
+            one("100   End Selfsched DO"),
+            "ZZENDSELFSCHEDDO(100)"
+        );
+    }
+
+    #[test]
+    fn presched_do_default_increment() {
+        assert_eq!(
+            one("      Presched DO 10 I = 1, N"),
+            "ZZPRESCHEDDO(10, I, `1', `N', `1')"
+        );
+        assert_eq!(one("10    End presched DO"), "ZZENDPRESCHEDDO(10)");
+    }
+
+    #[test]
+    fn do_bounds_may_be_expressions() {
+        assert_eq!(
+            one("      Presched DO 20 I = J+1, MIN(N, M), 2"),
+            "ZZPRESCHEDDO(20, I, `J+1', `MIN(N, M)', `2')"
+        );
+    }
+
+    #[test]
+    fn barrier_and_critical() {
+        assert_eq!(one("      Barrier"), "ZZBARRIER");
+        assert_eq!(one("      End barrier"), "ZZENDBARRIER");
+        assert_eq!(one("      Critical LCK"), "ZZCRITICAL(LCK)");
+        assert_eq!(one("      End critical LCK"), "ZZENDCRITICAL(LCK)");
+        assert_eq!(one("      End critical"), "ZZENDCRITICAL()");
+    }
+
+    #[test]
+    fn produce_consume_void_copy() {
+        assert_eq!(
+            one("      Produce C = K + 1"),
+            "ZZPRODUCE(C, `K + 1')"
+        );
+        assert_eq!(one("      Consume C into T"), "ZZCONSUME(C, T)");
+        assert_eq!(one("      Copy C into T"), "ZZCOPYF(C, T)");
+        assert_eq!(one("      Void C"), "ZZVOID(C)");
+    }
+
+    #[test]
+    fn declarations() {
+        assert_eq!(
+            one("      Shared INTEGER TOTAL, A(10)"),
+            "ZZSHARED(INTEGER, `TOTAL, A(10)')"
+        );
+        assert_eq!(
+            one("      Private REAL X"),
+            "ZZPRIVATE(REAL, `X')"
+        );
+        assert_eq!(
+            one("      Async INTEGER C"),
+            "ZZASYNC(INTEGER, `C')"
+        );
+        assert_eq!(one("      End declarations"), "ZZENDDECL");
+    }
+
+    #[test]
+    fn pcase_family() {
+        assert_eq!(one("      Pcase"), "ZZPCASE(P)");
+        assert_eq!(one("      Presched Pcase"), "ZZPCASE(P)");
+        assert_eq!(one("      Selfsched Pcase"), "ZZPCASE(S)");
+        assert_eq!(one("      Usect"), "ZZUSECT");
+        assert_eq!(one("      Csect (N .GT. 0)"), "ZZCSECT(`N .GT. 0')");
+        assert_eq!(one("      End pcase"), "ZZENDPCASE");
+    }
+
+    #[test]
+    fn join_and_externf() {
+        assert_eq!(one("      Join"), "ZZJOIN");
+        assert_eq!(one("      Externf WORK"), "ZZEXTERNF(WORK)");
+    }
+
+    #[test]
+    fn plain_fortran_passes_through() {
+        let lines = [
+            "      TOTAL = TOTAL + K",
+            "      IF (K .GT. 0) THEN",
+            "      END IF",
+            "100   CONTINUE",
+            "      CALL WORK(A, N)",
+            "      END DO",
+            "",
+        ];
+        for l in lines {
+            assert_eq!(one(l), l, "line should pass through: {l}");
+        }
+    }
+
+    #[test]
+    fn comments_pass_through_even_if_force_like() {
+        assert_eq!(one("C     Barrier"), "C     Barrier");
+        assert_eq!(one("* Join"), "* Join");
+        assert_eq!(one("! Critical X"), "! Critical X");
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(one("      BARRIER"), "ZZBARRIER");
+        assert_eq!(one("      barrier"), "ZZBARRIER");
+        assert_eq!(
+            one("      selfsched do 5 k = 1, 3"),
+            "ZZSELFSCHEDDO(5, k, `1', `3', `1')"
+        );
+    }
+
+    #[test]
+    fn whole_file_reports_line_numbers() {
+        let src = "      Force M of NP ident ME\n      Consume C\n";
+        let err = sed_pass(src).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("into"), "{}", err.message);
+    }
+
+    #[test]
+    fn end_do_without_label_is_an_error() {
+        let err = translate_line("      End selfsched DO").unwrap_err();
+        assert!(err.contains("label"), "{err}");
+    }
+
+    #[test]
+    fn bad_do_control_is_an_error() {
+        assert!(translate_line("      Presched DO 10 I = 1").is_err());
+        assert!(translate_line("      Presched DO 10 = 1, 2").is_err());
+        assert!(translate_line("      Presched DO xx I = 1, 2").is_err());
+    }
+
+    #[test]
+    fn do2_statements() {
+        assert_eq!(
+            one("      Selfsched DO2 100 I = 1, N ; J = 1, M"),
+            "ZZSELFSCHEDDO2(100, I, `1', `N', `1', J, `1', `M', `1')"
+        );
+        assert_eq!(
+            one("      Presched DO2 20 I = 2, 8, 2 ; J = 9, 1, -3"),
+            "ZZPRESCHEDDO2(20, I, `2', `8', `2', J, `9', `1', `-3')"
+        );
+        assert_eq!(one("100   End selfsched DO2"), "ZZENDSELFSCHEDDO2(100)");
+        assert_eq!(one("20    End presched DO2"), "ZZENDPRESCHEDDO2(20)");
+        assert!(translate_line("      Presched DO2 5 I = 1, 2").is_err());
+    }
+
+    #[test]
+    fn split_top_commas_respects_parens() {
+        assert_eq!(
+            split_top_commas("A(1,2), B, MAX(C, D)"),
+            vec!["A(1,2)", "B", "MAX(C, D)"]
+        );
+    }
+}
+
+#[cfg(test)]
+mod isfull_tests {
+    use super::translate_line;
+
+    #[test]
+    fn isfull_rewrites_token_boundary_aware() {
+        assert_eq!(
+            translate_line("      IF (Isfull(C)) THEN").unwrap(),
+            "      IF (zzisfull(C)) THEN"
+        );
+        assert_eq!(
+            translate_line("      X = ISFULL (C)").unwrap(),
+            "      X = zzisfull (C)"
+        );
+        // not at a token boundary, or no call parentheses: untouched
+        assert_eq!(
+            translate_line("      XISFULL(C) = 1").unwrap(),
+            "      XISFULL(C) = 1"
+        );
+        assert_eq!(
+            translate_line("      ISFULLY = 1").unwrap(),
+            "      ISFULLY = 1"
+        );
+    }
+
+    #[test]
+    fn isfull_survives_non_ascii_text() {
+        // must not panic on multi-byte characters (found by proptest)
+        let weird = "      X = 1 ! caf\u{e9} \u{108f0} isfull(";
+        let _ = translate_line(weird);
+        let _ = super::sed_pass("'\u{e9}\"`\u{108f0}M isfull(x)\n");
+    }
+}

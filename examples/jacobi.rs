@@ -1,0 +1,168 @@
+//! Jacobi relaxation on a 2-D grid — the classic tightly coupled
+//! numerical kernel the Force was designed around (§1: the language
+//! "evolved in the course of implementing numerical algorithms").
+//!
+//! Structure per iteration:
+//!   * prescheduled DOALL over interior rows (each is a barrier at exit),
+//!   * a residual reduction through a critical section,
+//!   * a barrier section where one process checks convergence.
+//!
+//! The result is independent of the number of processes; the example
+//! verifies the parallel solution against a sequential solver.
+//!
+//! ```sh
+//! cargo run --example jacobi [nproc] [grid]
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use the_force::prelude::*;
+
+const TOL: f64 = 1e-6;
+const MAX_ITERS: usize = 10_000;
+
+/// One Jacobi sweep source term: fixed boundary, zero interior start.
+fn boundary(i: usize, j: usize, n: usize) -> f64 {
+    if i == 0 {
+        100.0
+    } else if j == 0 {
+        75.0
+    } else if i == n - 1 || j == n - 1 {
+        0.0
+    } else {
+        0.0
+    }
+}
+
+fn sequential(n: usize) -> (Vec<f64>, usize) {
+    let mut a = vec![0.0f64; n * n];
+    let mut b = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = boundary(i, j, n);
+            b[i * n + j] = a[i * n + j];
+        }
+    }
+    for iter in 1..=MAX_ITERS {
+        let mut residual: f64 = 0.0;
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                let v = 0.25
+                    * (a[(i - 1) * n + j] + a[(i + 1) * n + j] + a[i * n + j - 1]
+                        + a[i * n + j + 1]);
+                residual = residual.max((v - a[i * n + j]).abs());
+                b[i * n + j] = v;
+            }
+        }
+        std::mem::swap(&mut a, &mut b);
+        if residual < TOL {
+            return (a, iter);
+        }
+    }
+    (a, MAX_ITERS)
+}
+
+fn parallel(n: usize, nproc: usize) -> (Vec<f64>, usize) {
+    let force = Force::with_machine(nproc, Machine::new(MachineId::AlliantFx8));
+    let a = SharedF64Matrix::zeroed(n, n);
+    let b = SharedF64Matrix::zeroed(n, n);
+    // f64 residual max via bit-packed atomic (monotone under max).
+    let residual_bits = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    let iters = AtomicU64::new(0);
+
+    force.run(|p| {
+        // Initialize boundaries in parallel.
+        p.presched_do(ForceRange::to(0, (n * n - 1) as i64), |k| {
+            let (i, j) = ((k as usize) / n, (k as usize) % n);
+            a.set(i, j, boundary(i, j, n));
+            b.set(i, j, boundary(i, j, n));
+        });
+
+        for iter in 1..=MAX_ITERS {
+            if done.load(Ordering::Acquire) {
+                break;
+            }
+            let src = if iter % 2 == 1 { &a } else { &b };
+            let dst = if iter % 2 == 1 { &b } else { &a };
+
+            // Each process sweeps its rows and keeps a private residual.
+            let mut my_residual: f64 = 0.0;
+            p.presched_do(ForceRange::to(1, (n - 2) as i64), |row| {
+                let i = row as usize;
+                for j in 1..n - 1 {
+                    let v = 0.25
+                        * (src.get(i - 1, j) + src.get(i + 1, j) + src.get(i, j - 1)
+                            + src.get(i, j + 1));
+                    my_residual = my_residual.max((v - src.get(i, j)).abs());
+                    dst.set(i, j, v);
+                }
+            });
+
+            // Reduce the residual through a critical section (the Force
+            // idiom for reductions).
+            p.critical("RESID", || {
+                let cur = f64::from_bits(residual_bits.load(Ordering::Relaxed));
+                if my_residual > cur {
+                    residual_bits.store(my_residual.to_bits(), Ordering::Relaxed);
+                }
+            });
+
+            // One process tests convergence while the others wait.
+            p.barrier_section(|| {
+                let r = f64::from_bits(residual_bits.load(Ordering::Relaxed));
+                iters.store(iter as u64, Ordering::Relaxed);
+                if r < TOL {
+                    done.store(true, Ordering::Release);
+                }
+                residual_bits.store(0, Ordering::Relaxed);
+            });
+        }
+    });
+
+    let final_iters = iters.load(Ordering::Relaxed) as usize;
+    let result = if final_iters % 2 == 1 { &b } else { &a };
+    let mut out = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            out[i * n + j] = result.get(i, j);
+        }
+    }
+    (out, final_iters)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nproc: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4)
+        });
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(48);
+
+    println!("Jacobi relaxation: {n}x{n} grid, force of {nproc} processes");
+    let t0 = std::time::Instant::now();
+    let (seq, seq_iters) = sequential(n);
+    let seq_time = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let (par, par_iters) = parallel(n, nproc);
+    let par_time = t0.elapsed();
+
+    let max_diff = seq
+        .iter()
+        .zip(par.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("sequential: {seq_iters} iterations in {seq_time:?}");
+    println!("parallel:   {par_iters} iterations in {par_time:?}");
+    println!("max |seq - par| = {max_diff:.2e}");
+    assert!(
+        max_diff < 1e-9,
+        "parallel Jacobi diverged from the sequential solution"
+    );
+    assert_eq!(seq_iters, par_iters, "iteration counts must agree");
+    println!("OK: identical result, independent of the number of processes");
+}

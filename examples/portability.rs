@@ -1,0 +1,108 @@
+//! The portability demonstration — the paper's headline claim, live.
+//!
+//! One Force-language source file is preprocessed for each of the six
+//! machines the paper lists, executed on a simulated instance of that
+//! machine, and verified.  The table shows how each port resolves the
+//! same source onto different vendor primitives — and the machine
+//! profiles show the primitives actually exercised at run time.
+//!
+//! ```sh
+//! cargo run --example portability [nproc]
+//! ```
+
+use the_force::machdep::MachineId;
+use the_force::{compile_force_source, run_force_source};
+
+/// The demonstration program: shared/private/async variables, a barrier
+/// with a section, a selfscheduled DOALL, a critical section and a
+/// produce/consume handoff — every §3 construct class in ~20 lines.
+const SOURCE: &str = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER TOTAL, NDONE
+      Async INTEGER CHAN
+      Private INTEGER K, T
+      End declarations
+      Barrier
+      TOTAL = 0
+      End barrier
+      Selfsched DO 100 K = 1, 200
+      Critical LCK
+      TOTAL = TOTAL + K
+      End critical
+100   End selfsched DO
+      IF (ME .EQ. 0) THEN
+      Produce CHAN = TOTAL
+      END IF
+      IF (ME .EQ. NP - 1) THEN
+      Consume CHAN into T
+      NDONE = T
+      END IF
+      Join
+";
+
+fn main() {
+    let nproc: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let expected = 200 * 201 / 2;
+
+    println!("The Force portability matrix — one source, six machines, force of {nproc}\n");
+    println!(
+        "{:<18} {:<24} {:<10} {:>8} {:>9} {:>7} {:>6} {:>12}",
+        "machine", "lock primitive", "result", "locks", "contended", "syscall", "full/empty", "sim cycles"
+    );
+    println!("{}", "-".repeat(100));
+
+    for id in MachineId::all() {
+        let (expanded, _engine) = compile_force_source(SOURCE, id).expect("preprocess");
+        let out = run_force_source(SOURCE, id, nproc).expect("run");
+        let total = out
+            .shared_scalar("TOTAL")
+            .and_then(|v| v.as_int(0).ok())
+            .unwrap_or(-1);
+        let handed = out
+            .shared_scalar("NDONE")
+            .and_then(|v| v.as_int(0).ok())
+            .unwrap_or(-1);
+        let ok = total == expected && handed == expected;
+        let s = out.stats;
+        println!(
+            "{:<18} {:<24} {:<10} {:>8} {:>9} {:>7} {:>6} {:>12}",
+            id.name(),
+            the_force::prep::machdep_macros::lock_mnemonics(
+                the_force::machdep::MachineSpec::of(id).vendor_locks
+            )
+            .0,
+            if ok { "PASS" } else { "FAIL" },
+            s.lock_acquires,
+            s.lock_contended,
+            s.syscalls,
+            s.fe_produces + s.fe_consumes,
+            out.cycles,
+        );
+        assert!(ok, "{}: TOTAL={total} NDONE={handed}", id.name());
+        // Show the two-level expansion difference on one line of code.
+        let line = expanded
+            .code
+            .lines()
+            .find(|l| l.contains("(LCK)") && l.contains("CALL") && !l.contains("ZZINITL"))
+            .unwrap_or("");
+        println!("{:<18}   Critical LCK  ->  {}", "", line.trim());
+        if !out.linker_commands.is_empty() {
+            println!(
+                "{:<18}   link pass emitted {} linker commands (first: {})",
+                "",
+                out.linker_commands.len(),
+                out.linker_commands[0]
+            );
+        }
+        if s.padding_words > 0 {
+            println!(
+                "{:<18}   sharing model padded {} words to separate shared pages",
+                "", s.padding_words
+            );
+        }
+    }
+    println!("\nAll six ports PASS: the source is portable; the expanded code is not.");
+}

@@ -1,0 +1,108 @@
+//! Quickstart: a tour of the native Force API.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! The Force model in five sentences: a *force* of processes executes the
+//! whole program (global parallelism).  Work is distributed over the
+//! force by constructs (DOALL, Pcase, Askfor), never assigned to named
+//! processes.  Variables are *shared* (captured by the program closure)
+//! or *private* (the closure's locals).  Synchronization is *generic* —
+//! barriers, critical sections and full/empty asynchronous variables name
+//! no processes.  A correct Force program runs with any number of
+//! processes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use the_force::prelude::*;
+
+fn main() {
+    // A force of processes on a simulated Encore Multimax.  Every one of
+    // the paper's six machines is available; the program text does not
+    // change.
+    let machine = Machine::new(MachineId::EncoreMultimax);
+    let force = Force::with_machine(4, machine);
+    println!(
+        "force of {} processes on the {}",
+        force.nproc(),
+        force.machine().id().name()
+    );
+
+    // Shared variables are what the program closure captures.
+    let sum = AtomicU64::new(0);
+    let histogram = SharedF64Array::zeroed(10);
+
+    force.run(|p| {
+        // -- selfscheduled DOALL: dynamic work distribution ----------
+        p.selfsched_do(ForceRange::to(1, 1000), |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+
+        // -- barrier with a section: one process reports -------------
+        p.barrier_section(|| {
+            println!("sum 1..1000 = {}", sum.load(Ordering::Relaxed));
+        });
+
+        // -- prescheduled DOALL: static cyclic distribution ----------
+        p.presched_do(ForceRange::to(0, 9), |i| {
+            histogram.set(i as usize, (i * i) as f64);
+        });
+
+        // -- critical section: named mutual exclusion ----------------
+        p.critical("REPORT", || {
+            // at most one process in here at a time
+        });
+
+        // -- Pcase: independent code sections over the force ---------
+        p.pcase()
+            .sect(|| println!("section A (one process runs this)"))
+            .sect(|| println!("section B (maybe a different process)"))
+            .csect(false, || println!("never: condition is false"))
+            .selfsched();
+
+        // -- Askfor: work whose amount is unknown at compile time ----
+        let leaves = AtomicU64::new(0);
+        p.askfor(
+            || vec![16u64],
+            |n, pot| {
+                if n > 1 {
+                    pot.post(n / 2);
+                    pot.post(n - n / 2);
+                } else {
+                    leaves.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+        );
+        p.barrier_section(|| {
+            println!("askfor split 16 into {} unit leaves", leaves.load(Ordering::Relaxed));
+        });
+    });
+
+    // -- asynchronous variables: produce/consume dataflow ------------
+    let force2 = Force::with_machine(2, Machine::new(MachineId::Hep));
+    let chan: Async<u64> = Async::new(force2.machine());
+    let received = AtomicU64::new(0);
+    force2.run(|p| {
+        if p.pid() == 0 {
+            for i in 1..=5 {
+                chan.produce(i * 11);
+            }
+        } else {
+            for _ in 0..5 {
+                received.fetch_add(chan.consume(), Ordering::Relaxed);
+            }
+        }
+    });
+    println!(
+        "pipeline moved {} through a HEP hardware full/empty cell",
+        received.load(Ordering::Relaxed)
+    );
+
+    // The machine kept score of the primitives used:
+    let snap = force.machine().stats().snapshot();
+    println!(
+        "machine profile: {} lock acquires, {} barrier episodes, {} processes created",
+        snap.lock_acquires, snap.barrier_episodes, snap.processes_created
+    );
+}

@@ -1,0 +1,186 @@
+//! # the-force — a Rust reproduction of *The Force: A Highly Portable
+//! Parallel Programming Language* (Jordan, Benten, Alaghband & Jakob,
+//! ICPP 1989)
+//!
+//! This facade crate ties together the four subsystems of the
+//! reproduction:
+//!
+//! * [`machdep`] ([`force_machdep`]) — the machine-dependent layer:
+//!   generic locks, shared-memory designation, process-creation models,
+//!   and six simulated machine personalities (HEP, Flex/32, Encore
+//!   Multimax, Sequent Balance, Alliant FX/8, Cray-2);
+//! * [`core`] ([`force_core`]) — the machine-independent Force runtime as
+//!   a native Rust API: the force of processes, barriers (with sections),
+//!   prescheduled/selfscheduled DOALL, Pcase, Askfor, Resolve, critical
+//!   sections, and full/empty asynchronous variables;
+//! * [`prep`] ([`force_prep`]) — the Force *language*: a sed-like phase-1
+//!   translator and a from-scratch m4-subset macro processor implementing
+//!   the paper's two-level macro scheme, plus per-machine driver
+//!   generation;
+//! * [`fortran`] ([`force_fortran`]) — the mini-Fortran substrate that
+//!   executes the preprocessor's output with N concurrent interpreter
+//!   processes over shared COMMON storage.
+//!
+//! ## Quickstart (native API)
+//!
+//! ```
+//! use the_force::prelude::*;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let force = Force::new(4);
+//! let sum = AtomicU64::new(0);
+//! force.run(|p| {
+//!     p.selfsched_do(ForceRange::to(1, 100), |i| {
+//!         sum.fetch_add(i as u64, Ordering::Relaxed);
+//!     });
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 5050);
+//! ```
+//!
+//! ## Quickstart (the Force language)
+//!
+//! ```
+//! use the_force::run_force_source;
+//! use the_force::machdep::MachineId;
+//!
+//! let source = "\
+//!       Force FMAIN of NP ident ME
+//!       Shared INTEGER TOTAL
+//!       Private INTEGER K
+//!       End declarations
+//!       Selfsched DO 100 K = 1, 10
+//!       Critical LCK
+//!       TOTAL = TOTAL + K
+//!       End critical
+//! 100   End selfsched DO
+//!       Join
+//! ";
+//! // The same source runs, unmodified, on any of the six machines.
+//! for id in MachineId::all() {
+//!     let out = run_force_source(source, id, 4).unwrap();
+//!     assert_eq!(out.shared_scalar("TOTAL").unwrap().as_int(0).unwrap(), 55);
+//! }
+//! ```
+
+pub use force_core as core;
+pub use force_fortran as fortran;
+pub use force_machdep as machdep;
+pub use force_prep as prep;
+
+/// Convenience prelude: the native Force API plus machine personalities.
+pub mod prelude {
+    pub use force_core::prelude::*;
+}
+
+use std::sync::Arc;
+
+/// Errors from the end-to-end language pipeline.
+#[derive(Debug)]
+pub enum ForceError {
+    /// Preprocessing failed.
+    Prep(force_prep::PrepError),
+    /// Compilation or execution failed.
+    Fortran(force_fortran::FortError),
+}
+
+impl std::fmt::Display for ForceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ForceError::Prep(e) => write!(f, "preprocessor: {e}"),
+            ForceError::Fortran(e) => write!(f, "execution: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ForceError {}
+
+impl From<force_prep::PrepError> for ForceError {
+    fn from(e: force_prep::PrepError) -> Self {
+        ForceError::Prep(e)
+    }
+}
+
+impl From<force_fortran::FortError> for ForceError {
+    fn from(e: force_fortran::FortError) -> Self {
+        ForceError::Fortran(e)
+    }
+}
+
+/// Run a Force-language source end to end: preprocess for `machine`,
+/// load onto a fresh instance of that machine, execute with a force of
+/// `nproc` processes, and return the observable output.
+///
+/// This is the whole §4.3 pipeline in one call — the moral equivalent of
+/// `forcecompile prog.force && a.out`.
+pub fn run_force_source(
+    source: &str,
+    machine: machdep::MachineId,
+    nproc: usize,
+) -> Result<fortran::RunOutput, ForceError> {
+    let expanded = prep::preprocess(source, machine)?;
+    let m = machdep::Machine::new(machine);
+    let engine = fortran::Engine::from_expanded(&expanded, Arc::clone(&m))?;
+    Ok(engine.run(nproc)?)
+}
+
+/// Preprocess and load a Force program without running it (useful when a
+/// caller wants to run the same engine several times or inspect the
+/// expansion).
+pub fn compile_force_source(
+    source: &str,
+    machine: machdep::MachineId,
+) -> Result<(prep::ExpandedProgram, fortran::Engine), ForceError> {
+    let expanded = prep::preprocess(source, machine)?;
+    let m = machdep::Machine::new(machine);
+    let engine = fortran::Engine::from_expanded(&expanded, m)?;
+    Ok((expanded, engine))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machdep::MachineId;
+
+    #[test]
+    fn end_to_end_pipeline_runs() {
+        let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER N
+      End declarations
+      Critical L
+      N = N + 1
+      End critical
+      Join
+";
+        let out = run_force_source(src, MachineId::Flex32, 5).unwrap();
+        assert_eq!(out.shared_scalar("N").unwrap(), fortran::Value::Int(5));
+    }
+
+    #[test]
+    fn compile_then_run_repeatedly() {
+        let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER N
+      End declarations
+      Critical L
+      N = N + 1
+      End critical
+      Join
+";
+        let (expanded, engine) = compile_force_source(src, MachineId::Hep).unwrap();
+        assert!(expanded.code.contains("ZZFELCK"));
+        for nproc in [1, 2, 4] {
+            let out = engine.run(nproc).unwrap();
+            assert_eq!(
+                out.shared_scalar("N").unwrap(),
+                fortran::Value::Int(nproc as i64)
+            );
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_with_phase() {
+        let err = run_force_source("      Consume X\n", MachineId::Hep, 1).unwrap_err();
+        assert!(err.to_string().starts_with("preprocessor:"), "{err}");
+    }
+}

@@ -1,0 +1,272 @@
+//! Failure injection and error surfacing: wrong-machine execution,
+//! malformed programs, runtime faults, protocol misuse.  Errors must be
+//! structured diagnostics — never hangs, never unsoundness.
+
+use the_force::fortran::{Engine, FortErrorKind};
+use the_force::machdep::{Machine, MachineId};
+use the_force::prelude::*;
+use the_force::prep::preprocess;
+use the_force::{run_force_source, ForceError};
+
+const OK_PROGRAM: &str = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER N
+      End declarations
+      Critical L
+      N = N + 1
+      End critical
+      Join
+";
+
+#[test]
+fn expanded_code_is_not_portable_across_machines() {
+    // Preprocess once per machine; run each expansion on every machine.
+    // The diagonal must pass; off-diagonal runs whose lock mnemonics
+    // differ must fail with a machine mismatch.
+    for from in MachineId::all() {
+        let exp = preprocess(OK_PROGRAM, from).unwrap();
+        for to in MachineId::all() {
+            let engine = Engine::from_expanded(&exp, Machine::new(to)).unwrap();
+            let result = engine.run(2);
+            let compatible = {
+                let a = the_force::machdep::MachineSpec::of(from);
+                let b = the_force::machdep::MachineSpec::of(to);
+                a.vendor_locks == b.vendor_locks
+                    && a.process_model == b.process_model
+                    && a.sharing == b.sharing
+            };
+            match result {
+                Ok(out) => {
+                    assert!(
+                        compatible,
+                        "{} code ran on {} but should have mismatched",
+                        from.name(),
+                        to.name()
+                    );
+                    assert_eq!(
+                        out.shared_scalar("N"),
+                        Some(the_force::fortran::Value::Int(2))
+                    );
+                }
+                Err(e) => {
+                    assert!(!compatible, "{} on {} failed: {e}", from.name(), to.name());
+                    assert!(
+                        matches!(
+                            e.kind,
+                            FortErrorKind::MachineMismatch { .. } | FortErrorKind::Runtime(_)
+                        ),
+                        "wrong error kind: {e}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sed_errors_carry_line_numbers() {
+    let src = "      Force M of NP ident ME\n      Produce X\n";
+    match run_force_source(src, MachineId::Hep, 1) {
+        Err(ForceError::Prep(e)) => assert!(e.to_string().contains("line 2"), "{e}"),
+        other => panic!("expected a prep error, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_bounds_subscript_is_reported_not_ub() {
+    let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER A(4)
+      Private INTEGER K
+      End declarations
+      K = 5
+      A(K) = 1
+      Join
+";
+    let err = run_force_source(src, MachineId::Flex32, 1).unwrap_err();
+    assert!(err.to_string().contains("outside 1..4"), "{err}");
+}
+
+#[test]
+fn division_by_zero_is_reported() {
+    let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER X
+      End declarations
+      X = 1 / (X - X)
+      Join
+";
+    let err = run_force_source(src, MachineId::Hep, 1).unwrap_err();
+    assert!(err.to_string().contains("division by zero"), "{err}");
+}
+
+#[test]
+fn a_panicking_process_fails_the_whole_force() {
+    let force = Force::new(4);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        force.run(|p| {
+            if p.pid() == 2 {
+                panic!("process 2 crashed");
+            }
+            // The others do some private work and finish; the force is
+            // joined before the panic resurfaces.
+            let mut x = 0u64;
+            for i in 0..100 {
+                x += i;
+            }
+            std::hint::black_box(x);
+        });
+    }));
+    assert!(result.is_err());
+    // The machine is reusable after a crashed force.
+    let force2 = Force::new(2);
+    let sum = std::sync::atomic::AtomicU64::new(0);
+    force2.run(|p| {
+        sum.fetch_add(p.pid() as u64 + 1, std::sync::atomic::Ordering::Relaxed);
+    });
+    assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 3);
+}
+
+#[test]
+fn goto_to_a_missing_label_is_a_compile_error() {
+    let src = "\
+      Force FMAIN of NP ident ME
+      End declarations
+      GO TO 999
+      Join
+";
+    let err = run_force_source(src, MachineId::Hep, 1).unwrap_err();
+    assert!(err.to_string().contains("unknown label 999"), "{err}");
+}
+
+#[test]
+fn zero_trip_loops_are_not_an_error() {
+    let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER N
+      Private INTEGER K
+      End declarations
+      Selfsched DO 100 K = 5, 1
+      Critical L
+      N = N + 1
+      End critical
+100   End selfsched DO
+      Presched DO 10 K = 5, 1
+      N = N - 1
+10    End presched DO
+      Join
+";
+    let out = run_force_source(src, MachineId::SequentBalance, 3).unwrap();
+    assert_eq!(
+        out.shared_scalar("N"),
+        Some(the_force::fortran::Value::Int(0))
+    );
+}
+
+#[test]
+fn wrong_argument_counts_are_reported() {
+    let src = "\
+      Force FMAIN of NP ident ME
+      Externf W
+      End declarations
+      CALL W(1, 2)
+      Join
+      Forcesub W(A) of NP ident ME
+      INTEGER A
+      End declarations
+      Join
+";
+    let err = run_force_source(src, MachineId::Hep, 1).unwrap_err();
+    assert!(err.to_string().contains("expects 1 argument"), "{err}");
+}
+
+#[test]
+fn unknown_subroutine_is_reported() {
+    let src = "\
+      Force FMAIN of NP ident ME
+      End declarations
+      CALL NOSUCH(1)
+      Join
+";
+    let err = run_force_source(src, MachineId::Hep, 1).unwrap_err();
+    assert!(err.to_string().contains("NOSUCH"), "{err}");
+}
+
+#[test]
+fn value_arguments_are_read_only() {
+    let src = "\
+      Force FMAIN of NP ident ME
+      Private INTEGER K
+      Externf W
+      End declarations
+      K = 1
+      CALL W(K)
+      Join
+      Forcesub W(A) of NP ident ME
+      INTEGER A
+      End declarations
+      A = 2
+      Join
+";
+    let err = run_force_source(src, MachineId::Flex32, 1).unwrap_err();
+    assert!(err.to_string().contains("read-only"), "{err}");
+}
+
+#[test]
+fn interpreter_errors_inside_the_force_propagate() {
+    // The fault happens inside a spawned force process, not the driver.
+    let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER A(4)
+      End declarations
+      A(ME + 10) = 1
+      Join
+";
+    let err = run_force_source(src, MachineId::EncoreMultimax, 2).unwrap_err();
+    assert!(err.to_string().contains("outside 1..4"), "{err}");
+}
+
+#[test]
+fn scarce_lock_pool_still_correct_when_exhausted() {
+    // More critical-section locks + async locks than the Cray pool holds:
+    // aliasing causes false contention but never wrong answers.
+    let mut decls = String::new();
+    let mut body = String::new();
+    for i in 0..40 {
+        decls.push_str(&format!("      Shared INTEGER V{i}\n"));
+        body.push_str(&format!(
+            "      Critical L{i}\n      V{i} = V{i} + 1\n      End critical\n"
+        ));
+    }
+    let src = format!(
+        "      Force FMAIN of NP ident ME\n{decls}      End declarations\n{body}      Join\n"
+    );
+    let out = run_force_source(&src, MachineId::Cray2, 3).unwrap();
+    for i in 0..40 {
+        assert_eq!(
+            out.shared_scalar(&format!("V{i}")),
+            Some(the_force::fortran::Value::Int(3)),
+            "V{i}"
+        );
+    }
+    assert!(
+        out.stats.locks_aliased > 0,
+        "the pool should have been exhausted: {:?}",
+        out.stats
+    );
+}
+
+#[test]
+fn async_variable_misuse_void_then_consume_blocks_until_produce() {
+    // Void leaves the variable empty; a consume must then wait for a
+    // produce instead of reading garbage.
+    let machine = Machine::new(MachineId::Flex32);
+    let v = std::sync::Arc::new(Async::new_full(&machine, 5i64));
+    v.void();
+    let v2 = std::sync::Arc::clone(&v);
+    let t = std::thread::spawn(move || v2.consume());
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    assert!(!t.is_finished(), "consume after void must block");
+    v.produce(9);
+    assert_eq!(t.join().unwrap(), 9);
+}

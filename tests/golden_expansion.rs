@@ -1,0 +1,204 @@
+//! EXP-1 — the paper's worked example (§4.2).
+//!
+//! The only listing in the paper shows the macro expansion of
+//!
+//! ```fortran
+//! Selfsched DO 100 K = START, LAST, INCR
+//! (* LOOPBODY *)
+//! 100 End Selfsched DO
+//! ```
+//!
+//! This test preprocesses that exact construct and compares the
+//! machine-independent intermediate form against the listing, line by
+//! line.  The only deviations from the paper's text are (a) defensive
+//! parentheses around the macro arguments (`(INCR)` where the paper has
+//! `INCR`) — the paper's version mis-expands for compound bound
+//! expressions — and (b) the force-size variable is the program's `of`
+//! variable (`NP`) where the paper writes the placeholder
+//! `number_of_processes`.
+
+use the_force::machdep::MachineId;
+use the_force::prep::preprocess;
+
+const SOURCE: &str = "\
+      Force FMAIN of NP ident ME
+      Private INTEGER K
+      End declarations
+      Selfsched DO 100 K = START, LAST, INCR
+C LOOPBODY
+100   End Selfsched DO
+      Join
+";
+
+/// Normalize a line: squeeze whitespace.
+fn norm(line: &str) -> String {
+    line.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// The §4.2 listing, adjusted as documented in the module comment.
+const EXPECTED: &[&str] = &[
+    // C loop entry code
+    "lock(BARWIN)",
+    "IF (ZZNBAR .EQ. 0) THEN",
+    // C initialize loop index
+    "K_shared = START",
+    "END IF",
+    // C report arrival of processes
+    "ZZNBAR = ZZNBAR + 1",
+    "IF (ZZNBAR .EQ. NP) THEN",
+    "unlock(BARWOT)",
+    "ELSE",
+    "unlock(BARWIN)",
+    "END IF",
+    // C self scheduled loop index distribution
+    "100 lock(LOOP100)",
+    // C get next index value
+    "K = K_shared",
+    "K_shared = K + INCR",
+    "unlock(LOOP100)",
+    // C test for completion
+    "IF (((INCR) .GT. 0 .AND. K .LE. (LAST)) .OR. ((INCR) .LT. 0 .AND. K .GE. (LAST))) THEN",
+    // (* LOOPBODY *)
+    "GO TO 100",
+    "END IF",
+    // C loop exit code
+    "lock(BARWOT)",
+    // C report exit of processes
+    "ZZNBAR = ZZNBAR - 1",
+    "IF (ZZNBAR .EQ. 0) THEN",
+    "unlock(BARWIN)",
+    "ELSE",
+    "unlock(BARWOT)",
+    "END IF",
+];
+
+#[test]
+fn selfsched_do_expansion_matches_the_paper_listing() {
+    let p = preprocess(SOURCE, MachineId::EncoreMultimax).expect("preprocess");
+    // Extract the loop expansion: everything between the entry-code
+    // comment and the end of the exit protocol.
+    let inter = &p.intermediate;
+    let start = inter.find("C loop entry code").expect("entry comment");
+    let lines: Vec<String> = inter[start..]
+        .lines()
+        .filter(|l| !l.trim_start().starts_with('C') && !l.trim().is_empty())
+        .map(norm)
+        .collect();
+    // The RETURN of Join follows the loop; compare the prefix.
+    assert!(
+        lines.len() >= EXPECTED.len(),
+        "expansion too short:\n{}",
+        inter
+    );
+    for (i, (got, want)) in lines.iter().zip(EXPECTED.iter()).enumerate() {
+        assert_eq!(
+            got, want,
+            "line {i} of the expansion differs\nfull intermediate:\n{inter}"
+        );
+    }
+}
+
+#[test]
+fn the_loop_body_sits_inside_the_completion_test() {
+    let p = preprocess(SOURCE, MachineId::EncoreMultimax).expect("preprocess");
+    let inter = &p.intermediate;
+    let body = inter.find("C LOOPBODY").expect("body survives expansion");
+    let test = inter.find(".GT. 0 .AND. K .LE.").expect("completion test");
+    let goto = inter.find("GO TO 100").expect("loop-back");
+    assert!(test < body && body < goto, "body must be between the test and the GO TO");
+}
+
+#[test]
+fn verbatim_paper_landmarks_appear_in_order() {
+    // The exact strings of the paper listing that our expansion shares
+    // unmodified, in the paper's order.
+    let p = preprocess(SOURCE, MachineId::EncoreMultimax).expect("preprocess");
+    let inter = &p.intermediate;
+    let landmarks = [
+        "C loop entry code",
+        "lock(BARWIN)",
+        "C initialize loop index",
+        "C report arrival of processes",
+        "ZZNBAR = ZZNBAR + 1",
+        "unlock(BARWOT)",
+        "unlock(BARWIN)",
+        "C self scheduled loop index distribution",
+        "lock(LOOP100)",
+        "C get next index value",
+        "K = K_shared",
+        "unlock(LOOP100)",
+        "C test for completion",
+        "GO TO 100",
+        "C loop exit code",
+        "lock(BARWOT)",
+        "C report exit of processes",
+        "ZZNBAR = ZZNBAR - 1",
+    ];
+    let mut pos = 0;
+    for lm in landmarks {
+        match inter[pos..].find(lm) {
+            Some(at) => pos += at + lm.len(),
+            None => panic!("landmark `{lm}` missing or out of order in:\n{inter}"),
+        }
+    }
+}
+
+#[test]
+fn the_expansion_executes_correctly() {
+    // The listing is not just text: run it.  Replace the symbolic bounds
+    // with literals and count each index exactly once.
+    let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER HITS(25)
+      Private INTEGER K
+      End declarations
+      Selfsched DO 100 K = 1, 25
+      Critical LCK
+      HITS(K) = HITS(K) + 1
+      End critical
+100   End Selfsched DO
+      Join
+";
+    for nproc in [1, 2, 4] {
+        let out = the_force::run_force_source(src, MachineId::EncoreMultimax, nproc).unwrap();
+        let hits = &out.shared_values["HITS"];
+        assert!(
+            hits.iter()
+                .all(|v| *v == the_force::fortran::Value::Int(1)),
+            "nproc={nproc}: {hits:?}"
+        );
+        // The barrier protocol left the environment clean for reuse.
+        assert_eq!(
+            out.shared_scalar("ZZNBAR"),
+            Some(the_force::fortran::Value::Int(0))
+        );
+    }
+}
+
+#[test]
+fn negative_increment_matches_the_papers_completion_test() {
+    let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER HITS(20), COUNT
+      Private INTEGER K
+      End declarations
+      Selfsched DO 100 K = 19, 1, -2
+      Critical LCK
+      HITS(K) = HITS(K) + 1
+      COUNT = COUNT + 1
+      End critical
+100   End Selfsched DO
+      Join
+";
+    let out = the_force::run_force_source(src, MachineId::Flex32, 3).unwrap();
+    assert_eq!(
+        out.shared_scalar("COUNT"),
+        Some(the_force::fortran::Value::Int(10))
+    );
+    let hits = &out.shared_values["HITS"];
+    for (i, h) in hits.iter().enumerate() {
+        let idx = i + 1;
+        let expected = if idx % 2 == 1 { 1 } else { 0 };
+        assert_eq!(*h, the_force::fortran::Value::Int(expected), "index {idx}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Differential testing of the mini-Fortran interpreter's expression
+//! evaluation against a Rust reference implementation, over randomly
+//! generated integer expression trees.
+
+use proptest::prelude::*;
+use the_force::machdep::MachineId;
+use the_force::run_force_source;
+
+/// A tiny expression AST with its own Rust evaluator and Fortran
+/// pretty-printer.
+#[derive(Debug, Clone)]
+enum E {
+    Lit(i64),
+    Var(usize), // V1..V4
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Div(Box<E>, Box<E>),
+    Neg(Box<E>),
+    Abs(Box<E>),
+    Mod(Box<E>, Box<E>),
+    Min(Box<E>, Box<E>),
+    Max(Box<E>, Box<E>),
+}
+
+impl E {
+    /// Evaluate with Fortran semantics (integer division truncates toward
+    /// zero — same as Rust's `/`).  Returns None on division/modulo by
+    /// zero or overflow (such cases are filtered out of the comparison).
+    fn eval(&self, vars: &[i64; 4]) -> Option<i64> {
+        Some(match self {
+            E::Lit(n) => *n,
+            E::Var(i) => vars[*i],
+            E::Add(a, b) => a.eval(vars)?.checked_add(b.eval(vars)?)?,
+            E::Sub(a, b) => a.eval(vars)?.checked_sub(b.eval(vars)?)?,
+            E::Mul(a, b) => a.eval(vars)?.checked_mul(b.eval(vars)?)?,
+            E::Div(a, b) => {
+                let d = b.eval(vars)?;
+                if d == 0 {
+                    return None;
+                }
+                a.eval(vars)?.checked_div(d)?
+            }
+            E::Neg(a) => a.eval(vars)?.checked_neg()?,
+            E::Abs(a) => a.eval(vars)?.checked_abs()?,
+            E::Mod(a, b) => {
+                let d = b.eval(vars)?;
+                if d == 0 {
+                    return None;
+                }
+                a.eval(vars)?.checked_rem(d)?
+            }
+            E::Min(a, b) => a.eval(vars)?.min(b.eval(vars)?),
+            E::Max(a, b) => a.eval(vars)?.max(b.eval(vars)?),
+        })
+    }
+
+    /// Print as a Fortran expression.
+    fn fortran(&self) -> String {
+        match self {
+            E::Lit(n) => {
+                if *n < 0 {
+                    format!("({n})")
+                } else {
+                    n.to_string()
+                }
+            }
+            E::Var(i) => format!("V{}", i + 1),
+            E::Add(a, b) => format!("({} + {})", a.fortran(), b.fortran()),
+            E::Sub(a, b) => format!("({} - {})", a.fortran(), b.fortran()),
+            E::Mul(a, b) => format!("({} * {})", a.fortran(), b.fortran()),
+            E::Div(a, b) => format!("({} / {})", a.fortran(), b.fortran()),
+            E::Neg(a) => format!("(-{})", a.fortran()),
+            E::Abs(a) => format!("ABS({})", a.fortran()),
+            E::Mod(a, b) => format!("MOD({}, {})", a.fortran(), b.fortran()),
+            E::Min(a, b) => format!("MIN({}, {})", a.fortran(), b.fortran()),
+            E::Max(a, b) => format!("MAX({}, {})", a.fortran(), b.fortran()),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![(-9i64..=9).prop_map(E::Lit), (0usize..4).prop_map(E::Var)];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mod(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Max(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
+            inner.prop_map(|a| E::Abs(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn interpreter_matches_reference_evaluation(
+        e in arb_expr(),
+        vars in proptest::array::uniform4(-9i64..=9),
+    ) {
+        let expected = match e.eval(&vars) {
+            Some(v) => v,
+            None => return Ok(()), // division by zero / overflow: skip
+        };
+        let src = format!(
+            "      Force FMAIN of NP ident ME\n\
+             \x20     Shared INTEGER R\n\
+             \x20     Private INTEGER V1, V2, V3, V4\n\
+             \x20     End declarations\n\
+             \x20     V1 = {}\n\
+             \x20     V2 = {}\n\
+             \x20     V3 = {}\n\
+             \x20     V4 = {}\n\
+             \x20     R = {}\n\
+             \x20     Join\n",
+            vars[0], vars[1], vars[2], vars[3],
+            e.fortran()
+        );
+        let out = run_force_source(&src, MachineId::Hep, 1).unwrap();
+        let got = out.shared_scalar("R").unwrap().as_int(0).unwrap();
+        prop_assert_eq!(got, expected, "expr: {}", e.fortran());
+    }
+
+    #[test]
+    fn relational_operators_match_reference(
+        a in -20i64..=20,
+        b in -20i64..=20,
+    ) {
+        // Encode all six comparisons in one program.
+        let src = format!(
+            "      Force FMAIN of NP ident ME\n\
+             \x20     Shared INTEGER MASK\n\
+             \x20     Private INTEGER A, B\n\
+             \x20     End declarations\n\
+             \x20     A = {a}\n\
+             \x20     B = {b}\n\
+             \x20     MASK = 0\n\
+             \x20     IF (A .EQ. B) MASK = MASK + 1\n\
+             \x20     IF (A .NE. B) MASK = MASK + 2\n\
+             \x20     IF (A .LT. B) MASK = MASK + 4\n\
+             \x20     IF (A .LE. B) MASK = MASK + 8\n\
+             \x20     IF (A .GT. B) MASK = MASK + 16\n\
+             \x20     IF (A .GE. B) MASK = MASK + 32\n\
+             \x20     Join\n"
+        );
+        let expected = (a == b) as i64
+            + 2 * (a != b) as i64
+            + 4 * (a < b) as i64
+            + 8 * (a <= b) as i64
+            + 16 * (a > b) as i64
+            + 32 * (a >= b) as i64;
+        let out = run_force_source(&src, MachineId::Flex32, 1).unwrap();
+        prop_assert_eq!(
+            out.shared_scalar("MASK").unwrap().as_int(0).unwrap(),
+            expected
+        );
+    }
+
+    #[test]
+    fn do_loops_match_reference_iteration(
+        from in -10i64..=10,
+        to in -10i64..=10,
+        step in prop_oneof![-3i64..=-1, 1i64..=3],
+    ) {
+        let mut expected = 0i64;
+        let mut k = from;
+        while (step > 0 && k <= to) || (step < 0 && k >= to) {
+            expected += k;
+            k += step;
+        }
+        let src = format!(
+            "      Force FMAIN of NP ident ME\n\
+             \x20     Shared INTEGER S\n\
+             \x20     Private INTEGER K\n\
+             \x20     End declarations\n\
+             \x20     S = 0\n\
+             \x20     DO 10 K = {from}, {to}, {step}\n\
+             \x20     S = S + K\n\
+             10    CONTINUE\n\
+             \x20     Join\n"
+        );
+        let out = run_force_source(&src, MachineId::Hep, 1).unwrap();
+        prop_assert_eq!(out.shared_scalar("S").unwrap().as_int(0).unwrap(), expected);
+    }
+}

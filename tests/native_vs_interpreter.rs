@@ -1,0 +1,177 @@
+//! Equivalence of the two Force implementations in this repository:
+//! the native Rust embedding (`force-core`) and the language pipeline
+//! (`force-prep` + `force-fortran`) must compute the same results on the
+//! same machine personalities — they are two renderings of one language.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use the_force::fortran::Value;
+use the_force::machdep::{Machine, MachineId};
+use the_force::prelude::*;
+use the_force::run_force_source;
+
+#[test]
+fn selfscheduled_sum() {
+    let n = 200i64;
+    let expected: i64 = (1..=n).sum();
+    for id in [MachineId::Hep, MachineId::Cray2, MachineId::SequentBalance] {
+        // native
+        let force = Force::with_machine(3, Machine::new(id));
+        let sum = AtomicI64::new(0);
+        force.run(|p| {
+            p.selfsched_do(ForceRange::to(1, n), |i| {
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+        });
+        let native = sum.load(Ordering::Relaxed);
+
+        // language
+        let src = format!(
+            "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER TOTAL
+      Private INTEGER K
+      End declarations
+      Selfsched DO 100 K = 1, {n}
+      Critical LCK
+      TOTAL = TOTAL + K
+      End critical
+100   End selfsched DO
+      Join
+"
+        );
+        let out = run_force_source(&src, id, 3).unwrap();
+        let interpreted = out.shared_scalar("TOTAL").unwrap().as_int(0).unwrap();
+
+        assert_eq!(native, expected, "{}", id.name());
+        assert_eq!(interpreted, expected, "{}", id.name());
+    }
+}
+
+#[test]
+fn prescheduled_distribution_is_identical() {
+    // Cyclic presched: process p takes trips p, p+np, ...  Both
+    // implementations must produce the *same ownership pattern*, not just
+    // the same totals.
+    let n = 24i64;
+    let nproc = 4;
+    let id = MachineId::AlliantFx8;
+
+    // native: record owner of each index
+    let owners: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(-1)).collect();
+    let force = Force::with_machine(nproc, Machine::new(id));
+    force.run(|p| {
+        let me = p.pid() as i64;
+        p.presched_do(ForceRange::to(1, n), |i| {
+            owners[(i - 1) as usize].store(me, Ordering::Relaxed);
+        });
+    });
+
+    // language: same recording via a shared array
+    let src = format!(
+        "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER OWNER({n})
+      Private INTEGER K
+      End declarations
+      Presched DO 10 K = 1, {n}
+      OWNER(K) = ME
+10    End presched DO
+      Join
+"
+    );
+    let out = run_force_source(&src, id, nproc).unwrap();
+    let interp_owners = &out.shared_values["OWNER"];
+
+    for i in 0..n as usize {
+        let native = owners[i].load(Ordering::Relaxed);
+        let interp = match interp_owners[i] {
+            Value::Int(v) => v,
+            ref other => panic!("non-integer owner {other:?}"),
+        };
+        assert_eq!(
+            native, interp,
+            "index {} owned by different processes",
+            i + 1
+        );
+        assert_eq!(native, (i as i64) % nproc as i64, "cyclic rule");
+    }
+}
+
+#[test]
+fn produce_consume_handoff() {
+    for id in MachineId::all() {
+        // native
+        let force = Force::with_machine(2, Machine::new(id));
+        let chan: Async<i64> = Async::new(force.machine());
+        let got = AtomicI64::new(0);
+        force.run(|p| {
+            if p.pid() == 0 {
+                chan.produce(99);
+            } else {
+                got.store(chan.consume(), Ordering::Relaxed);
+            }
+        });
+        assert_eq!(got.load(Ordering::Relaxed), 99, "{} native", id.name());
+
+        // language
+        let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER GOT
+      Async INTEGER CHAN
+      Private INTEGER T
+      End declarations
+      IF (ME .EQ. 0) THEN
+      Produce CHAN = 99
+      ELSE
+      Consume CHAN into T
+      GOT = T
+      END IF
+      Join
+";
+        let out = run_force_source(src, id, 2).unwrap();
+        assert_eq!(
+            out.shared_scalar("GOT"),
+            Some(Value::Int(99)),
+            "{} interpreted",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn barrier_section_equivalence() {
+    // In both implementations the barrier section runs exactly once per
+    // episode, regardless of force size.
+    for nproc in [1, 3, 5] {
+        let force = Force::new(nproc);
+        let count = AtomicI64::new(0);
+        force.run(|p| {
+            for _ in 0..7 {
+                p.barrier_section(|| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 7, "native nproc={nproc}");
+
+        let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER TIMES
+      Private INTEGER R
+      End declarations
+      DO 20 R = 1, 7
+      Barrier
+      TIMES = TIMES + 1
+      End barrier
+20    CONTINUE
+      Join
+";
+        let out = run_force_source(src, MachineId::Flex32, nproc).unwrap();
+        assert_eq!(
+            out.shared_scalar("TIMES"),
+            Some(Value::Int(7)),
+            "interpreted nproc={nproc}"
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! Property-based tests on the core invariants.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use the_force::machdep::{Machine, MachineId};
+use the_force::prelude::*;
+
+/// Reference enumeration of a Fortran DO range.
+fn naive_range(start: i64, last: i64, incr: i64) -> Vec<i64> {
+    let mut v = Vec::new();
+    let mut k = start;
+    while (incr > 0 && k <= last) || (incr < 0 && k >= last) {
+        v.push(k);
+        k += incr;
+        if v.len() > 100_000 {
+            break;
+        }
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn force_range_matches_naive_enumeration(
+        start in -100i64..100,
+        last in -100i64..100,
+        incr in prop_oneof![-5i64..=-1, 1i64..=5],
+    ) {
+        let r = ForceRange::new(start, last, incr);
+        let naive = naive_range(start, last, incr);
+        prop_assert_eq!(r.count() as usize, naive.len());
+        prop_assert_eq!(r.iter().collect::<Vec<_>>(), naive);
+    }
+
+    #[test]
+    fn doall_executes_every_index_exactly_once(
+        start in -50i64..50,
+        span in 0i64..120,
+        incr in prop_oneof![-4i64..=-1, 1i64..=4],
+        nproc in 1usize..6,
+        chunk in 1u64..8,
+        selfsched in any::<bool>(),
+    ) {
+        let last = if incr > 0 { start + span } else { start - span };
+        let range = ForceRange::new(start, last, incr);
+        let expected = naive_range(start, last, incr);
+        let force = Force::new(nproc);
+        let hits: Mutex<HashMap<i64, usize>> = Mutex::new(HashMap::new());
+        force.run(|p| {
+            let record = |i: i64| {
+                *hits.lock().entry(i).or_insert(0) += 1;
+            };
+            if selfsched {
+                p.selfsched_do_chunked(range, chunk, record);
+            } else {
+                p.presched_do(range, record);
+            }
+        });
+        let hits = hits.into_inner();
+        prop_assert_eq!(hits.len(), expected.len());
+        for i in expected {
+            prop_assert_eq!(hits.get(&i), Some(&1));
+        }
+    }
+
+    #[test]
+    fn async_tokens_are_conserved(
+        id in prop_oneof![
+            Just(MachineId::Hep),
+            Just(MachineId::EncoreMultimax),
+            Just(MachineId::Cray2),
+            Just(MachineId::Flex32),
+        ],
+        pairs in 1usize..4,
+        per in 1u64..60,
+    ) {
+        let machine = Machine::new(id);
+        let chan: Async<u64> = Async::new(&machine);
+        let sum = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for p in 0..pairs as u64 {
+                let chan = &chan;
+                s.spawn(move || {
+                    for i in 0..per {
+                        chan.produce(p * per + i + 1);
+                    }
+                });
+            }
+            for _ in 0..pairs {
+                let chan = &chan;
+                let sum = &sum;
+                s.spawn(move || {
+                    for _ in 0..per {
+                        sum.fetch_add(chan.consume(), Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let total = pairs as u64 * per;
+        prop_assert_eq!(sum.load(Ordering::Relaxed), total * (total + 1) / 2);
+        prop_assert!(!chan.is_full());
+    }
+
+    #[test]
+    fn pcase_sections_run_exactly_once(
+        nproc in 1usize..6,
+        nsect in 0usize..10,
+        selfsched in any::<bool>(),
+    ) {
+        let force = Force::new(nproc);
+        let counts: Vec<AtomicU64> = (0..nsect).map(|_| AtomicU64::new(0)).collect();
+        force.run(|p| {
+            let mut pc = p.pcase();
+            for c in &counts {
+                pc = pc.sect(|| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            if selfsched {
+                pc.selfsched();
+            } else {
+                pc.presched();
+            }
+        });
+        for c in &counts {
+            prop_assert_eq!(c.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn askfor_processes_every_posted_item(
+        nproc in 1usize..5,
+        seed in 1u64..40,
+    ) {
+        let force = Force::new(nproc);
+        let leaves = AtomicU64::new(0);
+        force.run(|p| {
+            p.askfor(|| vec![seed], |n, pot| {
+                if n > 1 {
+                    pot.post(n / 2);
+                    pot.post(n - n / 2);
+                } else {
+                    leaves.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        prop_assert_eq!(leaves.load(Ordering::Relaxed), seed);
+    }
+
+    #[test]
+    fn resolve_partitions_are_a_bijection(
+        sizes in proptest::collection::vec(1usize..4, 1..4),
+    ) {
+        let nproc: usize = sizes.iter().sum();
+        let force = Force::new(nproc);
+        let seen: Mutex<Vec<(usize, usize)>> = Mutex::new(Vec::new());
+        let sizes2 = sizes.clone();
+        force.run(|p| {
+            p.resolve(&sizes2, |c| {
+                seen.lock().push((c.index(), c.rank()));
+            });
+        });
+        let mut seen = seen.into_inner();
+        seen.sort_unstable();
+        let mut expected = Vec::new();
+        for (ci, &s) in sizes.iter().enumerate() {
+            for r in 0..s {
+                expected.push((ci, r));
+            }
+        }
+        prop_assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn m4_quoted_text_is_preserved(text in "[a-zA-Z0-9 _+=.,;:-]{0,60}") {
+        let mut m4 = the_force::prep::m4::M4::new();
+        let src = format!("`{text}'");
+        prop_assert_eq!(m4.expand(&src).unwrap(), text);
+    }
+
+    #[test]
+    fn m4_define_roundtrip(
+        name in "[A-Z][A-Z0-9_]{0,10}",
+        body in "[xyz0-9 +*-]{0,30}",
+    ) {
+        // Uppercase names cannot collide with the lowercase builtins,
+        // and the body alphabet avoids forming builtin words.
+        let mut m4 = the_force::prep::m4::M4::new();
+        m4.define(&name, &body);
+        prop_assert_eq!(m4.expand(&name).unwrap(), body);
+    }
+
+    #[test]
+    fn fortran_lexer_never_panics(line in "\\PC{0,60}") {
+        // Errors are fine; panics are not.
+        let _ = the_force::fortran::lexer::lex_statement(&line, 1);
+    }
+
+    #[test]
+    fn fortran_parser_never_panics(line in "[A-Za-z0-9 ()=+,.*/']{0,60}") {
+        if let Ok(toks) = the_force::fortran::lexer::lex_statement(&line, 1) {
+            let _ = the_force::fortran::parser::parse_statement(&toks, 1);
+        }
+    }
+
+    #[test]
+    fn sed_pass_never_panics(line in "\\PC{0,60}") {
+        let _ = the_force::prep::sedpass::sed_pass(&line);
+    }
+
+    #[test]
+    fn shared_f64_adds_are_exact_for_integers(
+        nproc in 1usize..5,
+        n in 1i64..300,
+    ) {
+        let arr = SharedF64Array::zeroed(1);
+        let force = Force::new(nproc);
+        force.run(|p| {
+            p.selfsched_do(ForceRange::to(1, n), |_| {
+                arr.add(0, 1.0);
+            });
+        });
+        prop_assert_eq!(arr.get(0), n as f64);
+    }
+}
+
+proptest! {
+    // Heavier cases get fewer iterations.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn barrier_algorithms_agree_with_each_other(
+        n in 1usize..7,
+        rounds in 1usize..15,
+    ) {
+        use the_force::core::barrier_algs::{all_algorithms, BarrierAlg};
+        use force_machdep::spawn_force;
+        let machine = Machine::new(MachineId::EncoreMultimax);
+        for alg in all_algorithms(&machine, n) {
+            let counter = AtomicU64::new(0);
+            let alg: &dyn BarrierAlg = alg.as_ref();
+            spawn_force(n, machine.stats(), |pid| {
+                for r in 0..rounds {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    alg.wait(pid);
+                    let seen = counter.load(Ordering::SeqCst);
+                    assert!(seen >= ((r + 1) * n) as u64, "{}", alg.name());
+                    alg.wait(pid);
+                }
+            });
+            prop_assert_eq!(counter.load(Ordering::SeqCst), (rounds * n) as u64);
+        }
+    }
+
+    #[test]
+    fn interpreter_sum_matches_for_random_bounds(
+        start in 1i64..20,
+        last in 1i64..60,
+        nproc in 1usize..4,
+    ) {
+        let expected: i64 = naive_range(start, last, 1).iter().sum();
+        let src = format!(
+            "      Force FMAIN of NP ident ME\n\
+             \x20     Shared INTEGER TOTAL\n\
+             \x20     Private INTEGER K\n\
+             \x20     End declarations\n\
+             \x20     Selfsched DO 100 K = {start}, {last}\n\
+             \x20     Critical LCK\n\
+             \x20     TOTAL = TOTAL + K\n\
+             \x20     End critical\n\
+             100   End selfsched DO\n\
+             \x20     Join\n"
+        );
+        let out = the_force::run_force_source(&src, MachineId::Flex32, nproc).unwrap();
+        prop_assert_eq!(
+            out.shared_scalar("TOTAL").unwrap().as_int(0).unwrap(),
+            expected
+        );
+    }
+}

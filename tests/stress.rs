@@ -1,0 +1,184 @@
+//! Stress and endurance tests: many construct episodes back to back,
+//! heavy reentry, deep Askfor recursion, and long pipelines — the places
+//! where a barrier or full/empty protocol that is *almost* right
+//! deadlocks or drops a token.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use the_force::fortran::Value;
+use the_force::machdep::{Machine, MachineId};
+use the_force::prelude::*;
+use the_force::run_force_source;
+
+#[test]
+fn thousand_barrier_episodes() {
+    let force = Force::new(4);
+    let counter = AtomicU64::new(0);
+    force.run(|p| {
+        for _ in 0..1000 {
+            p.barrier_section(|| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+    });
+    assert_eq!(counter.load(Ordering::SeqCst), 1000);
+}
+
+#[test]
+fn alternating_constructs_reentry() {
+    // Cycle through every collective construct repeatedly; any protocol
+    // that leaks an arrival count or a lock state will wedge or corrupt.
+    let force = Force::new(3);
+    let acc = AtomicU64::new(0);
+    force.run(|p| {
+        for round in 0..40 {
+            p.selfsched_do(ForceRange::to(1, 10), |i| {
+                acc.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            p.presched_do(ForceRange::to(1, 10), |i| {
+                acc.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            p.pcase()
+                .sect(|| {
+                    acc.fetch_add(1, Ordering::Relaxed);
+                })
+                .sect(|| {
+                    acc.fetch_add(2, Ordering::Relaxed);
+                })
+                .selfsched();
+            p.askfor(
+                || vec![4u64],
+                |n, pot| {
+                    if n > 1 {
+                        pot.post(n - 1);
+                    } else {
+                        acc.fetch_add(10, Ordering::Relaxed);
+                    }
+                },
+            );
+            p.resolve(&[1, 2], |c| {
+                if c.rank() == 0 {
+                    acc.fetch_add(c.index() as u64, Ordering::Relaxed);
+                }
+            });
+            p.barrier();
+            let _ = round;
+        }
+    });
+    // per round: 55 + 55 + 3 + 10 + (0 + 1) = 124
+    assert_eq!(acc.load(Ordering::Relaxed), 40 * 124);
+}
+
+#[test]
+fn deep_askfor_recursion() {
+    let force = Force::new(4);
+    let leaves = AtomicU64::new(0);
+    force.run(|p| {
+        p.askfor(
+            || vec![4096u64],
+            |n, pot| {
+                if n > 1 {
+                    pot.post(n / 2);
+                    pot.post(n - n / 2);
+                } else {
+                    leaves.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+        );
+    });
+    assert_eq!(leaves.load(Ordering::Relaxed), 4096);
+}
+
+#[test]
+fn long_async_pipeline_many_tokens() {
+    // 10_000 tokens through one cell between two processes, twice (once
+    // on hardware full/empty, once on the two-lock emulation).
+    for id in [MachineId::Hep, MachineId::SequentBalance] {
+        let machine = Machine::new(id);
+        let chan: Async<u64> = Async::new(&machine);
+        let sum = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 1..=10_000u64 {
+                    chan.produce(i);
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..10_000u64 {
+                    sum.fetch_add(chan.consume(), Ordering::Relaxed);
+                }
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 50_005_000, "{}", id.name());
+        assert!(!chan.is_full());
+    }
+}
+
+#[test]
+fn interpreter_endurance_many_construct_episodes() {
+    // 60 rounds of (selfsched + barrier + critical) in the language, on
+    // the two most different machines.
+    let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER N
+      Private INTEGER R, K
+      End declarations
+      DO 20 R = 1, 60
+      Selfsched DO 100 K = 1, 5
+      Critical L
+      N = N + 1
+      End critical
+100   End selfsched DO
+      Barrier
+      N = N + 1
+      End barrier
+20    CONTINUE
+      Join
+";
+    for id in [MachineId::Hep, MachineId::Cray2] {
+        let out = run_force_source(src, id, 4).unwrap();
+        assert_eq!(
+            out.shared_scalar("N"),
+            Some(Value::Int(60 * 6)),
+            "{}",
+            id.name()
+        );
+        assert_eq!(out.shared_scalar("ZZNBAR"), Some(Value::Int(0)));
+    }
+}
+
+#[test]
+fn many_forces_sequentially_on_one_machine() {
+    // Machine state (stats, startup registry) must tolerate run after run.
+    let machine = Machine::new(MachineId::SequentBalance);
+    for round in 1..=20u64 {
+        let force = Force::with_machine(3, std::sync::Arc::clone(&machine));
+        let acc = AtomicU64::new(0);
+        force.run(|p| {
+            p.selfsched_do(ForceRange::to(1, 20), |i| {
+                acc.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 210, "round {round}");
+    }
+}
+
+#[test]
+fn wide_force_oversubscribed() {
+    // 16 processes on however few cores the host has: correctness must
+    // not depend on real parallelism.
+    let force = Force::new(16);
+    let acc = AtomicU64::new(0);
+    force.run(|p| {
+        p.selfsched_do(ForceRange::to(1, 500), |i| {
+            acc.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        p.barrier();
+        p.pcase()
+            .sect(|| {
+                acc.fetch_add(1, Ordering::Relaxed);
+            })
+            .selfsched();
+    });
+    assert_eq!(acc.load(Ordering::Relaxed), 125_250 + 1);
+}
