@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use crossbeam::utils::CachePadded;
+use force_machdep::CachePadded;
 
 fn bench_padding(c: &mut Criterion) {
     let mut g = c.benchmark_group("padding");

@@ -465,7 +465,7 @@ fn exp9() {
 
 fn exp10() {
     header("EXP-10", "Encore page padding (§4.1.2): false-sharing ablation");
-    use crossbeam::utils::CachePadded;
+    use force_machdep::CachePadded;
     let nthreads = 4;
     let increments = 200_000u64;
     let unpadded: Vec<AtomicU64> = (0..nthreads).map(|_| AtomicU64::new(0)).collect();

@@ -34,7 +34,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use force_machdep::{Condvar, Mutex};
 
 use crate::player::Player;
 

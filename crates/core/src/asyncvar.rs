@@ -456,7 +456,7 @@ mod array_tests {
         let force = Force::with_machine(n, Machine::new(MachineId::Hep));
         let slots: AsyncArray<i64> = AsyncArray::new(force.machine(), n);
         let rounds = 50i64;
-        let collected = parking_lot::Mutex::new(Vec::new());
+        let collected = force_machdep::Mutex::new(Vec::new());
         force.run(|p| {
             let me = p.pid();
             if me == 0 {

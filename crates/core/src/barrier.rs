@@ -103,9 +103,22 @@ impl TwoLockBarrier {
 
     /// Barrier exit: report departure.  The last departer re-opens
     /// `BARWIN`, enabling the next episode.
+    ///
+    /// # Panics
+    /// Panics if the arrival count would underflow, i.e. an exit that was
+    /// never paired with an [`enter`](Self::enter).  (In the normal lock
+    /// discipline a stray exit parks on `BARWOT` before it can decrement;
+    /// the check is the backstop for a corrupted episode, where a wrap to
+    /// `usize::MAX` would silently deadlock every later episode instead of
+    /// pointing at the caller bug.)  Checked in release builds too: this
+    /// runs under a lock, so the cost is noise.
     pub fn exit(&self) {
         self.barwot.lock();
-        let n = self.zznbar.load(Ordering::Relaxed) - 1;
+        let n = self
+            .zznbar
+            .load(Ordering::Relaxed)
+            .checked_sub(1)
+            .expect("TwoLockBarrier::exit without a matching enter");
         self.zznbar.store(n, Ordering::Relaxed);
         if n == 0 {
             OpStats::count(&self.stats.barrier_episodes);

@@ -13,8 +13,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
-use crossbeam::utils::{Backoff, CachePadded};
-use force_machdep::Machine;
+use force_machdep::{Backoff, CachePadded, Machine};
 
 use crate::barrier::TwoLockBarrier;
 

@@ -120,7 +120,7 @@ impl<'p, 's> Pcase<'p, 's> {
 #[cfg(test)]
 mod tests {
     use crate::force::Force;
-    use parking_lot::Mutex;
+    use force_machdep::Mutex;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]

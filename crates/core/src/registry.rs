@@ -18,7 +18,7 @@
 use std::any::Any;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use force_machdep::Mutex;
 
 /// Ordered, lazily created shared-state slots for one force execution.
 pub(crate) struct CollectiveRegistry {

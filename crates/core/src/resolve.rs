@@ -151,7 +151,7 @@ impl Player {
 mod tests {
     use crate::force::Force;
     use crate::schedule::ForceRange;
-    use parking_lot::Mutex;
+    use force_machdep::Mutex;
     use std::collections::HashMap;
     use std::sync::atomic::{AtomicUsize, Ordering};
 

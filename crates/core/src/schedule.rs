@@ -33,8 +33,18 @@ impl ForceRange {
     }
 
     /// The Fortran iteration count: `max(0, (last - start + incr) / incr)`.
+    ///
+    /// # Panics
+    /// Panics with "range arithmetic overflow" if `last - start + incr`
+    /// does not fit in `i64`.  Both subtraction and addition are checked:
+    /// an unchecked `last - start` would wrap in release builds (e.g.
+    /// `start = i64::MIN, last = i64::MAX`) and silently return a bogus
+    /// count that the DOALL schedulers would then distribute.
     pub fn count(&self) -> u64 {
-        let span = (self.last - self.start)
+        let span = self
+            .last
+            .checked_sub(self.start)
+            .expect("range arithmetic overflow")
             .checked_add(self.incr)
             .expect("range arithmetic overflow");
         let n = span / self.incr;
@@ -144,6 +154,40 @@ mod tests {
         assert_eq!(r.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
         let r: ForceRange = (0..=4).into();
         assert_eq!(r.count(), 5);
+    }
+
+    #[test]
+    fn count_near_i64_extremes() {
+        // Spans that fit exactly: no panic, correct trip counts.
+        let r = ForceRange::new(i64::MAX - 4, i64::MAX, 1);
+        assert_eq!(r.count(), 5);
+        assert_eq!(r.nth(4), i64::MAX);
+        let r = ForceRange::new(i64::MIN, i64::MIN + 4, 2);
+        assert_eq!(r.count(), 3);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![
+            i64::MIN,
+            i64::MIN + 2,
+            i64::MIN + 4
+        ]);
+        // Empty in the backwards direction, even from an extreme start
+        // (last - start = -i64::MAX still fits, giving a negative span).
+        assert!(ForceRange::new(i64::MAX, 0, 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "range arithmetic overflow")]
+    fn count_overflowing_subtraction_panics() {
+        // last - start alone overflows i64: must panic (release builds
+        // would otherwise wrap and report a bogus count).  The reversed
+        // extremes overflow the same way via is_empty.
+        let _ = ForceRange::new(i64::MIN, i64::MAX, 1).count();
+    }
+
+    #[test]
+    #[should_panic(expected = "range arithmetic overflow")]
+    fn count_overflowing_addition_panics() {
+        // last - start fits, but adding incr overflows.
+        let _ = ForceRange::new(0, i64::MAX, 1).count();
     }
 
     #[test]

@@ -24,7 +24,7 @@ use force_machdep::{
     SharedRegion, SharingModelId, StatsSnapshot,
 };
 use force_prep::{ExpandedProgram, VarClass};
-use parking_lot::Mutex;
+use force_machdep::Mutex;
 
 use crate::ast::{Expr, LValue, Ty, UnOp};
 use crate::error::{FortError, FortErrorKind};

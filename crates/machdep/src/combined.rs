@@ -10,10 +10,8 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use crossbeam::utils::Backoff;
-use parking_lot::{Condvar, Mutex};
-
 use crate::lock::{LockKind, LockState, RawLock};
+use crate::portable::{Backoff, Condvar, Mutex};
 use crate::stats::OpStats;
 
 /// Default number of spin attempts before falling back to the OS.
@@ -94,11 +92,14 @@ impl RawLock for CombinedLock {
     }
 
     fn try_lock(&self) -> bool {
-        let got = !self.locked.swap(true, Ordering::Acquire);
-        if got {
-            OpStats::count(&self.stats.lock_acquires);
+        // Test first (see `SpinLock::try_lock`): a failed try must not
+        // write to the lock word.
+        if self.locked.load(Ordering::Relaxed) || self.locked.swap(true, Ordering::Acquire) {
+            OpStats::count(&self.stats.lock_contended);
+            return false;
         }
-        got
+        OpStats::count(&self.stats.lock_acquires);
+        true
     }
 
     fn is_locked(&self) -> bool {

@@ -13,10 +13,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use crate::lock::{LockHandle, LockState};
 use crate::machine::Machine;
+use crate::portable::Mutex;
 
 /// The per-force environment variables of the Force implementation.
 pub struct ForceEnvironment {

@@ -13,9 +13,8 @@
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
-use crossbeam::utils::Backoff;
-
 use crate::lock::{LockKind, LockState, RawLock};
+use crate::portable::Backoff;
 use crate::stats::OpStats;
 
 const EMPTY: u8 = 0;
@@ -63,6 +62,12 @@ impl FullEmptyState {
     }
 
     fn try_transition(&self, from: u8, to: u8) -> bool {
+        // Test first: a compare-exchange is a RMW that takes the line
+        // exclusive even when it fails, so `Async::void`/`is_full` polling
+        // loops would otherwise storm the coherence protocol.
+        if self.state.load(Ordering::Relaxed) != from {
+            return false;
+        }
         self.state
             .compare_exchange(from, to, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
@@ -180,6 +185,7 @@ impl RawLock for HepLock {
             OpStats::count(&self.stats.lock_acquires);
             true
         } else {
+            OpStats::count(&self.stats.lock_contended);
             false
         }
     }

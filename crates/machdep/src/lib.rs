@@ -30,6 +30,7 @@ pub mod linkreg;
 pub mod lock;
 pub mod lockpool;
 pub mod machine;
+pub mod portable;
 pub mod process;
 pub mod sharedmem;
 pub mod spin;
@@ -41,6 +42,7 @@ pub use env::ForceEnvironment;
 pub use fullempty::{FullEmptyState, HepLock};
 pub use lock::{with_lock, LockHandle, LockKind, LockState, RawLock};
 pub use machine::{Machine, MachineId, MachineSpec};
+pub use portable::{Backoff, CachePadded, Condvar, Mutex, XorShift64};
 pub use process::{spawn_force, ChildPrivateInit, ProcessModel};
 pub use sharedmem::{
     BlockRequest, SharedLayout, SharedRegion, SharingError, SharingModel, SharingModelId,

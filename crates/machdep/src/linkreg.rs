@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use crate::portable::Mutex;
 
 /// Collects shared-variable declarations from every program module.
 pub struct StartupRegistry {

@@ -12,9 +12,8 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use crate::lock::{LockHandle, LockState};
+use crate::portable::Mutex;
 use crate::stats::OpStats;
 
 /// Factory that builds one physical lock in a given initial state.

@@ -4,9 +4,8 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use crossbeam::utils::Backoff;
-
 use crate::lock::{LockKind, LockState, RawLock};
+use crate::portable::Backoff;
 use crate::stats::OpStats;
 
 /// A test-and-test-and-set spin lock with exponential backoff.
@@ -56,11 +55,16 @@ impl RawLock for SpinLock {
     }
 
     fn try_lock(&self) -> bool {
-        let got = !self.locked.swap(true, Ordering::Acquire);
-        if got {
-            OpStats::count(&self.stats.lock_acquires);
+        // Test-and-test-and-set, like `lock`: a failed attempt must not
+        // issue a store (an unconditional `swap` would invalidate the
+        // holder's cache line on every call, turning the Async spin loops
+        // that poll `try_lock` into a coherence storm).
+        if self.locked.load(Ordering::Relaxed) || self.locked.swap(true, Ordering::Acquire) {
+            OpStats::count(&self.stats.lock_contended);
+            return false;
         }
-        got
+        OpStats::count(&self.stats.lock_acquires);
+        true
     }
 
     fn is_locked(&self) -> bool {
@@ -146,6 +150,20 @@ mod tests {
             }
         });
         assert_eq!(counter.load(Ordering::Relaxed), 8 * 500);
+    }
+
+    #[test]
+    fn failed_try_lock_counts_contention() {
+        let (l, stats) = mk(LockState::Locked);
+        for _ in 0..5 {
+            assert!(!l.try_lock());
+        }
+        let s = stats.snapshot();
+        assert_eq!(s.lock_contended, 5, "each failed try is a contended attempt");
+        assert_eq!(s.lock_acquires, 0);
+        l.unlock();
+        assert!(l.try_lock());
+        assert_eq!(stats.snapshot().lock_acquires, 1);
     }
 
     #[test]

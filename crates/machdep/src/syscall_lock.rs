@@ -2,15 +2,15 @@
 //!
 //! §4.1.3: "system call locks: operating system handles a list of locked
 //! processes in cooperation with the scheduler (Cray)".  Every operation
-//! goes through the "operating system" (here a `parking_lot` mutex +
-//! condvar, i.e. a futex on Linux) and blocked processes are parked, not
-//! spinning.  Each acquire and release is accounted as a system call.
+//! goes through the "operating system" (here a mutex + condvar from
+//! [`crate::portable`], i.e. a futex on Linux) and blocked processes are
+//! parked, not spinning.  Each acquire and release is accounted as a
+//! system call.
 
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
-
 use crate::lock::{LockKind, LockState, RawLock};
+use crate::portable::{Condvar, Mutex};
 use crate::stats::OpStats;
 
 /// An OS-managed binary semaphore: waiters are descheduled.

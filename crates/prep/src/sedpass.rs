@@ -729,3 +729,61 @@ mod isfull_tests {
         let _ = super::sed_pass("'\u{e9}\"`\u{108f0}M isfull(x)\n");
     }
 }
+
+/// Plain (non-proptest) regressions pinning UTF-8 safety, so the hermetic
+/// default build keeps covering them.  The proptest shrinker once reduced
+/// a sed-pass crash candidate to the two-character line `"Σ` (see
+/// tests/proptests.proptest-regressions); everything here must stay
+/// panic-free whatever the translation outcome.
+#[cfg(test)]
+mod utf8_regressions {
+    use super::{sed_pass, translate_line};
+
+    #[test]
+    fn quoted_sigma_line_translates_without_panicking() {
+        // The shrunk proptest seed: a double quote followed by a
+        // multi-byte character.  Slicing with a *char* index instead of a
+        // byte offset would split Σ (0xCE 0xA3) in half and panic.
+        let _ = translate_line("\"\u{3a3}");
+        let _ = sed_pass("\"\u{3a3}\n");
+        let _ = sed_pass("      X = \"\u{3a3}\n");
+    }
+
+    #[test]
+    fn multibyte_text_flows_through_paren_groups() {
+        // maybe_paren_group walks char_indices (byte offsets) and slices
+        // the inner text; multi-byte argument content must come out whole.
+        assert_eq!(
+            translate_line("      Forcesub W(caf\u{e9}\u{3a3}x, \u{6f22}\u{5b57}) of NP ident ME").unwrap(),
+            "ZZFORCESUB(W, `caf\u{e9}\u{3a3}x, \u{6f22}\u{5b57}', NP, ME)"
+        );
+        // A multi-byte char directly against the closing paren exercises
+        // the `&s[1..i]` / `&s[i + 1..]` boundary slices.
+        assert_eq!(
+            translate_line("      Critical LCK").unwrap(),
+            "ZZCRITICAL(LCK)"
+        );
+        assert_eq!(
+            translate_line("      Produce C(\u{3a3}) = \u{3a3}+1").unwrap(),
+            "ZZPRODUCE(C(\u{3a3}), `\u{3a3}+1')"
+        );
+    }
+
+    #[test]
+    fn multibyte_noise_never_panics_the_word_scanner() {
+        // The Words scanner (expect_word / expect_ident / bounds parsing)
+        // searches by byte index; mixed-width noise around every keyword
+        // position must fail cleanly or pass through, never panic.
+        for line in [
+            "      Force \u{3a3} of NP ident ME",
+            "      Selfsched DO 10 \u{3a3} = 1, \u{6f22}",
+            "      Critical \u{e9}\u{3a3}",
+            "      Produce \u{3a3} = 1",
+            "      Copy \u{3a3} into \u{6f22}",
+            "\u{3a3}\"\u{3a3}'\u{3a3}`\u{3a3}",
+        ] {
+            let _ = translate_line(line);
+            let _ = sed_pass(&format!("{line}\n"));
+        }
+    }
+}

@@ -1,6 +1,11 @@
 //! Differential testing of the mini-Fortran interpreter's expression
 //! evaluation against a Rust reference implementation, over randomly
 //! generated integer expression trees.
+//!
+//! Gated behind the non-default `ext` feature because proptest is an
+//! external dependency and the default build is hermetic (see Cargo.toml);
+//! tests/prng_props.rs carries a dependency-free differential test.
+#![cfg(feature = "ext")]
 
 use proptest::prelude::*;
 use the_force::machdep::MachineId;

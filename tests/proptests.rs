@@ -1,10 +1,17 @@
 //! Property-based tests on the core invariants.
+//!
+//! Gated behind the non-default `ext` feature because proptest is an
+//! external dependency and the default build is hermetic; the same
+//! properties run dependency-free in tests/prng_props.rs.  To run these,
+//! restore the proptest dev-dependency (see Cargo.toml) and pass
+//! `--features ext`.
+#![cfg(feature = "ext")]
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
 use proptest::prelude::*;
+use the_force::machdep::Mutex;
 use the_force::machdep::{Machine, MachineId};
 use the_force::prelude::*;
 
