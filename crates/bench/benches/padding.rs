@@ -33,8 +33,9 @@ fn bench_padding(c: &mut Criterion) {
     });
 
     // Padded: same counters, one per cache line (the Force layout).
-    let padded: Vec<CachePadded<AtomicU64>> =
-        (0..nthreads).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+    let padded: Vec<CachePadded<AtomicU64>> = (0..nthreads)
+        .map(|_| CachePadded::new(AtomicU64::new(0)))
+        .collect();
     g.bench_function(BenchmarkId::new("padded", nthreads), |b| {
         b.iter(|| {
             std::thread::scope(|s| {

@@ -64,10 +64,15 @@ fn main() {
     if run("exp12") {
         exp12();
     }
+    if run("exp13") {
+        exp13();
+    }
 }
 
 fn host_cores() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn header(id: &str, title: &str) {
@@ -79,7 +84,10 @@ fn header(id: &str, title: &str) {
 // ---------------------------------------------------------------- EXP-1
 
 fn exp1() {
-    header("EXP-1", "the §4.2 Selfsched DO macro expansion (golden listing)");
+    header(
+        "EXP-1",
+        "the §4.2 Selfsched DO macro expansion (golden listing)",
+    );
     let src = "\
       Force FMAIN of NP ident ME
       Private INTEGER K
@@ -206,7 +214,10 @@ fn exp2() {
 // ---------------------------------------------------------------- EXP-3
 
 fn exp3() {
-    header("EXP-3", "barrier algorithms ([AJ87] companion), ns per episode");
+    header(
+        "EXP-3",
+        "barrier algorithms ([AJ87] companion), ns per episode",
+    );
     let episodes = 500u64;
     print!("{:<34}", "algorithm \\ nproc");
     let nprocs = [1usize, 2, 4, 8];
@@ -240,7 +251,10 @@ fn exp3() {
 // ---------------------------------------------------------------- EXP-4
 
 fn exp4() {
-    header("EXP-4", "presched vs selfsched DOALL, uniform vs triangular load");
+    header(
+        "EXP-4",
+        "presched vs selfsched DOALL, uniform vs triangular load",
+    );
     let n = 2_000i64;
     let nproc = 4;
     let force = Force::new(nproc);
@@ -257,7 +271,12 @@ fn exp4() {
         let tt = median_time(3, || {
             run_doall(&force, n, triangular_cost, 16, sched);
         });
-        println!("{:<24} {:>14} {:>14}", sched.name(), fmt_dur(tu), fmt_dur(tt));
+        println!(
+            "{:<24} {:>14} {:>14}",
+            sched.name(),
+            fmt_dur(tu),
+            fmt_dur(tt)
+        );
     }
     println!("(expected shape: presched wins slightly on cheap uniform bodies");
     println!(" — no index service — while selfsched wins under skew;");
@@ -267,7 +286,10 @@ fn exp4() {
 // ---------------------------------------------------------------- EXP-5
 
 fn exp5() {
-    header("EXP-5", "lock taxonomy (§4.1.3): spin vs syscall vs combined");
+    header(
+        "EXP-5",
+        "lock taxonomy (§4.1.3): spin vs syscall vs combined",
+    );
     let nthreads = 4;
     let acquisitions = 500u64;
     println!(
@@ -359,9 +381,10 @@ fn exp6() {
         } else {
             "two-lock emulation (§4.2)"
         };
-        let ops = (after.lock_acquires + after.lock_releases + after.fe_produces
-            + after.fe_consumes) as f64
-            / (4.0 * transfers as f64); // 4 timed runs incl warmup
+        let ops =
+            (after.lock_acquires + after.lock_releases + after.fe_produces + after.fe_consumes)
+                as f64
+                / (4.0 * transfers as f64); // 4 timed runs incl warmup
         println!(
             "{:<18} {:<26} {:>14} {:>16.2}",
             id.name(),
@@ -381,7 +404,10 @@ fn exp7() {
     let n = 64;
     let machine = Machine::new(MachineId::AlliantFx8);
     let base = matmul_checksum(n, 1, Arc::clone(&machine));
-    println!("{:<8} {:>14} {:>10} {:>10}", "nproc", "time", "speedup", "result");
+    println!(
+        "{:<8} {:>14} {:>10} {:>10}",
+        "nproc", "time", "speedup", "result"
+    );
     let t1 = median_time(3, || {
         matmul_checksum(n, 1, Arc::clone(&machine));
     });
@@ -408,7 +434,10 @@ fn exp7() {
 // ---------------------------------------------------------------- EXP-8
 
 fn exp8() {
-    header("EXP-8", "Askfor vs static distribution on a run-time work tree");
+    header(
+        "EXP-8",
+        "Askfor vs static distribution on a run-time work tree",
+    );
     let force = Force::new(4);
     println!("{:<10} {:>14} {:>14}", "tree size", "askfor", "static");
     for seed in [128u64, 1024] {
@@ -464,7 +493,10 @@ fn exp9() {
 // ---------------------------------------------------------------- EXP-10
 
 fn exp10() {
-    header("EXP-10", "Encore page padding (§4.1.2): false-sharing ablation");
+    header(
+        "EXP-10",
+        "Encore page padding (§4.1.2): false-sharing ablation",
+    );
     use force_machdep::CachePadded;
     let nthreads = 4;
     let increments = 200_000u64;
@@ -480,8 +512,9 @@ fn exp10() {
             }
         });
     });
-    let padded: Vec<CachePadded<AtomicU64>> =
-        (0..nthreads).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+    let padded: Vec<CachePadded<AtomicU64>> = (0..nthreads)
+        .map(|_| CachePadded::new(AtomicU64::new(0)))
+        .collect();
     let tp = median_time(3, || {
         std::thread::scope(|s| {
             for c in padded.iter() {
@@ -524,7 +557,10 @@ fn exp10() {
 // ---------------------------------------------------------------- EXP-11
 
 fn exp11() {
-    header("EXP-11", "scarce locks (Cray-2): K logical locks on an 8-slot pool");
+    header(
+        "EXP-11",
+        "scarce locks (Cray-2): K logical locks on an 8-slot pool",
+    );
     use force_machdep::lockpool::{LockFactory, LockPool};
     let nthreads = 4;
     let rounds = 1_000u64;
@@ -580,7 +616,10 @@ fn exp11() {
 // ---------------------------------------------------------------- EXP-12
 
 fn exp12() {
-    header("EXP-12", "Resolve (the paper's future-work construct), ablation");
+    header(
+        "EXP-12",
+        "Resolve (the paper's future-work construct), ablation",
+    );
     let nproc = 4;
     let rounds = 300usize;
     // Partitioned: one I/O-ish process, three compute processes with a
@@ -615,7 +654,10 @@ fn exp12() {
     let after = machine.stats().snapshot();
     let resolve_eps = mid.since(&before).barrier_episodes;
     let whole_eps = after.since(&mid).barrier_episodes;
-    println!("{:<28} {:>14} {:>20}", "structure", "time", "barrier episodes");
+    println!(
+        "{:<28} {:>14} {:>20}",
+        "structure", "time", "barrier episodes"
+    );
     println!(
         "{:<28} {:>14} {:>20}",
         "resolve [1,3] (local bar.)",
@@ -630,4 +672,101 @@ fn exp12() {
     );
     println!("(expected shape: the component barrier synchronizes 3 processes");
     println!(" instead of 4 and never blocks on the unrelated component)");
+}
+
+// ---------------------------------------------------------------- EXP-13
+
+fn exp13() {
+    header(
+        "EXP-13",
+        "fault containment: cancellation, watchdog, injection",
+    );
+    use std::time::{Duration, Instant};
+    // The deliberate panics below are the experiment; keep the default
+    // hook from spraying backtraces over the table.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    println!(
+        "{:<18} {:<22} {:<10} {:>10}   {:>8} {:>8} {:>8} {:>8}",
+        "machine", "scenario", "construct", "contained", "inj", "det", "cancel", "wdog"
+    );
+    for id in MachineId::all() {
+        let machine = Machine::new(id);
+        let row = |scenario: &str, fault: Option<(ProcessFault, Duration)>| {
+            let s = machine.stats().snapshot();
+            match fault {
+                Some((f, dt)) => println!(
+                    "{:<18} {:<22} {:<10} {:>10}   {:>8} {:>8} {:>8} {:>8}",
+                    id.name(),
+                    scenario,
+                    f.construct,
+                    fmt_dur(dt),
+                    s.faults_injected,
+                    s.faults_detected,
+                    s.cancellations_observed,
+                    s.watchdog_trips
+                ),
+                None => println!(
+                    "{:<18} {:<22} {:<10} {:>10}   {:>8} {:>8} {:>8} {:>8}",
+                    id.name(),
+                    scenario,
+                    "-",
+                    "no fault",
+                    s.faults_injected,
+                    s.faults_detected,
+                    s.cancellations_observed,
+                    s.watchdog_trips
+                ),
+            }
+        };
+
+        // 1. A panic while peers park at a barrier: cancellation must
+        //    unblock them well inside the watchdog bound.
+        let force =
+            Force::with_machine(4, Arc::clone(&machine)).with_watchdog(Duration::from_secs(5));
+        let t0 = Instant::now();
+        let f = force
+            .try_run(|p| {
+                if p.pid() == 0 {
+                    panic!("exp13: deliberate panic");
+                }
+                p.barrier();
+            })
+            .expect_err("must fault");
+        row("panic at barrier", Some((f, t0.elapsed())));
+
+        // 2. A true deadlock (consume, no producer): only the watchdog
+        //    can report this one.
+        let force =
+            Force::with_machine(2, Arc::clone(&machine)).with_watchdog(Duration::from_millis(100));
+        let chan: Async<i64> = Async::new(&machine);
+        let t0 = Instant::now();
+        let f = force
+            .try_run(|_p| {
+                let _ = chan.consume();
+            })
+            .expect_err("must trip");
+        row("consume, no producer", Some((f, t0.elapsed())));
+
+        // 3. Deterministic injection at construct boundaries.
+        let force =
+            Force::with_machine(4, Arc::clone(&machine)).with_fault_injection(FaultInjection {
+                seed: 0xF0CE,
+                panic_per_mille: 250,
+                delay_per_mille: 0,
+                spurious_per_mille: 250,
+            });
+        let t0 = Instant::now();
+        let f = force.try_run(|p| {
+            for _ in 0..8 {
+                p.barrier();
+            }
+        });
+        row("injected faults", f.err().map(|f| (f, t0.elapsed())));
+    }
+    std::panic::set_hook(prev_hook);
+    println!("(expected shape: every fault is contained — a structured error,");
+    println!(" never a hang; counters are cumulative per machine instance:");
+    println!(" inj=faults injected, det=faults detected, cancel=cancellations");
+    println!(" observed by parked peers, wdog=watchdog trips)");
 }

@@ -48,9 +48,7 @@ pub fn run_doall(
             Schedule::Presched => p.presched_do(ForceRange::to(1, n), body),
             Schedule::PreschedBlock => p.presched_do_block(ForceRange::to(1, n), body),
             Schedule::SelfSched => p.selfsched_do(ForceRange::to(1, n), body),
-            Schedule::SelfSchedChunk(c) => {
-                p.selfsched_do_chunked(ForceRange::to(1, n), c, body)
-            }
+            Schedule::SelfSchedChunk(c) => p.selfsched_do_chunked(ForceRange::to(1, n), c, body),
         }
     });
     acc.load(Ordering::Relaxed)
@@ -162,7 +160,12 @@ mod tests {
             Schedule::SelfSched,
             Schedule::SelfSchedChunk(4),
         ] {
-            assert_eq!(run_doall(&force, 50, uniform_cost, 4, s), base, "{}", s.name());
+            assert_eq!(
+                run_doall(&force, 50, uniform_cost, 4, s),
+                base,
+                "{}",
+                s.name()
+            );
         }
     }
 

@@ -34,7 +34,8 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use force_machdep::{Condvar, Mutex};
+use force_machdep::fault;
+use force_machdep::{Condvar, Construct, Mutex};
 
 use crate::player::Player;
 
@@ -91,7 +92,10 @@ impl<W> AskforPot<W> {
                 self.cond.notify_all();
                 return None;
             }
-            self.cond.wait(&mut st);
+            // The idle wait: the pot may refill, a peer may fault.  Stay
+            // responsive to cancellation either way.
+            let _park = fault::parked(Construct::Askfor);
+            fault::cancellable_wait(&self.cond, &mut st);
         }
     }
 
@@ -132,6 +136,8 @@ impl Player {
         S: FnOnce() -> Vec<W>,
         H: Fn(W, &AskforPot<W>),
     {
+        let _c = fault::enter(Construct::Askfor);
+        fault::inject(Construct::Askfor);
         let pot: Arc<AskforPot<W>> = self.collective(|| AskforPot::new(seed()));
         while let Some(w) = pot.ask() {
             handler(w, &pot);
@@ -153,9 +159,12 @@ mod tests {
             let force = Force::new(nproc);
             let sum = AtomicU64::new(0);
             force.run(|p| {
-                p.askfor(|| (1..=100u64).collect(), |w, _| {
-                    sum.fetch_add(w, Ordering::Relaxed);
-                });
+                p.askfor(
+                    || (1..=100u64).collect(),
+                    |w, _| {
+                        sum.fetch_add(w, Ordering::Relaxed);
+                    },
+                );
             });
             assert_eq!(sum.load(Ordering::Relaxed), 5050, "nproc={nproc}");
         }
@@ -168,14 +177,17 @@ mod tests {
             let force = Force::new(nproc);
             let leaves = AtomicU64::new(0);
             force.run(|p| {
-                p.askfor(|| vec![64u64, 37], |n, pot| {
-                    if n > 1 {
-                        pot.post(n / 2);
-                        pot.post(n - n / 2);
-                    } else {
-                        leaves.fetch_add(1, Ordering::Relaxed);
-                    }
-                });
+                p.askfor(
+                    || vec![64u64, 37],
+                    |n, pot| {
+                        if n > 1 {
+                            pot.post(n / 2);
+                            pot.post(n - n / 2);
+                        } else {
+                            leaves.fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                );
             });
             assert_eq!(leaves.load(Ordering::Relaxed), 64 + 37, "nproc={nproc}");
         }
@@ -214,12 +226,15 @@ mod tests {
         let force = Force::new(4);
         let done = AtomicU64::new(0);
         force.run(|p| {
-            p.askfor(|| (0..50u64).collect(), |w, pot| {
-                if w > 0 && w % 7 == 0 {
-                    pot.post(w - 1);
-                }
-                done.fetch_add(1, Ordering::SeqCst);
-            });
+            p.askfor(
+                || (0..50u64).collect(),
+                |w, pot| {
+                    if w > 0 && w % 7 == 0 {
+                        pot.post(w - 1);
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                },
+            );
             // All work (including dynamically posted) visible after the
             // construct's end barrier.
             let total = done.load(Ordering::SeqCst);
@@ -233,12 +248,18 @@ mod tests {
         let a = AtomicU64::new(0);
         let b = AtomicU64::new(0);
         force.run(|p| {
-            p.askfor(|| vec![1u64; 10], |_, _| {
-                a.fetch_add(1, Ordering::Relaxed);
-            });
-            p.askfor(|| vec![1u64; 20], |_, _| {
-                b.fetch_add(1, Ordering::Relaxed);
-            });
+            p.askfor(
+                || vec![1u64; 10],
+                |_, _| {
+                    a.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            p.askfor(
+                || vec![1u64; 20],
+                |_, _| {
+                    b.fetch_add(1, Ordering::Relaxed);
+                },
+            );
         });
         assert_eq!(a.load(Ordering::Relaxed), 10);
         assert_eq!(b.load(Ordering::Relaxed), 20);

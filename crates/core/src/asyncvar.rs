@@ -27,7 +27,8 @@
 
 use std::cell::UnsafeCell;
 
-use force_machdep::{FullEmptyState, LockHandle, LockState, Machine};
+use force_machdep::fault;
+use force_machdep::{Construct, FullEmptyState, LockHandle, LockState, Machine};
 
 /// A shared variable with full/empty state (`Async` class).
 pub struct Async<T> {
@@ -91,6 +92,8 @@ impl<T> Async<T> {
 
     /// Produce: wait for empty, write the value, set full.
     pub fn produce(&self, value: T) {
+        let _c = fault::enter(Construct::Produce);
+        fault::inject(Construct::Produce);
         match &self.state {
             State::TwoLock { e, f } => {
                 f.lock();
@@ -110,6 +113,8 @@ impl<T> Async<T> {
 
     /// Consume: wait for full, take the value, set empty.
     pub fn consume(&self) -> T {
+        let _c = fault::enter(Construct::Consume);
+        fault::inject(Construct::Consume);
         match &self.state {
             State::TwoLock { e, f } => {
                 e.lock();
@@ -134,6 +139,7 @@ impl<T> Async<T> {
     where
         T: Clone,
     {
+        let _c = fault::enter(Construct::Copy);
         match &self.state {
             State::TwoLock { e, f: _ } => {
                 e.lock();
@@ -156,6 +162,7 @@ impl<T> Async<T> {
     /// discarding any value.  "Mainly used to initialize the state of
     /// asynchronous variables" (§4.2).
     pub fn void(&self) {
+        let _c = fault::enter(Construct::Void);
         match &self.state {
             State::TwoLock { e, f } => loop {
                 if e.try_lock() {
@@ -172,6 +179,7 @@ impl<T> Async<T> {
                     return;
                 }
                 // A produce/consume is mid-flight; retry.
+                fault::check_cancel();
                 std::hint::spin_loop();
             },
             State::Hardware(fe) => loop {
@@ -188,6 +196,7 @@ impl<T> Async<T> {
                     return;
                 }
                 // Mid-transfer (BUSY); wait it out.
+                fault::check_cancel();
                 std::hint::spin_loop();
             },
         }

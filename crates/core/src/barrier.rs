@@ -33,7 +33,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use force_machdep::{LockHandle, LockState, Machine, OpStats};
+use force_machdep::fault;
+use force_machdep::{Construct, LockHandle, LockState, Machine, OpStats};
 
 /// The Force's two-lock, re-enterable barrier.
 pub struct TwoLockBarrier {
@@ -77,11 +78,8 @@ impl TwoLockBarrier {
     /// Force *barrier section*.
     ///
     /// Returns `Some` of the section's result in the process that ran it.
-    pub fn enter<R>(
-        &self,
-        on_first: impl FnOnce(),
-        on_last: impl FnOnce() -> R,
-    ) -> Option<R> {
+    pub fn enter<R>(&self, on_first: impl FnOnce(), on_last: impl FnOnce() -> R) -> Option<R> {
+        let _c = fault::enter(Construct::Barrier);
         self.barwin.lock();
         let n = self.zznbar.load(Ordering::Relaxed);
         if n == 0 {
@@ -113,6 +111,7 @@ impl TwoLockBarrier {
     /// pointing at the caller bug.)  Checked in release builds too: this
     /// runs under a lock, so the cost is noise.
     pub fn exit(&self) {
+        let _c = fault::enter(Construct::Barrier);
         self.barwot.lock();
         let n = self
             .zznbar
@@ -203,7 +202,9 @@ mod tests {
         let winners = spawn_force(n, m.stats(), |_pid| {
             let mut mine = 0;
             for _ in 0..25 {
-                if b.wait_section(|| ran.fetch_add(1, Ordering::SeqCst)).is_some() {
+                if b.wait_section(|| ran.fetch_add(1, Ordering::SeqCst))
+                    .is_some()
+                {
                     mine += 1;
                 }
             }

@@ -13,7 +13,8 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
-use force_machdep::{Backoff, CachePadded, Machine};
+use force_machdep::fault;
+use force_machdep::{Backoff, CachePadded, Construct, Machine};
 
 use crate::barrier::TwoLockBarrier;
 
@@ -94,7 +95,9 @@ impl BarrierAlg for SenseReversalBarrier {
             self.sense.store(mine, Ordering::Release);
         } else {
             let backoff = Backoff::new();
+            let _park = fault::parked(Construct::Barrier);
             while self.sense.load(Ordering::Acquire) != mine {
+                fault::check_cancel();
                 backoff.snooze();
             }
         }
@@ -154,7 +157,9 @@ impl BarrierAlg for DisseminationBarrier {
             let partner = (pid + (1 << k)) % self.n;
             self.flags[partner][k].fetch_add(1, Ordering::AcqRel);
             let backoff = Backoff::new();
+            let _park = fault::parked(Construct::Barrier);
             while self.flags[pid][k].load(Ordering::Acquire) < e {
+                fault::check_cancel();
                 backoff.snooze();
             }
         }
@@ -228,11 +233,13 @@ impl BarrierAlg for TournamentBarrier {
         self.episode[pid].store(e, Ordering::Relaxed);
         let backoff = Backoff::new();
         for k in 0..self.rounds {
-            if pid % (1 << (k + 1)) == 0 {
+            if pid.is_multiple_of(1 << (k + 1)) {
                 // Winner of round k: wait for the loser (if one exists).
                 let partner = pid + (1 << k);
                 if partner < self.n {
+                    let _park = fault::parked(Construct::Barrier);
                     while self.arrive[pid][k].load(Ordering::Acquire) < e {
+                        fault::check_cancel();
                         backoff.snooze();
                     }
                 }
@@ -241,7 +248,9 @@ impl BarrierAlg for TournamentBarrier {
                 // release everyone *we* defeated in earlier rounds.
                 let winner = pid - (1 << k);
                 self.arrive[winner][k].fetch_add(1, Ordering::AcqRel);
+                let _park = fault::parked(Construct::Barrier);
                 while self.release[pid].load(Ordering::Acquire) < e {
+                    fault::check_cancel();
                     backoff.snooze();
                 }
                 self.release_defeated(pid, k, e);
@@ -351,7 +360,9 @@ impl BarrierAlg for CombiningTreeBarrier {
         self.episode[pid].store(e, Ordering::Relaxed);
         self.arrive_at(self.leaf_of[pid], e);
         let backoff = Backoff::new();
+        let _park = fault::parked(Construct::Barrier);
         while self.done.load(Ordering::Acquire) < e {
+            fault::check_cancel();
             backoff.snooze();
         }
     }
@@ -414,14 +425,20 @@ impl BarrierAlg for McsTreeBarrier {
         let backoff = Backoff::new();
         // Arrival: wait for my subtree, then report to my arrival parent.
         let need = self.arrival_children[pid] as u64 * e;
-        while self.arrivals[pid].load(Ordering::Acquire) < need {
-            backoff.snooze();
+        {
+            let _park = fault::parked(Construct::Barrier);
+            while self.arrivals[pid].load(Ordering::Acquire) < need {
+                fault::check_cancel();
+                backoff.snooze();
+            }
         }
         if pid != 0 {
             let parent = (pid - 1) / 4;
             self.arrivals[parent].fetch_add(1, Ordering::AcqRel);
             // Wait for wakeup from the binary wakeup tree.
+            let _park = fault::parked(Construct::Barrier);
             while self.wakeup[pid].load(Ordering::Acquire) < e {
+                fault::check_cancel();
                 backoff.snooze();
             }
         }

@@ -11,14 +11,24 @@
 //! different subroutines aliases the same lock — exactly like a shared
 //! Fortran lock variable.
 
-use force_machdep::{with_lock, LockHandle, LockState, Machine};
+use force_machdep::fault;
+use force_machdep::{with_lock, Construct, LockHandle, LockState, Machine};
 
 use crate::player::Player;
 
 impl Player {
     /// Execute `body` inside the critical section `name`: at most one
     /// process of the force is inside any region with this name at a time.
+    ///
+    /// A panicking `body` cannot wedge its peers: the lock is released on
+    /// unwind (RAII inside [`with_lock`]) *and* the force's fault plane
+    /// attributes the fault to this critical section, so processes queued
+    /// on the same name unwind promptly instead of inheriting a stale
+    /// region.  The caller of `Force::try_execute` sees
+    /// `ProcessFault { construct: "critical", .. }`.
     pub fn critical<R>(&self, name: &str, body: impl FnOnce() -> R) -> R {
+        let _c = fault::enter(Construct::Critical);
+        fault::inject(Construct::Critical);
         let lock = self.named_lock(name);
         with_lock(lock.as_ref(), body)
     }

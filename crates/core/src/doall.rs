@@ -27,6 +27,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use force_machdep::fault;
+use force_machdep::Construct;
+
 use crate::player::Player;
 use crate::schedule::ForceRange;
 
@@ -41,6 +44,8 @@ impl Player {
     /// `Presched DO` over a singly nested loop: cyclic (round-robin)
     /// distribution of index values, then the DOALL-end barrier.
     pub fn presched_do(&self, range: impl Into<ForceRange>, mut body: impl FnMut(i64)) {
+        let _c = fault::enter(Construct::Doall);
+        fault::inject(Construct::Doall);
         let range = range.into();
         let n = range.count();
         let mut trip = self.pid() as u64;
@@ -55,6 +60,8 @@ impl Player {
     /// contiguous chunk of trips.  An extension (the paper's presched is
     /// cyclic); useful when the body has spatial locality.
     pub fn presched_do_block(&self, range: impl Into<ForceRange>, mut body: impl FnMut(i64)) {
+        let _c = fault::enter(Construct::Doall);
+        fault::inject(Construct::Doall);
         let range = range.into();
         let n = range.count();
         let p = self.pid() as u64;
@@ -93,6 +100,8 @@ impl Player {
         mut body: impl FnMut(i64),
     ) {
         assert!(chunk > 0, "selfscheduling chunk must be positive");
+        let _c = fault::enter(Construct::Doall);
+        fault::inject(Construct::Doall);
         let range = range.into();
         let n = range.count();
         let state = self.collective(|| SelfSchedState {
@@ -119,6 +128,8 @@ impl Player {
         inner: impl Into<ForceRange>,
         mut body: impl FnMut(i64, i64),
     ) {
+        let _c = fault::enter(Construct::Doall);
+        fault::inject(Construct::Doall);
         let outer = outer.into();
         let inner = inner.into();
         let ni = inner.count();
@@ -138,6 +149,8 @@ impl Player {
         inner: impl Into<ForceRange>,
         mut body: impl FnMut(i64, i64),
     ) {
+        let _c = fault::enter(Construct::Doall);
+        fault::inject(Construct::Doall);
         let outer = outer.into();
         let inner = inner.into();
         let ni = inner.count();
@@ -179,9 +192,17 @@ mod tests {
         });
         let hits = hits.into_inner();
         let expected: Vec<i64> = range.iter().collect();
-        assert_eq!(hits.len(), expected.len(), "wrong number of distinct indices");
+        assert_eq!(
+            hits.len(),
+            expected.len(),
+            "wrong number of distinct indices"
+        );
         for i in expected {
-            assert_eq!(hits.get(&i), Some(&1), "index {i} not executed exactly once");
+            assert_eq!(
+                hits.get(&i),
+                Some(&1),
+                "index {i} not executed exactly once"
+            );
         }
     }
 
@@ -189,7 +210,7 @@ mod tests {
     fn presched_covers_every_index_once() {
         for nproc in [1, 2, 3, 7] {
             coverage(nproc, ForceRange::to(1, 50), |p, f| {
-                p.presched_do(ForceRange::to(1, 50), |i| f(i));
+                p.presched_do(ForceRange::to(1, 50), f);
             });
         }
     }
@@ -198,7 +219,7 @@ mod tests {
     fn presched_block_covers_every_index_once() {
         for nproc in [1, 2, 3, 7, 11] {
             coverage(nproc, ForceRange::to(0, 49), |p, f| {
-                p.presched_do_block(ForceRange::to(0, 49), |i| f(i));
+                p.presched_do_block(ForceRange::to(0, 49), f);
             });
         }
     }
@@ -207,7 +228,7 @@ mod tests {
     fn selfsched_covers_every_index_once() {
         for nproc in [1, 2, 4, 8] {
             coverage(nproc, ForceRange::new(10, 100, 5), |p, f| {
-                p.selfsched_do(ForceRange::new(10, 100, 5), |i| f(i));
+                p.selfsched_do(ForceRange::new(10, 100, 5), f);
             });
         }
     }
@@ -216,7 +237,7 @@ mod tests {
     fn chunked_selfsched_covers_every_index_once() {
         for chunk in [1, 3, 7, 100] {
             coverage(4, ForceRange::to(0, 99), move |p, f| {
-                p.selfsched_do_chunked(ForceRange::to(0, 99), chunk, |i| f(i));
+                p.selfsched_do_chunked(ForceRange::to(0, 99), chunk, f);
             });
         }
     }
@@ -224,10 +245,10 @@ mod tests {
     #[test]
     fn negative_stride_loops_work() {
         coverage(3, ForceRange::new(20, 2, -3), |p, f| {
-            p.selfsched_do(ForceRange::new(20, 2, -3), |i| f(i));
+            p.selfsched_do(ForceRange::new(20, 2, -3), f);
         });
         coverage(3, ForceRange::new(20, 2, -3), |p, f| {
-            p.presched_do(ForceRange::new(20, 2, -3), |i| f(i));
+            p.presched_do(ForceRange::new(20, 2, -3), f);
         });
     }
 

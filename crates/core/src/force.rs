@@ -11,17 +11,25 @@
 //! the program body in all of them, and performs the final `Join`.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use force_machdep::{spawn_force, ForceEnvironment, Machine, MachineId};
+use force_machdep::{
+    spawn_force_plane, FaultConfig, FaultInjection, FaultPlane, ForceEnvironment, Machine,
+    MachineId, ProcessFault,
+};
 
 use crate::barrier::TwoLockBarrier;
 use crate::player::Player;
 use crate::registry::CollectiveRegistry;
 
-/// A configured force: a process count bound to a machine personality.
+/// A configured force: a process count bound to a machine personality,
+/// plus the fault-containment options (deadlock watchdog, fault
+/// injection), both off by default.
 pub struct Force {
     nproc: usize,
     machine: Arc<Machine>,
+    watchdog: Option<Duration>,
+    injection: Option<FaultInjection>,
 }
 
 impl Force {
@@ -41,7 +49,28 @@ impl Force {
     /// Panics if `nproc` is zero.
     pub fn with_machine(nproc: usize, machine: Arc<Machine>) -> Self {
         assert!(nproc > 0, "a force needs at least one process");
-        Force { nproc, machine }
+        Force {
+            nproc,
+            machine,
+            watchdog: None,
+            injection: None,
+        }
+    }
+
+    /// Enable the deadlock watchdog: if every live process of the force
+    /// stays parked with no progress for `bound`, the force is cancelled
+    /// and [`try_execute`](Self::try_execute) returns a structured
+    /// [`ProcessFault`] naming a parked process and its construct.
+    pub fn with_watchdog(mut self, bound: Duration) -> Self {
+        self.watchdog = Some(bound);
+        self
+    }
+
+    /// Enable deterministic fault injection (panics, delays, spurious
+    /// lock failures at construct boundaries) for robustness testing.
+    pub fn with_fault_injection(mut self, injection: FaultInjection) -> Self {
+        self.injection = Some(injection);
+        self
     }
 
     /// A force sized to the host's available parallelism.
@@ -75,10 +104,57 @@ impl Force {
         R: Send,
         F: Fn(&Player) -> R + Sync,
     {
-        let env = Arc::new(ForceEnvironment::new(Arc::clone(&self.machine), self.nproc));
+        let plane = self.make_plane();
+        match self.execute_on_plane(&plane, body) {
+            Ok(results) => results,
+            // Re-raise the first faulting process's original panic payload
+            // so callers (and `should_panic` tests) see it verbatim.
+            Err(fault) => match plane.take_payload() {
+                Some(payload) => std::panic::resume_unwind(payload),
+                None => panic!("{fault}"),
+            },
+        }
+    }
+
+    /// Like [`execute`](Self::execute), but returning a structured
+    /// [`ProcessFault`] instead of panicking when a process of the force
+    /// panics or the watchdog declares a deadlock.
+    pub fn try_execute<R, F>(&self, body: F) -> Result<Vec<R>, ProcessFault>
+    where
+        R: Send,
+        F: Fn(&Player) -> R + Sync,
+    {
+        self.execute_on_plane(&self.make_plane(), body)
+    }
+
+    fn make_plane(&self) -> Arc<FaultPlane> {
+        FaultPlane::new(
+            self.nproc,
+            Arc::clone(self.machine.stats()),
+            FaultConfig {
+                watchdog: self.watchdog,
+                injection: self.injection,
+            },
+        )
+    }
+
+    fn execute_on_plane<R, F>(
+        &self,
+        plane: &Arc<FaultPlane>,
+        body: F,
+    ) -> Result<Vec<R>, ProcessFault>
+    where
+        R: Send,
+        F: Fn(&Player) -> R + Sync,
+    {
+        let env = Arc::new(ForceEnvironment::with_fault_plane(
+            Arc::clone(&self.machine),
+            self.nproc,
+            Arc::clone(plane),
+        ));
         let barrier = Arc::new(TwoLockBarrier::new(&self.machine, self.nproc));
         let registry = Arc::new(CollectiveRegistry::new());
-        spawn_force(self.nproc, self.machine.stats(), |pid| {
+        spawn_force_plane(plane, |pid| {
             let player = Player::new(
                 pid,
                 self.nproc,
@@ -98,6 +174,15 @@ impl Force {
     {
         self.execute(body);
     }
+
+    /// Like [`run`](Self::run), but returning a structured
+    /// [`ProcessFault`] instead of panicking on a faulting process.
+    pub fn try_run<F>(&self, body: F) -> Result<(), ProcessFault>
+    where
+        F: Fn(&Player) + Sync,
+    {
+        self.try_execute(body).map(|_| ())
+    }
 }
 
 #[cfg(test)]
@@ -109,10 +194,7 @@ mod tests {
     fn every_process_runs_once_with_its_pid() {
         let force = Force::new(6);
         let results = force.execute(|p| (p.pid(), p.nproc()));
-        assert_eq!(
-            results,
-            (0..6).map(|i| (i, 6)).collect::<Vec<_>>()
-        );
+        assert_eq!(results, (0..6).map(|i| (i, 6)).collect::<Vec<_>>());
     }
 
     #[test]
@@ -170,5 +252,100 @@ mod tests {
     #[should_panic(expected = "at least one process")]
     fn zero_process_force_rejected() {
         let _ = Force::new(0);
+    }
+
+    #[test]
+    fn try_execute_returns_ok_results() {
+        let force = Force::new(3);
+        let r = force.try_execute(|p| p.pid()).expect("no faults");
+        assert_eq!(r, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn try_execute_reports_a_structured_fault() {
+        let force = Force::new(4);
+        let err = force
+            .try_execute(|p| {
+                if p.pid() == 3 {
+                    panic!("process three exploded");
+                }
+                p.barrier(); // peers park here until cancellation
+            })
+            .expect_err("the panic must surface as a fault");
+        assert_eq!(err.pid, 3);
+        assert_eq!(err.construct, "body");
+        assert_eq!(err.payload, "process three exploded");
+    }
+
+    #[test]
+    fn execute_still_panics_with_the_original_payload() {
+        let force = Force::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            force.run(|p| {
+                if p.pid() == 0 {
+                    panic!("original payload text");
+                }
+                p.barrier();
+            });
+        }));
+        let payload = caught.expect_err("must propagate");
+        let msg = payload.downcast_ref::<&str>().expect("&str payload");
+        assert_eq!(*msg, "original payload text");
+    }
+
+    #[test]
+    fn watchdog_reports_a_wedged_force() {
+        use std::time::Duration;
+        // Every process consumes from an async variable nobody produces:
+        // a guaranteed deadlock, reported by the watchdog.
+        let force = Force::new(2).with_watchdog(Duration::from_millis(100));
+        let chan: crate::asyncvar::Async<u64> = crate::asyncvar::Async::new(force.machine());
+        let err = force
+            .try_execute(|_p| chan.consume())
+            .expect_err("the watchdog must trip");
+        assert_eq!(err.construct, "consume");
+        assert!(err.payload.contains("deadlock watchdog"), "{}", err.payload);
+    }
+
+    #[test]
+    fn injected_panics_surface_as_faults() {
+        use force_machdep::FaultInjection;
+        let inj = FaultInjection {
+            seed: 0xF0CE,
+            panic_per_mille: 1000,
+            delay_per_mille: 0,
+            spurious_per_mille: 0,
+        };
+        let force = Force::new(2).with_fault_injection(inj);
+        let err = force
+            .try_run(|p| p.barrier())
+            .expect_err("a certain injection must fault the force");
+        assert!(err.payload.contains("injected fault"), "{}", err.payload);
+    }
+
+    #[test]
+    fn spurious_injection_perturbs_but_preserves_results() {
+        use force_machdep::FaultInjection;
+        let inj = FaultInjection {
+            seed: 7,
+            panic_per_mille: 0,
+            delay_per_mille: 0,
+            spurious_per_mille: 300,
+        };
+        let force = Force::new(4).with_fault_injection(inj);
+        let before = force.machine().stats().snapshot().faults_injected;
+        let shared = AtomicUsize::new(0);
+        force.run(|p| {
+            for _ in 0..20 {
+                p.critical("S", || {
+                    let v = shared.load(Ordering::Relaxed);
+                    shared.store(v + 1, Ordering::Relaxed);
+                });
+                p.barrier();
+            }
+        });
+        assert_eq!(shared.load(Ordering::Relaxed), 80);
+        let after = force.machine().stats().snapshot().faults_injected;
+        assert!(after > before, "a 30% spurious rate must have fired");
     }
 }

@@ -24,6 +24,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use force_machdep::fault;
+use force_machdep::Construct;
+
 use crate::player::Player;
 
 /// One section of a Pcase: an optional condition plus the block.
@@ -81,6 +84,8 @@ impl<'p, 's> Pcase<'p, 's> {
     /// `j mod nproc`.  "Completely machine independent."  Ends with the
     /// construct barrier.
     pub fn presched(self) {
+        let _c = fault::enter(Construct::Pcase);
+        fault::inject(Construct::Pcase);
         let Pcase { player, sections } = self;
         let nproc = player.nproc();
         let pid = player.pid();
@@ -95,6 +100,8 @@ impl<'p, 's> Pcase<'p, 's> {
     /// Selfscheduled execution: processes claim the next unexecuted block
     /// from a shared counter.  Ends with the construct barrier.
     pub fn selfsched(self) {
+        let _c = fault::enter(Construct::Pcase);
+        fault::inject(Construct::Pcase);
         let Pcase { player, sections } = self;
         let n = sections.len();
         let state = player.collective(|| PcaseState {
@@ -246,9 +253,7 @@ mod tests {
         let force = Force::new(4);
         let results = force.execute(|p| {
             let mut private = 0u64;
-            p.pcase()
-                .sect(|| private += 1)
-                .selfsched();
+            p.pcase().sect(|| private += 1).selfsched();
             private
         });
         // Exactly one player's private variable was incremented.

@@ -13,7 +13,8 @@
 use std::cell::Cell;
 use std::sync::Arc;
 
-use force_machdep::{ForceEnvironment, LockHandle, Machine};
+use force_machdep::fault;
+use force_machdep::{Construct, ForceEnvironment, LockHandle, Machine};
 
 use crate::barrier::TwoLockBarrier;
 use crate::registry::CollectiveRegistry;
@@ -83,6 +84,8 @@ impl Player {
     /// `Barrier` / `End barrier` with an empty section: wait for the
     /// whole force.
     pub fn barrier(&self) {
+        let _c = fault::enter(Construct::Barrier);
+        fault::inject(Construct::Barrier);
         self.barrier.wait();
     }
 
@@ -91,12 +94,16 @@ impl Player {
     /// suspended; then all proceed.  Returns `Some(result)` in the
     /// process that executed the section, `None` in the rest.
     pub fn barrier_section<R>(&self, section: impl FnOnce() -> R) -> Option<R> {
+        let _c = fault::enter(Construct::Barrier);
+        fault::inject(Construct::Barrier);
         self.barrier.wait_section(section)
     }
 
     /// Barrier variant whose *first* arriver runs `init` in mutual
     /// exclusion — the §4.2 loop-entry idiom.
     pub fn barrier_first(&self, init: impl FnOnce()) {
+        let _c = fault::enter(Construct::Barrier);
+        fault::inject(Construct::Barrier);
         self.barrier.wait_first(init);
     }
 

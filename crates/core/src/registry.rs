@@ -111,7 +111,7 @@ mod tests {
     fn type_mismatch_panics() {
         let reg = CollectiveRegistry::new();
         let _: Arc<AtomicUsize> = reg.nth(0, || AtomicUsize::new(0));
-        let _: Arc<String> = reg.nth(0, || String::new());
+        let _: Arc<String> = reg.nth(0, String::new);
     }
 
     #[test]

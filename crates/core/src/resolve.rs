@@ -25,6 +25,9 @@
 
 use std::sync::Arc;
 
+use force_machdep::fault;
+use force_machdep::Construct;
+
 use crate::barrier::TwoLockBarrier;
 use crate::player::Player;
 use crate::schedule::ForceRange;
@@ -101,6 +104,8 @@ impl Player {
     /// Panics if `sizes` is empty, contains a zero, or does not sum to
     /// `nproc`.
     pub fn resolve<R>(&self, sizes: &[usize], body: impl FnOnce(&Component) -> R) -> R {
+        let _c = fault::enter(Construct::Resolve);
+        fault::inject(Construct::Resolve);
         assert!(!sizes.is_empty(), "resolve needs at least one component");
         assert!(
             sizes.iter().all(|&s| s > 0),

@@ -65,7 +65,11 @@ impl ForceRange {
     /// # Panics
     /// Panics if `i >= self.count()`.
     pub fn nth(&self, i: u64) -> i64 {
-        assert!(i < self.count(), "trip {i} out of range (count {})", self.count());
+        assert!(
+            i < self.count(),
+            "trip {i} out of range (count {})",
+            self.count()
+        );
         self.start + (i as i64) * self.incr
     }
 
@@ -164,11 +168,10 @@ mod tests {
         assert_eq!(r.nth(4), i64::MAX);
         let r = ForceRange::new(i64::MIN, i64::MIN + 4, 2);
         assert_eq!(r.count(), 3);
-        assert_eq!(r.iter().collect::<Vec<_>>(), vec![
-            i64::MIN,
-            i64::MIN + 2,
-            i64::MIN + 4
-        ]);
+        assert_eq!(
+            r.iter().collect::<Vec<_>>(),
+            vec![i64::MIN, i64::MIN + 2, i64::MIN + 4]
+        );
         // Empty in the backwards direction, even from an extreme start
         // (last - start = -i64::MAX still fits, giving a negative span).
         assert!(ForceRange::new(i64::MAX, 0, 1).is_empty());

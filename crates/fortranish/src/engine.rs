@@ -19,12 +19,13 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use force_machdep::fault::{self, Construct};
+use force_machdep::Mutex;
 use force_machdep::{
-    spawn_force, FullEmptyState, LockHandle, LockKind, LockState, Machine, ProcessModel,
-    SharedRegion, SharingModelId, StatsSnapshot,
+    spawn_force_plane, FaultConfig, FaultPlane, FullEmptyState, LockHandle, LockKind, LockState,
+    Machine, ProcessModel, SharedRegion, SharingModelId, StatsSnapshot,
 };
 use force_prep::{ExpandedProgram, VarClass};
-use force_machdep::Mutex;
 
 use crate::ast::{Expr, LValue, Ty, UnOp};
 use crate::error::{FortError, FortErrorKind};
@@ -39,6 +40,8 @@ pub struct Engine {
     env_cells: Vec<String>,
     /// Force shared/async variables: name → (type, words).
     shared_vars: Vec<(String, Ty, usize)>,
+    /// Deadlock watchdog bound for the force (off by default).
+    watchdog: Option<std::time::Duration>,
 }
 
 /// The observable result of one run.
@@ -59,13 +62,18 @@ pub struct RunOutput {
 impl RunOutput {
     /// The final value of a shared scalar.
     pub fn shared_scalar(&self, name: &str) -> Option<Value> {
-        self.shared_values.get(name).and_then(|v| v.first().copied())
+        self.shared_values
+            .get(name)
+            .and_then(|v| v.first().copied())
     }
 }
 
 impl Engine {
     /// Load a preprocessed program onto a machine.
-    pub fn from_expanded(exp: &ExpandedProgram, machine: Arc<Machine>) -> Result<Engine, FortError> {
+    pub fn from_expanded(
+        exp: &ExpandedProgram,
+        machine: Arc<Machine>,
+    ) -> Result<Engine, FortError> {
         let mut shared_names: HashMap<String, usize> = HashMap::new();
         let mut shared_vars = Vec::new();
         for d in &exp.decls {
@@ -102,7 +110,16 @@ impl Engine {
             machine,
             env_cells: exp.env_cells.clone(),
             shared_vars,
+            watchdog: None,
         })
+    }
+
+    /// Enable the deadlock watchdog: if every process of the force stays
+    /// blocked with no progress for `bound`, the run is cancelled and
+    /// [`run`](Self::run) returns a runtime error naming a parked process
+    /// and the Force construct it was parked in.
+    pub fn set_watchdog(&mut self, bound: std::time::Duration) {
+        self.watchdog = Some(bound);
     }
 
     /// The compiled program.
@@ -128,7 +145,11 @@ impl Engine {
             prints: Mutex::new(Vec::new()),
             linker: Mutex::new(Vec::new()),
         };
-        let driver_name = self.program.program_unit.as_deref().expect("checked in load");
+        let driver_name = self
+            .program
+            .program_unit
+            .as_deref()
+            .expect("checked in load");
         let driver = self.program.unit(driver_name).expect("driver unit");
         let proc = Proc {
             rt: &rt,
@@ -174,7 +195,10 @@ impl Engine {
                     };
                     let vals = (0..words)
                         .map(|i| {
-                            Value::from_bits(state.region.load_raw(env_base + offset + i), Ty::Integer)
+                            Value::from_bits(
+                                state.region.load_raw(env_base + offset + i),
+                                Ty::Integer,
+                            )
                         })
                         .collect();
                     shared_values.insert(name, vals);
@@ -246,9 +270,11 @@ impl Rt<'_> {
     }
 
     fn lock_handle(&self, offset: usize, line: usize) -> Result<LockHandle, FortError> {
-        self.locks.lock().get(&offset).cloned().ok_or_else(|| {
-            FortError::runtime(line, "lock variable used before initialization")
-        })
+        self.locks
+            .lock()
+            .get(&offset)
+            .cloned()
+            .ok_or_else(|| FortError::runtime(line, "lock variable used before initialization"))
     }
 
     fn tag_handle(&self, offset: usize) -> Arc<FullEmptyState> {
@@ -272,7 +298,11 @@ struct Proc<'r, 'e> {
 #[derive(Clone)]
 enum ArgVal {
     /// Reference to shared storage (possibly an array base).
-    Shared { offset: usize, ty: Ty, dims: Vec<usize> },
+    Shared {
+        offset: usize,
+        ty: Ty,
+        dims: Vec<usize>,
+    },
     /// A copied-in value (read-only in the callee).
     Value(Value),
     /// A program-unit name (spawn intrinsics).
@@ -341,12 +371,10 @@ impl Proc<'_, '_> {
                 }
                 Op::Return => return Ok(Flow::Normal),
                 Op::Stop => return Ok(Flow::Stop),
-                Op::Call(name, call_args) => {
-                    match self.call(&mut frame, name, call_args, line)? {
-                        Flow::Stop => return Ok(Flow::Stop),
-                        Flow::Normal => pc += 1,
-                    }
-                }
+                Op::Call(name, call_args) => match self.call(&mut frame, name, call_args, line)? {
+                    Flow::Stop => return Ok(Flow::Stop),
+                    Flow::Normal => pc += 1,
+                },
             }
         }
         Ok(Flow::Normal)
@@ -383,7 +411,12 @@ impl Proc<'_, '_> {
     }
 
     /// Bind one actual argument.
-    fn bind_arg(&self, frame: &mut Frame<'_>, arg: &Expr, line: usize) -> Result<ArgVal, FortError> {
+    fn bind_arg(
+        &self,
+        frame: &mut Frame<'_>,
+        arg: &Expr,
+        line: usize,
+    ) -> Result<ArgVal, FortError> {
         match arg {
             Expr::Var(n) => {
                 if self.rt.engine.program.units.contains_key(n) {
@@ -532,6 +565,7 @@ impl Proc<'_, '_> {
                         f.unlock();
                         return Ok(Flow::Normal);
                     }
+                    fault::check_cancel();
                     std::hint::spin_loop();
                 }
             }
@@ -548,6 +582,12 @@ impl Proc<'_, '_> {
                 let (offset, ty) = self.shared_place_arg(frame, args, 0, name, line)?;
                 let tag = self.rt.tag_handle(offset);
                 let state = self.rt.shared(line)?;
+                let _c = fault::enter(match name {
+                    "ZZHPRD" => Construct::Produce,
+                    "ZZHCON" => Construct::Consume,
+                    "ZZHCPY" => Construct::Copy,
+                    _ => Construct::Void,
+                });
                 match name {
                     "ZZHPRD" => {
                         let v = self.eval(frame, &args[1], line)?.convert_to(ty, line)?;
@@ -590,14 +630,7 @@ impl Proc<'_, '_> {
                     return Ok(Flow::Normal);
                 }
                 // Every unit's startup routine reports the shared blocks.
-                let blocks: Vec<(String, usize)> = self
-                    .rt
-                    .engine
-                    .program
-                    .shared_blocks
-                    .iter()
-                    .cloned()
-                    .collect();
+                let blocks: Vec<(String, usize)> = self.rt.engine.program.shared_blocks.to_vec();
                 let mut names: Vec<&String> = self.rt.engine.program.units.keys().collect();
                 names.sort();
                 for unit in names {
@@ -621,7 +654,10 @@ impl Proc<'_, '_> {
             }
             "ZZSHPG" => {
                 let id = machine.sharing_model().id();
-                if !matches!(id, SharingModelId::RunTimePaged | SharingModelId::PageAligned) {
+                if !matches!(
+                    id,
+                    SharingModelId::RunTimePaged | SharingModelId::PageAligned
+                ) {
                     return Err(FortError::at(
                         line,
                         FortErrorKind::MachineMismatch {
@@ -643,7 +679,10 @@ impl Proc<'_, '_> {
                     return Err(FortError::at(
                         line,
                         FortErrorKind::MachineMismatch {
-                            expected: format!("{} process creation", machine.spec().process_model.name()),
+                            expected: format!(
+                                "{} process creation",
+                                machine.spec().process_model.name()
+                            ),
                             found: format!("driver compiled for `{name}`"),
                         },
                     ));
@@ -659,17 +698,48 @@ impl Proc<'_, '_> {
                 };
                 let unit = self.rt.engine.program.unit(&unit_name).expect("checked");
                 let np = self.rt.nproc;
-                let results = spawn_force(np, machine.stats(), |pid| {
+                let plane = FaultPlane::new(
+                    np,
+                    Arc::clone(machine.stats()),
+                    FaultConfig {
+                        watchdog: self.rt.engine.watchdog,
+                        injection: None,
+                    },
+                );
+                // An interpreter runtime error in one process must not
+                // leave its peers parked in a barrier or async wait: the
+                // first error trips the fault plane (cancelling the rest
+                // of the force) and is reported with its own line number.
+                let first_err: Mutex<Option<FortError>> = Mutex::new(None);
+                let spawned = spawn_force_plane(&plane, |pid| {
                     let p = Proc {
                         rt: self.rt,
                         me: pid as i64,
                         np: np as i64,
                     };
-                    p.exec(unit, Vec::new()).map(|_| ())
+                    if let Err(e) = p.exec(unit, Vec::new()) {
+                        let msg = e.to_string();
+                        {
+                            let mut slot = first_err.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                        }
+                        fault::trip_current(Construct::Interpreter, msg);
+                    }
                 });
-                for r in results {
-                    r?;
+                if let Some(e) = first_err.lock().take() {
+                    return Err(e);
                 }
+                spawned.map_err(|f| {
+                    FortError::runtime(
+                        line,
+                        format!(
+                            "process {} faulted in {}: {}",
+                            f.pid, f.construct, f.payload
+                        ),
+                    )
+                })?;
                 Ok(Flow::Normal)
             }
             other => Err(FortError::runtime(
@@ -688,7 +758,8 @@ impl Proc<'_, '_> {
         name: &str,
         line: usize,
     ) -> Result<usize, FortError> {
-        self.shared_place_arg(frame, args, i, name, line).map(|(o, _)| o)
+        self.shared_place_arg(frame, args, i, name, line)
+            .map(|(o, _)| o)
     }
 
     /// Resolve intrinsic argument `i` to shared storage (offset + type).
@@ -714,9 +785,11 @@ impl Proc<'_, '_> {
 
     fn block_base(&self, block: &str, line: usize) -> Result<usize, FortError> {
         let state = self.rt.shared(line)?;
-        state.bases.get(block).copied().ok_or_else(|| {
-            FortError::runtime(line, format!("unknown shared block {block}"))
-        })
+        state
+            .bases
+            .get(block)
+            .copied()
+            .ok_or_else(|| FortError::runtime(line, format!("unknown shared block {block}")))
     }
 
     // ---- expression evaluation -------------------------------------------
@@ -769,9 +842,7 @@ impl Proc<'_, '_> {
                     UnOp::Neg => match v {
                         Value::Int(n) => Ok(Value::Int(-n)),
                         Value::Real(x) => Ok(Value::Real(-x)),
-                        Value::Log(_) => {
-                            Err(FortError::runtime(line, "cannot negate a LOGICAL"))
-                        }
+                        Value::Log(_) => Err(FortError::runtime(line, "cannot negate a LOGICAL")),
                     },
                     UnOp::Not => Ok(Value::Log(!v.as_log(line)?)),
                 }
@@ -835,7 +906,10 @@ impl Proc<'_, '_> {
             Storage::Shared { block, offset } => {
                 let base = self.block_base(block, line)?;
                 let state = self.rt.shared(line)?;
-                Ok(Value::from_bits(state.region.load_raw(base + offset), sym.ty))
+                Ok(Value::from_bits(
+                    state.region.load_raw(base + offset),
+                    sym.ty,
+                ))
             }
             Storage::PseudoMe => Ok(Value::Int(self.me)),
             Storage::PseudoNp => Ok(Value::Int(self.np)),
@@ -1042,12 +1116,7 @@ fn lvalue_of(e: &Expr, line: usize) -> Result<LValue, FortError> {
 }
 
 /// Numeric/logical binary operation with Fortran coercions.
-fn eval_binop(
-    op: crate::ast::BinOp,
-    a: Value,
-    b: Value,
-    line: usize,
-) -> Result<Value, FortError> {
+fn eval_binop(op: crate::ast::BinOp, a: Value, b: Value, line: usize) -> Result<Value, FortError> {
     use crate::ast::BinOp::*;
     match op {
         And => Ok(Value::Log(a.as_log(line)? && b.as_log(line)?)),
@@ -1102,9 +1171,8 @@ fn eval_binop(
                 _ => {
                     let x = a.as_real(line)?;
                     let y = b.as_real(line)?;
-                    x.partial_cmp(&y).ok_or_else(|| {
-                        FortError::runtime(line, "comparison with NaN")
-                    })?
+                    x.partial_cmp(&y)
+                        .ok_or_else(|| FortError::runtime(line, "comparison with NaN"))?
                 }
             };
             use std::cmp::Ordering::*;
@@ -1182,7 +1250,10 @@ mod tests {
         for nproc in [1, 2, 5] {
             let out = run_on(src, MachineId::AlliantFx8, nproc);
             let hits = &out.shared_values["HITS"];
-            assert!(hits.iter().all(|v| *v == Value::Int(1)), "nproc={nproc}: {hits:?}");
+            assert!(
+                hits.iter().all(|v| *v == Value::Int(1)),
+                "nproc={nproc}: {hits:?}"
+            );
         }
     }
 
@@ -1204,7 +1275,12 @@ mod tests {
 ";
         for id in [MachineId::Hep, MachineId::EncoreMultimax, MachineId::Cray2] {
             let out = run_on(src, id, 2);
-            assert_eq!(out.shared_scalar("GOT"), Some(Value::Int(42)), "{}", id.name());
+            assert_eq!(
+                out.shared_scalar("GOT"),
+                Some(Value::Int(42)),
+                "{}",
+                id.name()
+            );
         }
     }
 
@@ -1259,11 +1335,20 @@ mod tests {
     #[test]
     fn hep_uses_fullempty_everywhere() {
         let out = run_on(SUM_PROGRAM, MachineId::Hep, 3);
-        assert!(out.stats.fe_produces > 0 || out.stats.fe_consumes > 0, "{:?}", out.stats);
+        assert!(
+            out.stats.fe_produces > 0 || out.stats.fe_consumes > 0,
+            "{:?}",
+            out.stats
+        );
         assert_eq!(out.stats.syscalls, 0);
         // and HEP process creation is cheap in simulated cycles
         let cray = run_on(SUM_PROGRAM, MachineId::Cray2, 3);
-        assert!(cray.cycles > out.cycles, "cray {} vs hep {}", cray.cycles, out.cycles);
+        assert!(
+            cray.cycles > out.cycles,
+            "cray {} vs hep {}",
+            cray.cycles,
+            out.cycles
+        );
     }
 
     #[test]

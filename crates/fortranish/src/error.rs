@@ -54,9 +54,8 @@ impl FortError {
 
 impl fmt::Display for FortError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.line {
-            Some(l) => write!(f, "line {l}: ")?,
-            None => {}
+        if let Some(l) = self.line {
+            write!(f, "line {l}: ")?
         }
         match &self.kind {
             FortErrorKind::Lex(m) => write!(f, "lexical error: {m}"),

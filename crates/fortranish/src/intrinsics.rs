@@ -7,7 +7,8 @@ use crate::value::Value;
 pub fn is_intrinsic_function(name: &str) -> bool {
     matches!(
         name,
-        "ABS" | "IABS"
+        "ABS"
+            | "IABS"
             | "SQRT"
             | "EXP"
             | "ALOG"
@@ -35,9 +36,28 @@ pub fn is_intrinsic_function(name: &str) -> bool {
 pub fn is_intrinsic_subroutine(name: &str) -> bool {
     matches!(
         name,
-        "ZZTSLCK" | "ZZTSUNL" | "ZZOSLCK" | "ZZOSUNL" | "ZZCBLCK" | "ZZCBUNL" | "ZZFELCK"
-            | "ZZFEUNL" | "ZZINITL" | "ZZINITK" | "ZZINITU" | "ZZAINI" | "ZZVOIDL" | "ZZHPRD" | "ZZHCON"
-            | "ZZHVD" | "ZZHCPY" | "ZZSTRT0" | "ZZLINK" | "ZZSHPG" | "ZZFORKJ" | "ZZSFORK"
+        "ZZTSLCK"
+            | "ZZTSUNL"
+            | "ZZOSLCK"
+            | "ZZOSUNL"
+            | "ZZCBLCK"
+            | "ZZCBUNL"
+            | "ZZFELCK"
+            | "ZZFEUNL"
+            | "ZZINITL"
+            | "ZZINITK"
+            | "ZZINITU"
+            | "ZZAINI"
+            | "ZZVOIDL"
+            | "ZZHPRD"
+            | "ZZHCON"
+            | "ZZHVD"
+            | "ZZHCPY"
+            | "ZZSTRT0"
+            | "ZZLINK"
+            | "ZZSHPG"
+            | "ZZFORKJ"
+            | "ZZSFORK"
             | "ZZSPAWN"
     )
 }

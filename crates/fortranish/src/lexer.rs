@@ -21,7 +21,10 @@ pub struct LexedLine {
 
 /// Whether a line is a comment.
 pub fn is_comment(line: &str) -> bool {
-    matches!(line.chars().next(), Some('C') | Some('c') | Some('*') | Some('!'))
+    matches!(
+        line.chars().next(),
+        Some('C') | Some('c') | Some('*') | Some('!')
+    )
 }
 
 /// Lex a whole source into significant lines.
@@ -39,7 +42,10 @@ pub fn lex(source: &str) -> Result<Vec<LexedLine>, FortError> {
             (None, trimmed)
         } else {
             let label = digits.parse::<u32>().map_err(|_| {
-                FortError::at(line_no, FortErrorKind::Lex(format!("label `{digits}` too large")))
+                FortError::at(
+                    line_no,
+                    FortErrorKind::Lex(format!("label `{digits}` too large")),
+                )
             })?;
             (Some(label), trimmed[digits.len()..].trim_start())
         };
@@ -140,7 +146,10 @@ pub fn lex_statement(s: &str, line_no: usize) -> Result<Vec<Token>, FortError> {
                             chars[start..j].iter().collect::<String>()
                         )));
                     }
-                    let name: String = chars[start..j].iter().collect::<String>().to_ascii_uppercase();
+                    let name: String = chars[start..j]
+                        .iter()
+                        .collect::<String>()
+                        .to_ascii_uppercase();
                     i = j + 1;
                     match name.as_str() {
                         "TRUE" => toks.push(Token::Logical(true)),
@@ -168,7 +177,10 @@ pub fn lex_statement(s: &str, line_no: usize) -> Result<Vec<Token>, FortError> {
                 while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                     i += 1;
                 }
-                let name: String = chars[start..i].iter().collect::<String>().to_ascii_uppercase();
+                let name: String = chars[start..i]
+                    .iter()
+                    .collect::<String>()
+                    .to_ascii_uppercase();
                 toks.push(Token::Ident(name));
             }
             other => return Err(err(format!("unexpected character `{other}`"))),
@@ -189,16 +201,13 @@ fn lex_number(chars: &[char], start: usize, line_no: usize) -> Result<(Token, us
     // Decimal point — but only if not the start of a dotted operator
     // (`1.EQ.2` must lex as `1` `.EQ.` `2`).
     if i < chars.len() && chars[i] == '.' {
-        let looks_like_dotop = chars
-            .get(i + 1)
-            .is_some_and(|c| c.is_ascii_alphabetic())
-            && {
-                let mut j = i + 2;
-                while j < chars.len() && chars[j].is_ascii_alphabetic() {
-                    j += 1;
-                }
-                chars.get(j) == Some(&'.')
-            };
+        let looks_like_dotop = chars.get(i + 1).is_some_and(|c| c.is_ascii_alphabetic()) && {
+            let mut j = i + 2;
+            while j < chars.len() && chars[j].is_ascii_alphabetic() {
+                j += 1;
+            }
+            chars.get(j) == Some(&'.')
+        };
         if !looks_like_dotop {
             is_real = true;
             text.push('.');
@@ -231,7 +240,10 @@ fn lex_number(chars: &[char], start: usize, line_no: usize) -> Result<(Token, us
     }
     let tok = if is_real {
         Token::Real(text.parse::<f64>().map_err(|_| {
-            FortError::at(line_no, FortErrorKind::Lex(format!("bad real literal `{text}`")))
+            FortError::at(
+                line_no,
+                FortErrorKind::Lex(format!("bad real literal `{text}`")),
+            )
         })?)
     } else {
         Token::Int(text.parse::<i64>().map_err(|_| {

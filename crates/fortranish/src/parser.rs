@@ -98,15 +98,13 @@ impl<'a> Parser<'a> {
                 self.next();
                 let name = self.expect_ident("subroutine name")?;
                 let mut params = Vec::new();
-                if self.eat(&Token::LParen) {
-                    if !self.eat(&Token::RParen) {
-                        loop {
-                            params.push(self.expect_ident("parameter name")?);
-                            if self.eat(&Token::RParen) {
-                                break;
-                            }
-                            self.expect(&Token::Comma, "`,` in parameter list")?;
+                if self.eat(&Token::LParen) && !self.eat(&Token::RParen) {
+                    loop {
+                        params.push(self.expect_ident("parameter name")?);
+                        if self.eat(&Token::RParen) {
+                            break;
                         }
+                        self.expect(&Token::Comma, "`,` in parameter list")?;
                     }
                 }
                 Ok(Stmt::Subroutine(name, params))
@@ -183,8 +181,8 @@ impl<'a> Parser<'a> {
                         }
                         match self.next() {
                             Some(Token::Int(n)) => {
-                                *slot = u32::try_from(*n)
-                                    .map_err(|_| self.err("label out of range"))?
+                                *slot =
+                                    u32::try_from(*n).map_err(|_| self.err("label out of range"))?
                             }
                             _ => return Err(self.err("expected a label in arithmetic IF")),
                         }
@@ -276,15 +274,13 @@ impl<'a> Parser<'a> {
                 self.next();
                 let name = self.expect_ident("subroutine name")?;
                 let mut args = Vec::new();
-                if self.eat(&Token::LParen) {
-                    if !self.eat(&Token::RParen) {
-                        loop {
-                            args.push(self.expr()?);
-                            if self.eat(&Token::RParen) {
-                                break;
-                            }
-                            self.expect(&Token::Comma, "`,` in argument list")?;
+                if self.eat(&Token::LParen) && !self.eat(&Token::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if self.eat(&Token::RParen) {
+                            break;
                         }
+                        self.expect(&Token::Comma, "`,` in argument list")?;
                     }
                 }
                 Ok(Stmt::Call { name, args })
@@ -340,9 +336,9 @@ impl<'a> Parser<'a> {
                     match self.next() {
                         Some(Token::Int(n)) if *n > 0 => dims.push(*n as usize),
                         _ => {
-                            return Err(self.err(
-                                "array dimensions must be positive integer literals",
-                            ))
+                            return Err(
+                                self.err("array dimensions must be positive integer literals")
+                            )
                         }
                     }
                     if self.eat(&Token::RParen) {
@@ -581,7 +577,11 @@ mod tests {
         ));
         assert!(matches!(
             parse("DO I = 10, 1, -2"),
-            Stmt::Do { label: None, step: Some(_), .. }
+            Stmt::Do {
+                label: None,
+                step: Some(_),
+                ..
+            }
         ));
         assert!(matches!(parse("END DO"), Stmt::EndDo));
     }
@@ -618,7 +618,9 @@ mod tests {
             _ => unreachable!(),
         }
         let s = parse("COMMON /ZZFENV/ ZZNBAR, BARWIN, BARWOT");
-        assert!(matches!(s, Stmt::Common { ref block, ref items } if block == "ZZFENV" && items.len() == 3));
+        assert!(
+            matches!(s, Stmt::Common { ref block, ref items } if block == "ZZFENV" && items.len() == 3)
+        );
     }
 
     #[test]
@@ -652,13 +654,13 @@ mod tests {
     fn function_call_in_expression() {
         let s = parse("X = MOD(K, 2) + ABS(-3)");
         match s {
-            Stmt::Assign { rhs, .. } => match rhs {
-                Expr::Bin(BinOp::Add, l, r) => {
-                    assert!(matches!(*l, Expr::Index(ref n, _) if n == "MOD"));
-                    assert!(matches!(*r, Expr::Index(ref n, _) if n == "ABS"));
-                }
-                _ => unreachable!(),
-            },
+            Stmt::Assign {
+                rhs: Expr::Bin(BinOp::Add, l, r),
+                ..
+            } => {
+                assert!(matches!(*l, Expr::Index(ref n, _) if n == "MOD"));
+                assert!(matches!(*r, Expr::Index(ref n, _) if n == "ABS"));
+            }
             _ => unreachable!(),
         }
     }
@@ -668,7 +670,10 @@ mod tests {
         let s = parse("X = A ** -2");
         assert!(matches!(
             s,
-            Stmt::Assign { rhs: Expr::Bin(BinOp::Pow, _, _), .. }
+            Stmt::Assign {
+                rhs: Expr::Bin(BinOp::Pow, _, _),
+                ..
+            }
         ));
     }
 

@@ -201,10 +201,7 @@ impl Program {
                 block_order.push(name.clone());
             }
         }
-        let shared_blocks = block_order
-            .iter()
-            .map(|b| (b.clone(), blocks[b]))
-            .collect();
+        let shared_blocks = block_order.iter().map(|b| (b.clone(), blocks[b])).collect();
         Ok(Program {
             units,
             program_unit,
@@ -248,7 +245,10 @@ fn compile_unit(
         match stmt {
             Stmt::Decl { ty, items } => {
                 for it in items {
-                    if decls.insert(it.name.clone(), (*ty, it.dims.clone())).is_some() {
+                    if decls
+                        .insert(it.name.clone(), (*ty, it.dims.clone()))
+                        .is_some()
+                    {
                         return Err(FortError::at(
                             line.line_no,
                             FortErrorKind::Structure(format!(
@@ -402,7 +402,13 @@ fn compile_unit(
             }
         }
         emit_stmt(
-            stmt, line_no, &mut ops, &mut op_lines, &mut gotos, &mut if_stack, &mut do_stack,
+            stmt,
+            line_no,
+            &mut ops,
+            &mut op_lines,
+            &mut gotos,
+            &mut if_stack,
+            &mut do_stack,
         )?;
         // Close labeled DO loops terminating at this line.
         while let Some(frame) = do_stack.last() {
@@ -457,7 +463,9 @@ fn compile_unit(
     }
     implicit.sort();
     for n in implicit {
-        if crate::intrinsics::is_intrinsic_function(&n) || crate::intrinsics::is_intrinsic_subroutine(&n) {
+        if crate::intrinsics::is_intrinsic_function(&n)
+            || crate::intrinsics::is_intrinsic_subroutine(&n)
+        {
             continue;
         }
         let storage = if let Some(&w) = shared_names.get(&n) {
@@ -529,16 +537,8 @@ fn emit_stmt(
             // Branch on sign.  The expression is evaluated up to twice;
             // expressions in this subset are side-effect free.
             use crate::ast::BinOp;
-            let lt = Expr::Bin(
-                BinOp::Lt,
-                Box::new(e.clone()),
-                Box::new(Expr::Int(0)),
-            );
-            let eq = Expr::Bin(
-                BinOp::Eq,
-                Box::new(e.clone()),
-                Box::new(Expr::Int(0)),
-            );
+            let lt = Expr::Bin(BinOp::Lt, Box::new(e.clone()), Box::new(Expr::Int(0)));
+            let eq = Expr::Bin(BinOp::Eq, Box::new(e.clone()), Box::new(Expr::Int(0)));
             // if !(e < 0) skip over the negative jump
             let skip1 = ops.len();
             push(Op::JumpIfFalse(lt, usize::MAX), ops, op_lines);
@@ -564,7 +564,10 @@ fn emit_stmt(
         }
         Stmt::ElseIf(cond) => {
             let frame = if_stack.last_mut().ok_or_else(|| {
-                FortError::at(line_no, FortErrorKind::Structure("ELSE IF without IF".into()))
+                FortError::at(
+                    line_no,
+                    FortErrorKind::Structure("ELSE IF without IF".into()),
+                )
             })?;
             // end-jump for the previous arm
             frame.end_patches.push(ops.len());
@@ -588,7 +591,10 @@ fn emit_stmt(
         }
         Stmt::EndIf => {
             let frame = if_stack.pop().ok_or_else(|| {
-                FortError::at(line_no, FortErrorKind::Structure("END IF without IF".into()))
+                FortError::at(
+                    line_no,
+                    FortErrorKind::Structure("END IF without IF".into()),
+                )
             })?;
             let here = ops.len();
             if frame.false_patch != usize::MAX {
@@ -633,14 +639,15 @@ fn emit_stmt(
         }
         Stmt::EndDo => {
             let frame = do_stack.pop().ok_or_else(|| {
-                FortError::at(line_no, FortErrorKind::Structure("END DO without DO".into()))
+                FortError::at(
+                    line_no,
+                    FortErrorKind::Structure("END DO without DO".into()),
+                )
             })?;
             if frame.terminal.is_some() {
                 return Err(FortError::at(
                     line_no,
-                    FortErrorKind::Structure(
-                        "labeled DO must end at its label, not END DO".into(),
-                    ),
+                    FortErrorKind::Structure("labeled DO must end at its label, not END DO".into()),
                 ));
             }
             emit_do_close(frame, ops, op_lines, line_no);
@@ -685,11 +692,7 @@ fn emit_do_close(frame: DoFrame, ops: &mut Vec<Op>, op_lines: &mut Vec<usize>, l
     } = frame;
     ops.push(Op::Assign(
         LValue::Name(var.clone()),
-        Expr::Bin(
-            BinOp::Add,
-            Box::new(Expr::Var(var)),
-            Box::new(step),
-        ),
+        Expr::Bin(BinOp::Add, Box::new(Expr::Var(var)), Box::new(step)),
     ));
     op_lines.push(line_no);
     ops.push(Op::Jump(head));
@@ -778,11 +781,17 @@ mod tests {
         let u = p.unit("A").unwrap();
         assert_eq!(
             u.symbols["X"].storage,
-            Storage::Shared { block: "BLK".into(), offset: 0 }
+            Storage::Shared {
+                block: "BLK".into(),
+                offset: 0
+            }
         );
         assert_eq!(
             u.symbols["Y"].storage,
-            Storage::Shared { block: "BLK".into(), offset: 1 }
+            Storage::Shared {
+                block: "BLK".into(),
+                offset: 1
+            }
         );
         assert_eq!(p.shared_blocks, vec![("BLK".to_string(), 5)]);
     }
@@ -819,7 +828,10 @@ mod tests {
         let u = p.unit("A").unwrap();
         assert_eq!(
             u.symbols["TOTAL"].storage,
-            Storage::Shared { block: "TOTAL".into(), offset: 0 }
+            Storage::Shared {
+                block: "TOTAL".into(),
+                offset: 0
+            }
         );
         assert!(p.shared_blocks.contains(&("TOTAL".to_string(), 1)));
     }
@@ -864,14 +876,16 @@ mod tests {
         let u = p.unit("A").unwrap();
         // compiles with resolved jumps; last op is the implicit Return
         assert!(matches!(u.ops.last(), Some(Op::Return)));
-        assert!(u.ops.iter().all(|op| !matches!(op, Op::Jump(t) if *t == usize::MAX)));
+        assert!(u
+            .ops
+            .iter()
+            .all(|op| !matches!(op, Op::Jump(t) if *t == usize::MAX)));
     }
 
     #[test]
     fn goto_resolves_labels() {
-        let p = compile(
-            "      SUBROUTINE A\n      GO TO 20\n      X = 1\n20    CONTINUE\n      END\n",
-        );
+        let p =
+            compile("      SUBROUTINE A\n      GO TO 20\n      X = 1\n20    CONTINUE\n      END\n");
         let u = p.unit("A").unwrap();
         assert!(matches!(u.ops[0], Op::Jump(2)));
     }
@@ -898,7 +912,8 @@ mod tests {
 
     #[test]
     fn implicit_locals_get_fortran_types() {
-        let p = compile("      SUBROUTINE A\n      KOUNT = KOUNT + 1\n      XVAL = 1.5\n      END\n");
+        let p =
+            compile("      SUBROUTINE A\n      KOUNT = KOUNT + 1\n      XVAL = 1.5\n      END\n");
         let u = p.unit("A").unwrap();
         assert_eq!(u.symbols["KOUNT"].ty, Ty::Integer);
         assert_eq!(u.symbols["XVAL"].ty, Ty::Real);

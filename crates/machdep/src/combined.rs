@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use crate::fault;
 use crate::lock::{LockKind, LockState, RawLock};
 use crate::portable::{Backoff, Condvar, Mutex};
 use crate::stats::OpStats;
@@ -49,9 +50,10 @@ impl CombinedLock {
 
 impl RawLock for CombinedLock {
     fn lock(&self) {
-        // Phase 1: bounded spin.
+        // Phase 1: bounded spin.  An injected spurious failure is accounted
+        // as one failed attempt.
         let backoff = Backoff::new();
-        let mut spun: u64 = 0;
+        let mut spun: u64 = u64::from(fault::spurious_lock_failure());
         for _ in 0..self.spin_limit {
             if !self.locked.swap(true, Ordering::Acquire) {
                 OpStats::count(&self.stats.lock_acquires);
@@ -72,13 +74,20 @@ impl RawLock for CombinedLock {
         // window.
         OpStats::count(&self.stats.syscalls);
         let mut guard = self.wait.lock();
+        if !self.locked.swap(true, Ordering::Acquire) {
+            OpStats::count(&self.stats.lock_acquires);
+            return;
+        }
+        // One park per blocking episode (a cancellable wait is sliced into
+        // short timed waits, which must not each be billed as a park).
+        OpStats::count(&self.stats.parks);
+        let _park = fault::parked(fault::Construct::Lock);
         loop {
+            fault::cancellable_wait(&self.cond, &mut guard);
             if !self.locked.swap(true, Ordering::Acquire) {
                 OpStats::count(&self.stats.lock_acquires);
                 return;
             }
-            OpStats::count(&self.stats.parks);
-            self.cond.wait(&mut guard);
         }
     }
 

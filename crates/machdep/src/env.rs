@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use crate::fault::{FaultConfig, FaultPlane};
 use crate::lock::{LockHandle, LockState};
 use crate::machine::Machine;
 use crate::portable::Mutex;
@@ -35,6 +36,9 @@ pub struct ForceEnvironment {
     shared_indices: Mutex<HashMap<String, Arc<AtomicI64>>>,
     /// Monotonic process-identifier source for dynamically added players.
     next_pid: AtomicUsize,
+    /// The force's fault plane: cancellation token, wait board, watchdog
+    /// and injection configuration.
+    fault_plane: Arc<FaultPlane>,
 }
 
 impl ForceEnvironment {
@@ -47,6 +51,21 @@ impl ForceEnvironment {
     /// # Panics
     /// Panics if `nproc` is zero.
     pub fn new(machine: Arc<Machine>, nproc: usize) -> Self {
+        let plane = FaultPlane::new(
+            nproc.max(1),
+            Arc::clone(machine.stats()),
+            FaultConfig::default(),
+        );
+        Self::with_fault_plane(machine, nproc, plane)
+    }
+
+    /// Like [`new`](Self::new), but running under a caller-supplied fault
+    /// plane (watchdog and fault injection configured by the force
+    /// builder).
+    ///
+    /// # Panics
+    /// Panics if `nproc` is zero.
+    pub fn with_fault_plane(machine: Arc<Machine>, nproc: usize, plane: Arc<FaultPlane>) -> Self {
         assert!(nproc > 0, "a force needs at least one process");
         ForceEnvironment {
             barwin: machine.make_dedicated_lock(LockState::Unlocked),
@@ -55,6 +74,7 @@ impl ForceEnvironment {
             named_locks: Mutex::new(HashMap::new()),
             shared_indices: Mutex::new(HashMap::new()),
             next_pid: AtomicUsize::new(nproc),
+            fault_plane: plane,
             nproc,
             machine,
         }
@@ -68,6 +88,17 @@ impl ForceEnvironment {
     /// The machine this environment lives on.
     pub fn machine(&self) -> &Arc<Machine> {
         &self.machine
+    }
+
+    /// The force's fault plane.
+    pub fn fault_plane(&self) -> &Arc<FaultPlane> {
+        &self.fault_plane
+    }
+
+    /// Whether the force's cancellation token has tripped (a peer process
+    /// faulted or the watchdog declared a deadlock).
+    pub fn cancel_requested(&self) -> bool {
+        self.fault_plane.is_tripped()
     }
 
     /// Look up (creating on first use) the named lock variable — the

@@ -1,0 +1,865 @@
+//! The fault plane: cancellation propagation, construct attribution, a
+//! deadlock watchdog, and deterministic fault injection.
+//!
+//! The paper's force model assumes every process survives to `Join`.  A
+//! panic in one process would therefore leave its peers blocked forever
+//! in a barrier, a `Consume`, an `Askfor` idle wait, or a lock queue.
+//! This module makes that failure mode *structured*: every force runs
+//! under a [`FaultPlane`] holding a cancellation token that every
+//! blocking wait loop in the machine-dependent layer observes.
+//!
+//! The pieces:
+//!
+//! * [`FaultPlane`] — per-force token + wait board + configuration.  A
+//!   panic (trapped per thread by [`crate::process::spawn_force_plane`])
+//!   or an interpreter runtime error ([`trip_current`]) *trips* the
+//!   plane; the first fault wins and is reported as a [`ProcessFault`].
+//! * A thread-local context, installed by `spawn_force_plane` for each
+//!   process of the force, through which the lock/full-empty wait loops
+//!   observe the token without threading a handle through every
+//!   constructor ([`check_cancel`], [`cancellable_wait`]).
+//! * Construct markers ([`enter`]) — an RAII stack recording which Force
+//!   construct a process is executing, so faults and watchdog reports can
+//!   say *where* ("barrier", "critical", "consume", ...) a process died
+//!   or is parked.
+//! * A wait board ([`parked`]) — per-pid state (running/parked/finished)
+//!   sampled by the deadlock watchdog ([`FaultPlane::run_watchdog`]),
+//!   which declares a fault when every live process is parked and no
+//!   progress counter has moved for a full watchdog bound.
+//! * Fault injection ([`FaultInjection`]) — a hermetic,
+//!   [`XorShift64`]-seeded layer that can inject panics and delays at
+//!   construct boundaries and spurious failures into lock acquisition,
+//!   to exercise all of the above deterministically in tests.
+//!
+//! Cancellation unwinds a blocked process with a private [`Cancelled`]
+//! payload via `resume_unwind` (bypassing the panic hook, so cancelled
+//! peers do not spam stderr with backtraces); `spawn_force_plane` absorbs
+//! those unwinds and reports only the originating fault.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::portable::{CachePadded, Condvar, Mutex, MutexGuard, XorShift64};
+use crate::stats::OpStats;
+
+/// Which Force construct a process is executing or blocked in.  Used for
+/// fault attribution ("pid 2 faulted in critical") and watchdog reports
+/// ("pid 1 parked in consume").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Construct {
+    /// Plain program text outside any construct.
+    Body,
+    /// A raw lock acquisition not attributable to a higher construct.
+    Lock,
+    /// A barrier (two-lock or any of the \[AJ87\] suite).
+    Barrier,
+    /// A named critical section.
+    Critical,
+    /// `Produce` on an asynchronous variable.
+    Produce,
+    /// `Consume` on an asynchronous variable.
+    Consume,
+    /// `Copy` on an asynchronous variable.
+    Copy,
+    /// `Void` on an asynchronous variable.
+    Void,
+    /// The Askfor work pot (including its idle wait).
+    Askfor,
+    /// A DOALL loop (prescheduled or selfscheduled).
+    Doall,
+    /// A Pcase statement.
+    Pcase,
+    /// A Resolve component.
+    Resolve,
+    /// Interpreted Force-Fortran code (`force-fortran` engine).
+    Interpreter,
+}
+
+/// The board/construct table, indexable by discriminant.
+const CONSTRUCTS: [Construct; 13] = [
+    Construct::Body,
+    Construct::Lock,
+    Construct::Barrier,
+    Construct::Critical,
+    Construct::Produce,
+    Construct::Consume,
+    Construct::Copy,
+    Construct::Void,
+    Construct::Askfor,
+    Construct::Doall,
+    Construct::Pcase,
+    Construct::Resolve,
+    Construct::Interpreter,
+];
+
+impl Construct {
+    /// Human-readable construct name, matching the paper's vocabulary.
+    pub fn name(self) -> &'static str {
+        match self {
+            Construct::Body => "body",
+            Construct::Lock => "lock",
+            Construct::Barrier => "barrier",
+            Construct::Critical => "critical",
+            Construct::Produce => "produce",
+            Construct::Consume => "consume",
+            Construct::Copy => "copy",
+            Construct::Void => "void",
+            Construct::Askfor => "askfor",
+            Construct::Doall => "doall",
+            Construct::Pcase => "pcase",
+            Construct::Resolve => "resolve",
+            Construct::Interpreter => "interpreter",
+        }
+    }
+
+    fn index(self) -> usize {
+        CONSTRUCTS
+            .iter()
+            .position(|&c| c == self)
+            .expect("in table")
+    }
+
+    fn from_index(i: usize) -> Construct {
+        CONSTRUCTS.get(i).copied().unwrap_or(Construct::Body)
+    }
+}
+
+/// A structured process fault: which process failed, in which construct,
+/// and the fault description (panic message, interpreter error, or
+/// watchdog report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessFault {
+    /// The faulting process identifier (for a watchdog trip, a parked
+    /// representative).
+    pub pid: usize,
+    /// The construct the process faulted in (see [`Construct::name`]).
+    pub construct: &'static str,
+    /// The fault payload: a panic message, an interpreter error, or the
+    /// watchdog's no-progress report.
+    pub payload: String,
+}
+
+impl fmt::Display for ProcessFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "process {} faulted in {}: {}",
+            self.pid, self.construct, self.payload
+        )
+    }
+}
+
+impl std::error::Error for ProcessFault {}
+
+/// The private unwind payload used to cancel blocked peers.  Carried via
+/// `resume_unwind`, so the panic hook never fires for a cancellation.
+pub struct Cancelled;
+
+/// Deterministic fault-injection configuration.  All probabilities are in
+/// per-mille (0..=1000) and are rolled on a per-process [`XorShift64`]
+/// stream derived from `seed` and the pid, so a given (config, program,
+/// nproc) triple injects the same faults in the same processes on every
+/// run — the layer is hermetic by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultInjection {
+    /// Base seed; each process derives its own stream from `seed ^ f(pid)`.
+    pub seed: u64,
+    /// Per-mille chance that a construct boundary panics.
+    pub panic_per_mille: u32,
+    /// Per-mille chance that a construct boundary sleeps a few microseconds
+    /// (perturbs interleavings without changing results).
+    pub delay_per_mille: u32,
+    /// Per-mille chance that a lock acquisition reports one spurious
+    /// failed attempt before proceeding (exercises contended paths).
+    pub spurious_per_mille: u32,
+}
+
+impl FaultInjection {
+    /// An inert configuration with the given seed (no faults until a
+    /// probability is raised).
+    pub fn with_seed(seed: u64) -> Self {
+        FaultInjection {
+            seed,
+            panic_per_mille: 0,
+            delay_per_mille: 0,
+            spurious_per_mille: 0,
+        }
+    }
+}
+
+/// Per-force fault-plane configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultConfig {
+    /// Deadlock watchdog bound; `None` (the default) disables the
+    /// watchdog.
+    pub watchdog: Option<Duration>,
+    /// Fault injection; `None` (the default) injects nothing.
+    pub injection: Option<FaultInjection>,
+}
+
+/// Wait-board states (low two bits of each board word).
+const RUNNING: usize = 0;
+const PARKED: usize = 1;
+const FINISHED: usize = 2;
+const STATE_MASK: usize = 0b11;
+
+/// The per-force fault plane: cancellation token, first-fault slot, wait
+/// board, and configuration.  One is created per force execution (or per
+/// [`crate::process::spawn_force`] call) and shared by every process.
+pub struct FaultPlane {
+    nproc: usize,
+    stats: Arc<OpStats>,
+    config: FaultConfig,
+    /// The cancellation token.  Set (with `Release`) only after the first
+    /// fault has been recorded, so an observer that sees the trip can
+    /// read the fault.
+    tripped: AtomicBool,
+    fault: Mutex<Option<ProcessFault>>,
+    /// The first genuine panic's original payload, kept so the legacy
+    /// panic-propagating entry points can re-raise it verbatim.
+    payload: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Wait board: per-pid `state | construct_index << 2`.
+    board: Vec<CachePadded<AtomicUsize>>,
+}
+
+impl FaultPlane {
+    /// A fresh, untripped plane for a force of `nproc` processes.
+    pub fn new(nproc: usize, stats: Arc<OpStats>, config: FaultConfig) -> Arc<FaultPlane> {
+        Arc::new(FaultPlane {
+            nproc,
+            stats,
+            config,
+            tripped: AtomicBool::new(false),
+            fault: Mutex::new(None),
+            payload: Mutex::new(None),
+            board: (0..nproc)
+                .map(|_| CachePadded::new(AtomicUsize::new(RUNNING)))
+                .collect(),
+        })
+    }
+
+    /// Number of processes the plane covers.
+    pub fn nproc(&self) -> usize {
+        self.nproc
+    }
+
+    /// The machine stats the plane accounts to.
+    pub fn stats(&self) -> &Arc<OpStats> {
+        &self.stats
+    }
+
+    /// The configured watchdog bound, if any.
+    pub fn watchdog_interval(&self) -> Option<Duration> {
+        self.config.watchdog
+    }
+
+    /// The configured fault injection, if any.
+    pub fn injection(&self) -> Option<FaultInjection> {
+        self.config.injection
+    }
+
+    /// Whether the cancellation token has been tripped.  Any blocking
+    /// wait loop observing `true` must unwind via [`check_cancel`].
+    pub fn is_tripped(&self) -> bool {
+        self.tripped.load(Ordering::Acquire)
+    }
+
+    /// Trip the plane with a fault.  The first fault wins (later trips
+    /// are counted but not recorded); `payload` optionally preserves the
+    /// original panic payload for verbatim re-raising.
+    pub fn trip(&self, fault: ProcessFault, payload: Option<Box<dyn Any + Send>>) {
+        OpStats::count(&self.stats.faults_detected);
+        {
+            let mut slot = self.fault.lock();
+            if slot.is_none() {
+                *slot = Some(fault);
+                if let Some(p) = payload {
+                    *self.payload.lock() = Some(p);
+                }
+            }
+        }
+        self.tripped.store(true, Ordering::Release);
+    }
+
+    /// Take the recorded first fault (None if the plane never tripped).
+    pub fn take_fault(&self) -> Option<ProcessFault> {
+        self.fault.lock().take()
+    }
+
+    /// Take the preserved original panic payload, if any.
+    pub fn take_payload(&self) -> Option<Box<dyn Any + Send>> {
+        self.payload.lock().take()
+    }
+
+    fn set_board(&self, pid: usize, state: usize, construct: Construct) {
+        if let Some(slot) = self.board.get(pid) {
+            slot.store(state | (construct.index() << 2), Ordering::Release);
+        }
+    }
+
+    /// Mark `pid` finished on the wait board (it can no longer deadlock).
+    pub(crate) fn finish(&self, pid: usize) {
+        self.set_board(pid, FINISHED, Construct::Body);
+    }
+
+    /// If every non-finished process is parked (and at least one is),
+    /// return the lowest parked pid and its construct.
+    fn all_parked(&self) -> Option<(usize, Construct)> {
+        let mut witness = None;
+        for (pid, slot) in self.board.iter().enumerate() {
+            let word = slot.load(Ordering::Acquire);
+            match word & STATE_MASK {
+                FINISHED => {}
+                PARKED => {
+                    if witness.is_none() {
+                        witness = Some((pid, Construct::from_index(word >> 2)));
+                    }
+                }
+                _ => return None,
+            }
+        }
+        witness
+    }
+
+    /// Counters whose movement proves the force is making progress.
+    /// Excludes retry/park counters, which parked processes keep
+    /// incrementing while stuck.
+    fn progress_signature(&self) -> u64 {
+        let g = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+        g(&self.stats.lock_acquires)
+            .wrapping_add(g(&self.stats.lock_releases))
+            .wrapping_add(g(&self.stats.fe_produces))
+            .wrapping_add(g(&self.stats.fe_consumes))
+            .wrapping_add(g(&self.stats.barrier_episodes))
+            .wrapping_add(g(&self.stats.processes_created))
+    }
+
+    /// The deadlock watchdog loop, run on its own thread by
+    /// `spawn_force_plane` when a bound is configured.  Samples the wait
+    /// board and the progress counters four times per bound; when every
+    /// live process has stayed parked with no counter movement for a full
+    /// bound, trips the plane with a report naming a parked pid and its
+    /// construct.  Returns when `stop` is set (force joined), when the
+    /// plane trips for any reason, or after its own trip.
+    pub fn run_watchdog(&self, stop: &Mutex<bool>, stop_signal: &Condvar) {
+        let Some(bound) = self.config.watchdog else {
+            return;
+        };
+        let tick = (bound / 4).max(Duration::from_millis(1));
+        let mut last_sig = self.progress_signature();
+        let mut stagnant = 0u32;
+        loop {
+            {
+                let mut stopped = stop.lock();
+                if *stopped {
+                    return;
+                }
+                stop_signal.wait_for(&mut stopped, tick);
+                if *stopped {
+                    return;
+                }
+            }
+            if self.is_tripped() {
+                return;
+            }
+            let sig = self.progress_signature();
+            let parked = self.all_parked();
+            if parked.is_some() && sig == last_sig {
+                stagnant += 1;
+            } else {
+                stagnant = 0;
+            }
+            last_sig = sig;
+            if stagnant >= 4 {
+                let (pid, construct) = parked.expect("stagnant implies parked");
+                OpStats::count(&self.stats.watchdog_trips);
+                self.trip(
+                    ProcessFault {
+                        pid,
+                        construct: construct.name(),
+                        payload: format!(
+                            "deadlock watchdog: no progress for {bound:?} with every live \
+                             process parked (pid {pid} parked in {})",
+                            construct.name()
+                        ),
+                    },
+                    None,
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// The per-thread fault context: which plane and pid this thread belongs
+/// to, plus the construct-marker stack top and the injection RNG.
+struct Ctx {
+    plane: Arc<FaultPlane>,
+    pid: usize,
+    construct: Cell<Construct>,
+    /// The construct that was active when this thread started panicking
+    /// (recorded by the innermost marker guard during unwind).
+    panicked_in: Cell<Option<Construct>>,
+    rng: RefCell<Option<XorShift64>>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// RAII guard restoring the previous thread-local fault context.
+pub(crate) struct CtxGuard {
+    prev: Option<Ctx>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CTX.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Install the fault context for one force process on the current thread
+/// (called by `spawn_force_plane`; nestable, the guard restores the outer
+/// context).
+pub(crate) fn install(plane: &Arc<FaultPlane>, pid: usize) -> CtxGuard {
+    CTX.with(|c| {
+        let prev = c.borrow_mut().replace(Ctx {
+            plane: Arc::clone(plane),
+            pid,
+            construct: Cell::new(Construct::Body),
+            panicked_in: Cell::new(None),
+            rng: RefCell::new(None),
+        });
+        CtxGuard { prev }
+    })
+}
+
+/// Take the construct recorded at the moment the current thread started
+/// panicking (used by `spawn_force_plane` to attribute a caught panic).
+pub(crate) fn take_panicked_construct() -> Option<Construct> {
+    CTX.with(|c| c.borrow().as_ref().and_then(|ctx| ctx.panicked_in.take()))
+}
+
+/// RAII construct marker: the innermost active marker names the construct
+/// for fault attribution and park reports.
+pub struct ConstructGuard {
+    prev: Option<Construct>,
+}
+
+impl Drop for ConstructGuard {
+    fn drop(&mut self) {
+        let Some(prev) = self.prev else { return };
+        CTX.with(|c| {
+            if let Some(ctx) = c.borrow().as_ref() {
+                if std::thread::panicking() && ctx.panicked_in.get().is_none() {
+                    ctx.panicked_in.set(Some(ctx.construct.get()));
+                }
+                ctx.construct.set(prev);
+            }
+        });
+    }
+}
+
+/// Mark the current thread as executing `construct` until the returned
+/// guard drops.  A no-op outside a force.
+pub fn enter(construct: Construct) -> ConstructGuard {
+    CTX.with(|c| match c.borrow().as_ref() {
+        Some(ctx) => {
+            let prev = ctx.construct.replace(construct);
+            ConstructGuard { prev: Some(prev) }
+        }
+        None => ConstructGuard { prev: None },
+    })
+}
+
+/// The construct the current thread is marked as executing (`Body` when
+/// unmarked or outside a force).
+pub fn current_construct() -> Construct {
+    CTX.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|ctx| ctx.construct.get())
+            .unwrap_or(Construct::Body)
+    })
+}
+
+/// Observe the cancellation token: if the force's plane has tripped,
+/// unwind this thread with a [`Cancelled`] payload.  Every blocking wait
+/// loop calls this once per retry; a no-op outside a force.
+#[inline]
+pub fn check_cancel() {
+    let tripped = CTX.with(|c| {
+        c.borrow()
+            .as_ref()
+            .is_some_and(|ctx| ctx.plane.is_tripped())
+    });
+    if tripped {
+        cancel_now();
+    }
+}
+
+#[cold]
+fn cancel_now() -> ! {
+    CTX.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            OpStats::count(&ctx.plane.stats.cancellations_observed);
+        }
+    });
+    std::panic::resume_unwind(Box::new(Cancelled));
+}
+
+/// RAII wait-board entry: the pid shows as parked (in the innermost
+/// active construct, or `fallback`) until the guard drops.
+pub struct ParkGuard {
+    plane: Option<Arc<FaultPlane>>,
+    pid: usize,
+}
+
+impl Drop for ParkGuard {
+    fn drop(&mut self) {
+        if let Some(plane) = &self.plane {
+            plane.set_board(self.pid, RUNNING, Construct::Body);
+        }
+    }
+}
+
+/// Publish on the wait board that the current process is about to block.
+/// A no-op outside a force.
+pub fn parked(fallback: Construct) -> ParkGuard {
+    CTX.with(|c| match c.borrow().as_ref() {
+        Some(ctx) => {
+            let construct = match ctx.construct.get() {
+                Construct::Body => fallback,
+                marked => marked,
+            };
+            ctx.plane.set_board(ctx.pid, PARKED, construct);
+            ParkGuard {
+                plane: Some(Arc::clone(&ctx.plane)),
+                pid: ctx.pid,
+            }
+        }
+        None => ParkGuard {
+            plane: None,
+            pid: 0,
+        },
+    })
+}
+
+/// A condvar wait that stays responsive to cancellation: inside a force
+/// it waits in short timed slices and re-checks the token after each
+/// wake; outside a force it degrades to a plain untimed wait.
+pub fn cancellable_wait<T>(cond: &Condvar, guard: &mut MutexGuard<'_, T>) {
+    let in_force = CTX.with(|c| c.borrow().is_some());
+    if in_force {
+        cond.wait_for(guard, Duration::from_millis(1));
+        check_cancel();
+    } else {
+        cond.wait(guard);
+    }
+}
+
+/// Trip the current force's plane from inside a process (used by the
+/// interpreter to report a runtime error without panicking).  Returns
+/// `false` when called outside a force.
+pub fn trip_current(construct: Construct, payload: String) -> bool {
+    let plane_pid = CTX.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|ctx| (Arc::clone(&ctx.plane), ctx.pid))
+    });
+    match plane_pid {
+        Some((plane, pid)) => {
+            plane.trip(
+                ProcessFault {
+                    pid,
+                    construct: construct.name(),
+                    payload,
+                },
+                None,
+            );
+            true
+        }
+        None => false,
+    }
+}
+
+enum Injected {
+    Nothing,
+    Delay(u64),
+    Panic(usize),
+}
+
+fn roll(want_spurious: bool) -> Injected {
+    let rolled = CTX.with(|c| {
+        let borrowed = c.borrow();
+        let ctx = borrowed.as_ref()?;
+        let inj = ctx.plane.config.injection?;
+        let mut rng = ctx.rng.borrow_mut();
+        let rng = rng.get_or_insert_with(|| {
+            XorShift64::new(inj.seed ^ (ctx.pid as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        });
+        if want_spurious {
+            if inj.spurious_per_mille > 0 && rng.next_below(1000) < inj.spurious_per_mille as u64 {
+                OpStats::count(&ctx.plane.stats.faults_injected);
+                return Some(Injected::Panic(ctx.pid)); // repurposed: "spurious" marker
+            }
+            return Some(Injected::Nothing);
+        }
+        if inj.delay_per_mille > 0 && rng.next_below(1000) < inj.delay_per_mille as u64 {
+            OpStats::count(&ctx.plane.stats.faults_injected);
+            return Some(Injected::Delay(rng.next_below(50) + 1));
+        }
+        if inj.panic_per_mille > 0 && rng.next_below(1000) < inj.panic_per_mille as u64 {
+            OpStats::count(&ctx.plane.stats.faults_injected);
+            return Some(Injected::Panic(ctx.pid));
+        }
+        Some(Injected::Nothing)
+    });
+    rolled.unwrap_or(Injected::Nothing)
+}
+
+/// Fault-injection point at a construct boundary: may sleep a few
+/// microseconds or unwind with an injected fault, per the plane's
+/// [`FaultInjection`] configuration.  A no-op outside a force or without
+/// injection configured.
+pub fn inject(point: Construct) {
+    match roll(false) {
+        Injected::Nothing => {}
+        Injected::Delay(micros) => std::thread::sleep(Duration::from_micros(micros)),
+        Injected::Panic(pid) => std::panic::resume_unwind(Box::new(format!(
+            "injected fault at {} (pid {pid})",
+            point.name()
+        ))),
+    }
+}
+
+/// Fault-injection point inside lock acquisition: returns `true` when the
+/// attempt should be treated as one spurious failure (the caller records
+/// a contended attempt and retries).  Never panics.
+pub fn spurious_lock_failure() -> bool {
+    matches!(roll(true), Injected::Panic(_))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(nproc: usize, config: FaultConfig) -> Arc<FaultPlane> {
+        FaultPlane::new(nproc, Arc::new(OpStats::new()), config)
+    }
+
+    #[test]
+    fn first_trip_wins() {
+        let p = plane(2, FaultConfig::default());
+        assert!(!p.is_tripped());
+        p.trip(
+            ProcessFault {
+                pid: 1,
+                construct: "barrier",
+                payload: "first".into(),
+            },
+            None,
+        );
+        p.trip(
+            ProcessFault {
+                pid: 0,
+                construct: "body",
+                payload: "second".into(),
+            },
+            None,
+        );
+        assert!(p.is_tripped());
+        let f = p.take_fault().expect("tripped");
+        assert_eq!(f.pid, 1);
+        assert_eq!(f.payload, "first");
+        assert_eq!(p.stats().snapshot().faults_detected, 2);
+    }
+
+    #[test]
+    fn fault_display_is_structured() {
+        let f = ProcessFault {
+            pid: 3,
+            construct: "consume",
+            payload: "boom".into(),
+        };
+        assert_eq!(f.to_string(), "process 3 faulted in consume: boom");
+    }
+
+    #[test]
+    fn construct_indices_round_trip() {
+        for c in CONSTRUCTS {
+            assert_eq!(Construct::from_index(c.index()), c);
+        }
+        assert_eq!(Construct::from_index(usize::MAX >> 2), Construct::Body);
+    }
+
+    #[test]
+    fn outside_a_force_everything_is_inert() {
+        check_cancel(); // must not unwind
+        let _g = enter(Construct::Barrier);
+        assert_eq!(current_construct(), Construct::Body);
+        let _p = parked(Construct::Lock);
+        inject(Construct::Barrier);
+        assert!(!spurious_lock_failure());
+        assert!(!trip_current(Construct::Interpreter, "nope".into()));
+    }
+
+    #[test]
+    fn markers_nest_and_attribute_panics() {
+        let p = plane(1, FaultConfig::default());
+        let _ctx = install(&p, 0);
+        assert_eq!(current_construct(), Construct::Body);
+        {
+            let _a = enter(Construct::Doall);
+            assert_eq!(current_construct(), Construct::Doall);
+            {
+                let _b = enter(Construct::Critical);
+                assert_eq!(current_construct(), Construct::Critical);
+            }
+            assert_eq!(current_construct(), Construct::Doall);
+        }
+        assert_eq!(current_construct(), Construct::Body);
+        // A panic under a marker records the innermost construct.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _a = enter(Construct::Barrier);
+            panic!("die at the barrier");
+        }));
+        assert!(caught.is_err());
+        assert_eq!(take_panicked_construct(), Some(Construct::Barrier));
+        assert_eq!(take_panicked_construct(), None, "taken once");
+    }
+
+    #[test]
+    fn check_cancel_unwinds_with_cancelled_payload() {
+        let p = plane(1, FaultConfig::default());
+        let _ctx = install(&p, 0);
+        p.trip(
+            ProcessFault {
+                pid: 0,
+                construct: "body",
+                payload: "x".into(),
+            },
+            None,
+        );
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(check_cancel));
+        let payload = caught.expect_err("tripped plane must unwind");
+        assert!(payload.is::<Cancelled>());
+        assert_eq!(p.stats().snapshot().cancellations_observed, 1);
+    }
+
+    #[test]
+    fn wait_board_tracks_park_and_finish() {
+        let p = plane(2, FaultConfig::default());
+        assert_eq!(p.all_parked(), None, "running processes are not parked");
+        {
+            let _ctx = install(&p, 0);
+            let _g = enter(Construct::Consume);
+            let _park = parked(Construct::Lock);
+            assert_eq!(p.all_parked(), None, "pid 1 still running");
+            p.finish(1);
+            assert_eq!(p.all_parked(), Some((0, Construct::Consume)));
+        }
+        // Park guard dropped: pid 0 runs again.
+        assert_eq!(p.all_parked(), None);
+        p.finish(0);
+        assert_eq!(p.all_parked(), None, "all finished is not a deadlock");
+    }
+
+    #[test]
+    fn injection_streams_are_deterministic_per_pid() {
+        let config = FaultConfig {
+            watchdog: None,
+            injection: Some(FaultInjection {
+                seed: 42,
+                panic_per_mille: 0,
+                delay_per_mille: 0,
+                spurious_per_mille: 500,
+            }),
+        };
+        let run = |pid: usize| {
+            let p = plane(4, config);
+            let _ctx = install(&p, pid);
+            let outcomes: Vec<bool> = (0..64).map(|_| spurious_lock_failure()).collect();
+            (outcomes, p.stats().snapshot().faults_injected)
+        };
+        let (a, na) = run(2);
+        let (b, nb) = run(2);
+        assert_eq!(a, b, "same pid, same seed: same stream");
+        assert_eq!(na, nb);
+        assert!(na > 0, "a 50% rate over 64 rolls must fire");
+        let (c, _) = run(3);
+        assert_ne!(a, c, "different pids draw different streams");
+    }
+
+    #[test]
+    fn injected_panics_carry_the_construct_and_pid() {
+        let config = FaultConfig {
+            watchdog: None,
+            injection: Some(FaultInjection {
+                seed: 7,
+                panic_per_mille: 1000,
+                delay_per_mille: 0,
+                spurious_per_mille: 0,
+            }),
+        };
+        let p = plane(1, config);
+        let _ctx = install(&p, 0);
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inject(Construct::Barrier)));
+        let payload = caught.expect_err("per-mille 1000 always fires");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert_eq!(msg, "injected fault at barrier (pid 0)");
+        assert_eq!(p.stats().snapshot().faults_injected, 1);
+    }
+
+    #[test]
+    fn watchdog_trips_on_a_parked_stagnant_force() {
+        let p = plane(
+            1,
+            FaultConfig {
+                watchdog: Some(Duration::from_millis(20)),
+                injection: None,
+            },
+        );
+        let _ctx = install(&p, 0);
+        let _park = parked(Construct::Consume);
+        let stop = Mutex::new(false);
+        let signal = Condvar::new();
+        p.run_watchdog(&stop, &signal);
+        assert!(p.is_tripped());
+        let f = p.take_fault().expect("watchdog fault");
+        assert_eq!(f.pid, 0);
+        assert_eq!(f.construct, "consume");
+        assert!(f.payload.contains("deadlock watchdog"), "{}", f.payload);
+        assert_eq!(p.stats().snapshot().watchdog_trips, 1);
+    }
+
+    #[test]
+    fn watchdog_stops_promptly_when_signalled() {
+        let p = plane(
+            1,
+            FaultConfig {
+                watchdog: Some(Duration::from_secs(3600)),
+                injection: None,
+            },
+        );
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop2 = Arc::clone(&stop);
+        let p2 = Arc::clone(&p);
+        let start = std::time::Instant::now();
+        let t = std::thread::spawn(move || p2.run_watchdog(&stop2.0, &stop2.1));
+        std::thread::sleep(Duration::from_millis(10));
+        *stop.0.lock() = true;
+        stop.1.notify_all();
+        t.join().unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "stop signal must interrupt the tick sleep"
+        );
+        assert!(!p.is_tripped());
+    }
+}

@@ -13,6 +13,7 @@
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
+use crate::fault;
 use crate::lock::{LockKind, LockState, RawLock};
 use crate::portable::Backoff;
 use crate::stats::OpStats;
@@ -47,6 +48,7 @@ impl FullEmptyState {
 
     fn transition(&self, from: u8, to: u8) {
         let backoff = Backoff::new();
+        let mut park = None;
         loop {
             match self
                 .state
@@ -54,6 +56,11 @@ impl FullEmptyState {
             {
                 Ok(_) => return,
                 Err(_) => {
+                    // Blocked on the cell's tag: publish that on the wait
+                    // board and stay responsive to cancellation (a HEP wait
+                    // has no OS to deschedule into, so it spins).
+                    park.get_or_insert_with(|| fault::parked(fault::Construct::Lock));
+                    fault::check_cancel();
                     OpStats::count(&self.stats.spin_retries);
                     backoff.snooze();
                 }
@@ -131,7 +138,10 @@ impl FullEmptyState {
                         return;
                     }
                 }
-                _ => backoff.snooze(),
+                _ => {
+                    fault::check_cancel();
+                    backoff.snooze();
+                }
             }
         }
     }

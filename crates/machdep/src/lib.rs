@@ -25,6 +25,7 @@
 pub mod combined;
 pub mod cost;
 pub mod env;
+pub mod fault;
 pub mod fullempty;
 pub mod linkreg;
 pub mod lock;
@@ -39,11 +40,12 @@ pub mod syscall_lock;
 
 pub use cost::{CostModel, CycleAccount};
 pub use env::ForceEnvironment;
+pub use fault::{Construct, FaultConfig, FaultInjection, FaultPlane, ProcessFault};
 pub use fullempty::{FullEmptyState, HepLock};
 pub use lock::{with_lock, LockHandle, LockKind, LockState, RawLock};
 pub use machine::{Machine, MachineId, MachineSpec};
 pub use portable::{Backoff, CachePadded, Condvar, Mutex, XorShift64};
-pub use process::{spawn_force, ChildPrivateInit, ProcessModel};
+pub use process::{spawn_force, spawn_force_plane, ChildPrivateInit, ProcessModel};
 pub use sharedmem::{
     BlockRequest, SharedLayout, SharedRegion, SharingError, SharingModel, SharingModelId,
 };

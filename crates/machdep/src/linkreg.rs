@@ -59,9 +59,9 @@ impl StartupRegistry {
         );
         for (name, words) in blocks {
             match inner.blocks.get(name) {
-                Some(&existing) if existing != *words => panic!(
-                    "COMMON block `{name}` declared with {existing} words and {words} words"
-                ),
+                Some(&existing) if existing != *words => {
+                    panic!("COMMON block `{name}` declared with {existing} words and {words} words")
+                }
                 Some(_) => {}
                 None => {
                     inner.blocks.insert(name.clone(), *words);

@@ -94,7 +94,9 @@ impl Default for Backoff {
 
 impl fmt::Debug for Backoff {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Backoff").field("step", &self.step.get()).finish()
+        f.debug_struct("Backoff")
+            .field("step", &self.step.get())
+            .finish()
     }
 }
 
@@ -229,7 +231,9 @@ impl<T: ?Sized> Deref for MutexGuard<'_, T> {
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.inner.as_deref_mut().expect("guard vacated during wait")
+        self.inner
+            .as_deref_mut()
+            .expect("guard vacated during wait")
     }
 }
 
@@ -256,6 +260,23 @@ impl Condvar {
             .wait(std_guard)
             .unwrap_or_else(|poison| poison.into_inner());
         guard.inner = Some(reacquired);
+    }
+
+    /// Like [`wait`](Self::wait) but with a timeout: returns `true` if the
+    /// wait timed out, `false` if it was (possibly spuriously) notified.
+    /// Used by cancellable waits, which must periodically re-check a
+    /// cancellation token even if no notification ever arrives.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        let std_guard = guard.inner.take().expect("guard vacated during wait");
+        let (reacquired, result) = match self.inner.wait_timeout(std_guard, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poison) => {
+                let (g, r) = poison.into_inner();
+                (g, r)
+            }
+        };
+        guard.inner = Some(reacquired);
+        result.timed_out()
     }
 
     /// Wake one waiter.
@@ -294,7 +315,11 @@ impl XorShift64 {
     /// xorshift has a zero fixed point).
     pub fn new(seed: u64) -> Self {
         XorShift64 {
-            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
         }
     }
 
@@ -351,7 +376,10 @@ mod tests {
         for _ in 0..YIELD_LIMIT {
             b.snooze();
         }
-        assert!(b.is_completed(), "snooze past the yield limit must complete");
+        assert!(
+            b.is_completed(),
+            "snooze past the yield limit must complete"
+        );
         b.reset();
         assert!(!b.is_completed());
     }
@@ -411,7 +439,7 @@ mod tests {
         // A std mutex would now return Err(Poisoned); the wrapper recovers.
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
-        let mut m = Arc::try_unwrap(m).ok().expect("sole owner");
+        let mut m = Arc::try_unwrap(m).expect("sole owner");
         *m.get_mut() += 1;
         assert_eq!(m.into_inner(), 2);
     }

@@ -21,6 +21,8 @@
 
 use std::sync::Arc;
 
+use crate::fault::{self, Cancelled, Construct, FaultConfig, FaultPlane, ProcessFault};
+use crate::portable::{Condvar, Mutex};
 use crate::stats::OpStats;
 
 /// How a child process's private storage is initialized at spawn.
@@ -72,40 +74,138 @@ impl ProcessModel {
     }
 }
 
+/// Extract a printable message from a caught panic payload.
+fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Spawn a force of `nproc` processes under a [`FaultPlane`] and join
+/// them all — the Force driver's create/`Join` cycle with fault
+/// containment.
+///
+/// Every process runs `body(pid)` with the plane's thread-local fault
+/// context installed, so every blocking wait in the machine-dependent
+/// layer observes the plane's cancellation token.  Each process's panic
+/// is caught individually: the *first* genuine fault trips the plane
+/// (promptly unwinding any peers blocked in a barrier, lock, `Consume`,
+/// etc.), later faults and cancellation unwinds are absorbed, and after
+/// every process has been joined the first fault is returned as a
+/// structured [`ProcessFault`].  When the plane's config asks for a
+/// deadlock watchdog, one runs on a helper thread for the duration of the
+/// force.
+///
+/// On success, returns each process's result in pid order.
+pub fn spawn_force_plane<R, F>(plane: &Arc<FaultPlane>, body: F) -> Result<Vec<R>, ProcessFault>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let nproc = plane.nproc();
+    assert!(nproc > 0, "a force needs at least one process");
+    OpStats::add(&plane.stats().processes_created, nproc as u64);
+    let body = &body;
+    let watchdog_stop = Arc::new((Mutex::new(false), Condvar::new()));
+    std::thread::scope(|scope| {
+        let watchdog = plane.watchdog_interval().map(|_| {
+            let plane = Arc::clone(plane);
+            let stop = Arc::clone(&watchdog_stop);
+            scope.spawn(move || plane.run_watchdog(&stop.0, &stop.1))
+        });
+        let handles: Vec<_> = (0..nproc)
+            .map(|pid| {
+                let plane = Arc::clone(plane);
+                scope.spawn(move || {
+                    let _ctx = fault::install(&plane, pid);
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(pid)));
+                    let result = match outcome {
+                        Ok(r) => Some(r),
+                        Err(payload) => {
+                            if !payload.is::<Cancelled>() {
+                                let construct =
+                                    fault::take_panicked_construct().unwrap_or(Construct::Body);
+                                plane.trip(
+                                    ProcessFault {
+                                        pid,
+                                        construct: construct.name(),
+                                        payload: describe_panic(payload.as_ref()),
+                                    },
+                                    Some(payload),
+                                );
+                            }
+                            None
+                        }
+                    };
+                    plane.finish(pid);
+                    result
+                })
+            })
+            .collect();
+        let mut results = Vec::with_capacity(nproc);
+        for (pid, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(r) => results.push(r),
+                Err(_) => {
+                    // The body's panic was already caught inside the thread;
+                    // a join error means the harness itself died.  Trip
+                    // defensively so peers cannot hang on the lost process.
+                    plane.trip(
+                        ProcessFault {
+                            pid,
+                            construct: Construct::Body.name(),
+                            payload: "process thread died outside the fault harness".to_string(),
+                        },
+                        None,
+                    );
+                    results.push(None);
+                }
+            }
+        }
+        if watchdog.is_some() {
+            *watchdog_stop.0.lock() = true;
+            watchdog_stop.1.notify_all();
+        }
+        if let Some(w) = watchdog {
+            let _ = w.join();
+        }
+        match plane.take_fault() {
+            Some(fault) => Err(fault),
+            None => Ok(results
+                .into_iter()
+                .map(|r| r.expect("no fault recorded, so every process completed"))
+                .collect()),
+        }
+    })
+}
+
 /// Spawn a force of `nproc` processes and join them all — the Force
 /// driver's create/`Join` cycle.
 ///
 /// Every process runs `body(pid)`; the call returns each process's result
-/// in pid order.  A panicking process propagates its panic after all
-/// processes have been joined, so the force is never abandoned half-alive.
+/// in pid order.  Runs under a default [`FaultPlane`] (no watchdog, no
+/// injection): a panicking process trips the plane, blocked peers unwind
+/// promptly instead of hanging, and the *first* panic's original payload
+/// is re-raised after all processes have been joined, so the force is
+/// never abandoned half-alive.
 pub fn spawn_force<R, F>(nproc: usize, stats: &Arc<OpStats>, body: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    assert!(nproc > 0, "a force needs at least one process");
-    OpStats::add(&stats.processes_created, nproc as u64);
-    let body = &body;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..nproc)
-            .map(|pid| {
-                scope
-                    .spawn(move || body(pid))
-            })
-            .collect();
-        let mut results = Vec::with_capacity(nproc);
-        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
-        for h in handles {
-            match h.join() {
-                Ok(r) => results.push(r),
-                Err(p) => panic = Some(p),
-            }
-        }
-        if let Some(p) = panic {
-            std::panic::resume_unwind(p);
-        }
-        results
-    })
+    let plane = FaultPlane::new(nproc, Arc::clone(stats), FaultConfig::default());
+    match spawn_force_plane(&plane, body) {
+        Ok(results) => results,
+        Err(fault) => match plane.take_payload() {
+            Some(payload) => std::panic::resume_unwind(payload),
+            None => panic!("{fault}"),
+        },
+    }
 }
 
 #[cfg(test)]
@@ -166,5 +266,69 @@ mod tests {
     fn zero_processes_rejected() {
         let stats = Arc::new(OpStats::new());
         let _ = spawn_force(0, &stats, |_| ());
+    }
+
+    #[test]
+    fn spawn_force_plane_reports_the_first_faulting_pid() {
+        let stats = Arc::new(OpStats::new());
+        let plane = FaultPlane::new(4, Arc::clone(&stats), FaultConfig::default());
+        let err = spawn_force_plane(&plane, |pid| {
+            if pid == 1 {
+                panic!("pid one dies");
+            }
+            // Peers park until cancellation reaches them (or they finish).
+        })
+        .expect_err("a panicking process must fault the force");
+        assert_eq!(err.pid, 1);
+        assert_eq!(err.construct, "body");
+        assert_eq!(err.payload, "pid one dies");
+        assert_eq!(stats.snapshot().faults_detected, 1);
+    }
+
+    #[test]
+    fn cancellation_unblocks_a_peer_stuck_on_a_lock() {
+        use crate::lock::{LockState, RawLock};
+        use crate::spin::SpinLock;
+
+        let stats = Arc::new(OpStats::new());
+        let plane = FaultPlane::new(2, Arc::clone(&stats), FaultConfig::default());
+        // pid 1 blocks on a lock nobody will ever release; pid 0 panics.
+        // Without cancellation this join would hang forever.
+        let wedge = SpinLock::new(LockState::Unlocked, Arc::clone(&stats));
+        wedge.lock();
+        let err = spawn_force_plane(&plane, |pid| {
+            if pid == 0 {
+                // Give pid 1 a moment to actually block.
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                panic!("boom");
+            }
+            wedge.lock();
+        })
+        .expect_err("the panic must surface");
+        assert_eq!(err.pid, 0);
+        assert!(stats.snapshot().cancellations_observed >= 1);
+    }
+
+    #[test]
+    fn multiple_panics_keep_the_first_fault() {
+        let stats = Arc::new(OpStats::new());
+        let plane = FaultPlane::new(4, Arc::clone(&stats), FaultConfig::default());
+        let err = spawn_force_plane(&plane, |pid| {
+            panic!("pid {pid} dies");
+        })
+        .expect_err("every process panics");
+        assert!(err.payload.starts_with("pid "), "{}", err.payload);
+        // All four genuine panics were detected, one was reported.
+        assert_eq!(stats.snapshot().faults_detected, 4);
+    }
+
+    #[test]
+    fn successful_force_leaves_the_plane_untripped() {
+        let stats = Arc::new(OpStats::new());
+        let plane = FaultPlane::new(3, Arc::clone(&stats), FaultConfig::default());
+        let results = spawn_force_plane(&plane, |pid| pid + 1).expect("no faults");
+        assert_eq!(results, vec![1, 2, 3]);
+        assert!(!plane.is_tripped());
+        assert_eq!(stats.snapshot().faults_detected, 0);
     }
 }

@@ -4,6 +4,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use crate::fault;
 use crate::lock::{LockKind, LockState, RawLock};
 use crate::portable::Backoff;
 use crate::stats::OpStats;
@@ -32,12 +33,15 @@ impl SpinLock {
 
 impl RawLock for SpinLock {
     fn lock(&self) {
-        let mut retries: u64 = 0;
+        // An injected spurious failure is accounted as one failed attempt.
+        let mut retries: u64 = u64::from(fault::spurious_lock_failure());
         let backoff = Backoff::new();
         // test&set with a preceding test; Acquire pairs with the Release
         // in `unlock` so that everything the unlocker did is visible.
         while self.locked.swap(true, Ordering::Acquire) {
+            let _park = fault::parked(fault::Construct::Lock);
             while self.locked.load(Ordering::Relaxed) {
+                fault::check_cancel();
                 retries += 1;
                 backoff.snooze();
             }
@@ -159,7 +163,10 @@ mod tests {
             assert!(!l.try_lock());
         }
         let s = stats.snapshot();
-        assert_eq!(s.lock_contended, 5, "each failed try is a contended attempt");
+        assert_eq!(
+            s.lock_contended, 5,
+            "each failed try is a contended attempt"
+        );
         assert_eq!(s.lock_acquires, 0);
         l.unlock();
         assert!(l.try_lock());

@@ -46,6 +46,17 @@ pub struct OpStats {
     pub padding_words: AtomicU64,
     /// Processes created.
     pub processes_created: AtomicU64,
+    /// Faults deliberately injected by the fault-injection layer
+    /// (panics, delays, spurious lock failures).
+    pub faults_injected: AtomicU64,
+    /// Genuine process faults detected by the fault plane (panics and
+    /// interpreter runtime errors trapped at process boundaries).
+    pub faults_detected: AtomicU64,
+    /// Times a blocked process observed a tripped cancellation token and
+    /// unwound instead of waiting forever.
+    pub cancellations_observed: AtomicU64,
+    /// Times the deadlock watchdog declared a no-progress episode.
+    pub watchdog_trips: AtomicU64,
 }
 
 impl OpStats {
@@ -84,6 +95,10 @@ impl OpStats {
             shared_words: g(&self.shared_words),
             padding_words: g(&self.padding_words),
             processes_created: g(&self.processes_created),
+            faults_injected: g(&self.faults_injected),
+            faults_detected: g(&self.faults_detected),
+            cancellations_observed: g(&self.cancellations_observed),
+            watchdog_trips: g(&self.watchdog_trips),
         }
     }
 
@@ -104,6 +119,10 @@ impl OpStats {
         z(&self.shared_words);
         z(&self.padding_words);
         z(&self.processes_created);
+        z(&self.faults_injected);
+        z(&self.faults_detected);
+        z(&self.cancellations_observed);
+        z(&self.watchdog_trips);
     }
 }
 
@@ -125,6 +144,10 @@ pub struct StatsSnapshot {
     pub shared_words: u64,
     pub padding_words: u64,
     pub processes_created: u64,
+    pub faults_injected: u64,
+    pub faults_detected: u64,
+    pub cancellations_observed: u64,
+    pub watchdog_trips: u64,
 }
 
 impl StatsSnapshot {
@@ -139,12 +162,22 @@ impl StatsSnapshot {
             spin_retries: self.spin_retries.saturating_sub(earlier.spin_retries),
             fe_produces: self.fe_produces.saturating_sub(earlier.fe_produces),
             fe_consumes: self.fe_consumes.saturating_sub(earlier.fe_consumes),
-            barrier_episodes: self.barrier_episodes.saturating_sub(earlier.barrier_episodes),
+            barrier_episodes: self
+                .barrier_episodes
+                .saturating_sub(earlier.barrier_episodes),
             locks_created: self.locks_created.saturating_sub(earlier.locks_created),
             locks_aliased: self.locks_aliased.saturating_sub(earlier.locks_aliased),
             shared_words: self.shared_words.saturating_sub(earlier.shared_words),
             padding_words: self.padding_words.saturating_sub(earlier.padding_words),
-            processes_created: self.processes_created.saturating_sub(earlier.processes_created),
+            processes_created: self
+                .processes_created
+                .saturating_sub(earlier.processes_created),
+            faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
+            faults_detected: self.faults_detected.saturating_sub(earlier.faults_detected),
+            cancellations_observed: self
+                .cancellations_observed
+                .saturating_sub(earlier.cancellations_observed),
+            watchdog_trips: self.watchdog_trips.saturating_sub(earlier.watchdog_trips),
         }
     }
 }

@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use crate::fault;
 use crate::lock::{LockKind, LockState, RawLock};
 use crate::portable::{Condvar, Mutex};
 use crate::stats::OpStats;
@@ -36,11 +37,18 @@ impl RawLock for SyscallLock {
     fn lock(&self) {
         OpStats::count(&self.stats.syscalls);
         let mut locked = self.state.lock();
-        let mut waited = false;
-        while *locked {
+        // An injected spurious failure is accounted as one contended attempt.
+        let mut waited = fault::spurious_lock_failure();
+        if *locked {
+            // One park per blocking episode: under a tripped-token check the
+            // wait is sliced into short timed waits, which must not each be
+            // billed as a separate descheduling.
             waited = true;
             OpStats::count(&self.stats.parks);
-            self.cond.wait(&mut locked);
+            let _park = fault::parked(fault::Construct::Lock);
+            while *locked {
+                fault::cancellable_wait(&self.cond, &mut locked);
+            }
         }
         *locked = true;
         OpStats::count(&self.stats.lock_acquires);

@@ -37,7 +37,10 @@ pub enum M4Error {
     /// Macro recursion exceeded [`MAX_DEPTH`].
     RecursionLimit(String),
     /// A builtin was called with unusable arguments.
-    BadArguments { builtin: &'static str, detail: String },
+    BadArguments {
+        builtin: &'static str,
+        detail: String,
+    },
 }
 
 impl fmt::Display for M4Error {
@@ -79,9 +82,27 @@ impl Default for M4 {
 }
 
 const BUILTINS: &[&str] = &[
-    "define", "undefine", "defn", "pushdef", "popdef", "ifdef", "ifelse", "incr", "decr", "eval",
-    "dnl", "len", "zzfirst", "zzrest", "zzconcat", "zzstripdims", "zzrecord", "zzgensym",
-    "zzdeclrec", "zzname", "zzsubs",
+    "define",
+    "undefine",
+    "defn",
+    "pushdef",
+    "popdef",
+    "ifdef",
+    "ifelse",
+    "incr",
+    "decr",
+    "eval",
+    "dnl",
+    "len",
+    "zzfirst",
+    "zzrest",
+    "zzconcat",
+    "zzstripdims",
+    "zzrecord",
+    "zzgensym",
+    "zzdeclrec",
+    "zzname",
+    "zzsubs",
 ];
 
 impl M4 {
@@ -181,7 +202,12 @@ impl M4 {
     }
 
     /// Apply a macro; `None` means "no output" (already handled).
-    fn apply(&mut self, name: &str, args: &[String], _depth: usize) -> Result<Option<String>, M4Error> {
+    fn apply(
+        &mut self,
+        name: &str,
+        args: &[String],
+        _depth: usize,
+    ) -> Result<Option<String>, M4Error> {
         let def = self
             .defs
             .get(name)
@@ -582,7 +608,10 @@ fn eval_expr(s: &str) -> Result<i64, M4Error> {
             }
         }
     }
-    let mut p = P { s: s.as_bytes(), i: 0 };
+    let mut p = P {
+        s: s.as_bytes(),
+        i: 0,
+    };
     let v = p.expr()?;
     p.skip();
     if p.i != p.s.len() {
@@ -764,10 +793,7 @@ mod tests {
     fn runaway_recursion_is_detected() {
         let mut m4 = M4::new();
         m4.define("LOOP", "LOOP");
-        assert!(matches!(
-            m4.expand("LOOP"),
-            Err(M4Error::RecursionLimit(_))
-        ));
+        assert!(matches!(m4.expand("LOOP"), Err(M4Error::RecursionLimit(_))));
     }
 
     #[test]

@@ -55,10 +55,7 @@ C --- Force subroutine $1 (force of $3, ident $4) ---
         "zzrecord(`externf', `$1')dnl
 C     external Force subroutine $1",
     );
-    m4.define(
-        "ZZENDDECL",
-        "C*ZZENVDECL*ZZUNIT",
-    );
+    m4.define("ZZENDDECL", "C*ZZENVDECL*ZZUNIT");
     m4.define(
         "ZZJOIN",
         "      RETURN
@@ -438,10 +435,7 @@ mod tests {
         assert!(out.contains("I = I + NP*(1)"), "{out}");
         assert!(out.contains("GO TO 10"), "{out}");
         // exit label generated and used consistently
-        let exit_label: Vec<&str> = out
-            .lines()
-            .filter(|l| l.contains("GO TO 99"))
-            .collect();
+        let exit_label: Vec<&str> = out.lines().filter(|l| l.contains("GO TO 99")).collect();
         assert_eq!(exit_label.len(), 1, "{out}");
         // loop ends with a full barrier
         assert!(out.contains("lock(BARWOT)"), "{out}");
@@ -449,7 +443,8 @@ mod tests {
 
     #[test]
     fn critical_sections_lock_and_unlock_the_named_variable() {
-        let out = expand("ZZFORCE(M, NP, ME)\nZZCRITICAL(LCK)\n      X = X + 1\nZZENDCRITICAL(LCK)");
+        let out =
+            expand("ZZFORCE(M, NP, ME)\nZZCRITICAL(LCK)\n      X = X + 1\nZZENDCRITICAL(LCK)");
         assert!(out.contains("lock(LCK)"), "{out}");
         assert!(out.contains("unlock(LCK)"), "{out}");
     }
@@ -471,7 +466,8 @@ mod tests {
 
     #[test]
     fn presched_pcase_assigns_sections_cyclically() {
-        let src = "ZZFORCE(M, NP, ME)\nZZPCASE(P)\nZZUSECT\nC S1\nZZCSECT(N .GT. 0)\nC S2\nZZENDPCASE";
+        let src =
+            "ZZFORCE(M, NP, ME)\nZZPCASE(P)\nZZUSECT\nC S1\nZZCSECT(N .GT. 0)\nC S2\nZZENDPCASE";
         let out = expand(src);
         assert!(out.contains("ZZPSEC = -1"), "{out}");
         assert_eq!(
@@ -507,7 +503,10 @@ mod tests {
         assert!(out.contains("INTEGER C"), "{out}");
         assert!(out.contains("REAL X"), "{out}");
         let decls = m4.recorded("decls");
-        assert!(decls.contains(&"M|shared|INTEGER|TOTAL".to_string()), "{decls:?}");
+        assert!(
+            decls.contains(&"M|shared|INTEGER|TOTAL".to_string()),
+            "{decls:?}"
+        );
         assert!(decls.contains(&"M|shared|INTEGER|A(10,10)".to_string()));
         assert!(decls.contains(&"M|async|INTEGER|C".to_string()));
         assert!(decls.contains(&"M|private|REAL|X".to_string()));

@@ -27,7 +27,7 @@
 
 use force_machdep::{MachineId, MachineSpec, SharingModelId};
 
-use crate::m4::{M4, M4Error};
+use crate::m4::{M4Error, M4};
 use crate::machdep_macros::{install_machine_macros, spawn_mnemonic};
 use crate::macros::install_statement_macros;
 use crate::sedpass::{sed_pass, SedError};
@@ -183,8 +183,7 @@ pub fn preprocess(source: &str, machine: MachineId) -> Result<ExpandedProgram, P
     // statement macros recorded, then the asynchronous-variable locks
     // (two per variable, except on the HEP where the hardware holds the
     // state).
-    let mut env_cells: Vec<String> =
-        vec!["ZZNBAR".into(), "BARWIN".into(), "BARWOT".into()];
+    let mut env_cells: Vec<String> = vec!["ZZNBAR".into(), "BARWIN".into(), "BARWOT".into()];
     let mut env_locks: Vec<String> = vec!["BARWIN".into(), "BARWOT".into()];
     for l in l1.recorded("envlocks") {
         env_cells.push(l.clone());
@@ -287,14 +286,8 @@ fn generate_driver(
 ) -> String {
     let mut d = String::new();
     d.push_str("      PROGRAM ZZDRIVE\n");
-    d.push_str(&format!(
-        "C Force driver for the {} \n",
-        spec.id.name()
-    ));
-    d.push_str(&format!(
-        "C process model: {}\n",
-        spec.process_model.name()
-    ));
+    d.push_str(&format!("C Force driver for the {} \n", spec.id.name()));
+    d.push_str(&format!("C process model: {}\n", spec.process_model.name()));
     d.push_str(&format!("C sharing: {}\n", spec.sharing.name()));
     d.push_str(env_decl_text);
     if async_sizes.iter().any(|(_, _, w)| *w > 1) {
@@ -356,9 +349,7 @@ fn generate_driver(
                 if spec.hardware_fullempty {
                     d.push_str(&format!("      CALL ZZHVD({v}(ZZI))\n"));
                 } else {
-                    d.push_str(&format!(
-                        "      CALL ZZAINI({v}ZZE(ZZI), {v}ZZF(ZZI))\n"
-                    ));
+                    d.push_str(&format!("      CALL ZZAINI({v}ZZE(ZZI), {v}ZZF(ZZI))\n"));
                 }
                 d.push_str(&format!("{label}  CONTINUE\n"));
             } else if spec.hardware_fullempty {
@@ -544,7 +535,10 @@ mod tests {
         let b = preprocess(PROGRAM, MachineId::Cray2).unwrap();
         assert_eq!(a.intermediate, b.intermediate);
         assert!(a.intermediate.contains("lock(BARWIN)"));
-        assert!(!a.intermediate.contains("ZZFELCK"), "level 1 must not know the machine");
+        assert!(
+            !a.intermediate.contains("ZZFELCK"),
+            "level 1 must not know the machine"
+        );
     }
 
     #[test]
@@ -578,8 +572,16 @@ mod tests {
       Join
 ";
         let p = preprocess(src, MachineId::EncoreMultimax).unwrap();
-        assert!(p.env_cells.contains(&"CZZE(10)".to_string()), "{:?}", p.env_cells);
-        assert!(p.code.contains("CALL ZZAINI(CZZE(ZZI), CZZF(ZZI))"), "{}", p.code);
+        assert!(
+            p.env_cells.contains(&"CZZE(10)".to_string()),
+            "{:?}",
+            p.env_cells
+        );
+        assert!(
+            p.code.contains("CALL ZZAINI(CZZE(ZZI), CZZF(ZZI))"),
+            "{}",
+            p.code
+        );
         assert!(p.code.contains("CALL ZZTSLCK(CZZF(3))"), "{}", p.code);
         let hep = preprocess(src, MachineId::Hep).unwrap();
         assert!(hep.code.contains("CALL ZZHVD(C(ZZI))"), "{}", hep.code);

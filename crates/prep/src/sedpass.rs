@@ -70,7 +70,10 @@ pub fn sed_pass(source: &str) -> Result<String, SedError> {
 /// Translate one line; ordinary Fortran passes through.
 fn translate_line(line: &str) -> Result<String, String> {
     // Comments pass through untouched.
-    if matches!(line.chars().next(), Some('C') | Some('c') | Some('*') | Some('!')) {
+    if matches!(
+        line.chars().next(),
+        Some('C') | Some('c') | Some('*') | Some('!')
+    ) {
         return Ok(line.to_string());
     }
     // The full/empty state *test* (§3.4 "the state can also be tested")
@@ -195,17 +198,24 @@ fn translate_line(line: &str) -> Result<String, String> {
                     //   Presched DO2 10 I = 1, N ; J = 1, M [, step]
                     let label = words.expect_label()?;
                     let rest = words.rest();
-                    let (outer, inner) = rest.split_once(';').ok_or_else(|| {
-                        "DO2 needs two index sets separated by `;`".to_string()
-                    })?;
+                    let (outer, inner) = rest
+                        .split_once(';')
+                        .ok_or_else(|| "DO2 needs two index sets separated by `;`".to_string())?;
                     let (v1, a1, b1, c1) = parse_do_control(outer)?;
                     let (v2, a2, b2, c2) = parse_do_control(inner)?;
                     Some(format!(
                         "ZZ{first}DO2({label}, {v1}, `{a1}', `{b1}', `{c1}', {v2}, `{a2}', `{b2}', `{c2}')"
                     ))
                 }
-                "PCASE" => Some(format!("ZZPCASE({})", if first == "PRESCHED" { "P" } else { "S" })),
-                other => return Err(format!("expected DO, DO2 or Pcase after {first}, found `{other}`")),
+                "PCASE" => Some(format!(
+                    "ZZPCASE({})",
+                    if first == "PRESCHED" { "P" } else { "S" }
+                )),
+                other => {
+                    return Err(format!(
+                        "expected DO, DO2 or Pcase after {first}, found `{other}`"
+                    ))
+                }
             }
         }
         "PCASE" => {
@@ -542,10 +552,7 @@ mod tests {
             one("      Selfsched DO 100 K = START, LAST, INCR"),
             "ZZSELFSCHEDDO(100, K, `START', `LAST', `INCR')"
         );
-        assert_eq!(
-            one("100   End Selfsched DO"),
-            "ZZENDSELFSCHEDDO(100)"
-        );
+        assert_eq!(one("100   End Selfsched DO"), "ZZENDSELFSCHEDDO(100)");
     }
 
     #[test]
@@ -576,10 +583,7 @@ mod tests {
 
     #[test]
     fn produce_consume_void_copy() {
-        assert_eq!(
-            one("      Produce C = K + 1"),
-            "ZZPRODUCE(C, `K + 1')"
-        );
+        assert_eq!(one("      Produce C = K + 1"), "ZZPRODUCE(C, `K + 1')");
         assert_eq!(one("      Consume C into T"), "ZZCONSUME(C, T)");
         assert_eq!(one("      Copy C into T"), "ZZCOPYF(C, T)");
         assert_eq!(one("      Void C"), "ZZVOID(C)");
@@ -591,14 +595,8 @@ mod tests {
             one("      Shared INTEGER TOTAL, A(10)"),
             "ZZSHARED(INTEGER, `TOTAL, A(10)')"
         );
-        assert_eq!(
-            one("      Private REAL X"),
-            "ZZPRIVATE(REAL, `X')"
-        );
-        assert_eq!(
-            one("      Async INTEGER C"),
-            "ZZASYNC(INTEGER, `C')"
-        );
+        assert_eq!(one("      Private REAL X"), "ZZPRIVATE(REAL, `X')");
+        assert_eq!(one("      Async INTEGER C"), "ZZASYNC(INTEGER, `C')");
         assert_eq!(one("      End declarations"), "ZZENDDECL");
     }
 
@@ -754,7 +752,8 @@ mod utf8_regressions {
         // maybe_paren_group walks char_indices (byte offsets) and slices
         // the inner text; multi-byte argument content must come out whole.
         assert_eq!(
-            translate_line("      Forcesub W(caf\u{e9}\u{3a3}x, \u{6f22}\u{5b57}) of NP ident ME").unwrap(),
+            translate_line("      Forcesub W(caf\u{e9}\u{3a3}x, \u{6f22}\u{5b57}) of NP ident ME")
+                .unwrap(),
             "ZZFORCESUB(W, `caf\u{e9}\u{3a3}x, \u{6f22}\u{5b57}', NP, ME)"
         );
         // A multi-byte char directly against the closing paren exercises

@@ -142,5 +142,7 @@ fn main() {
         "static  force of {nproc}: {v:.9} (err {:.2e}, {dt:?})",
         (v - truth).abs()
     );
-    println!("OK: the run-time-requested work tree matches the analytic answer at every force size");
+    println!(
+        "OK: the run-time-requested work tree matches the analytic answer at every force size"
+    );
 }

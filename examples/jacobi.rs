@@ -22,14 +22,13 @@ const TOL: f64 = 1e-6;
 const MAX_ITERS: usize = 10_000;
 
 /// One Jacobi sweep source term: fixed boundary, zero interior start.
-fn boundary(i: usize, j: usize, n: usize) -> f64 {
+fn boundary(i: usize, j: usize, _n: usize) -> f64 {
     if i == 0 {
         100.0
     } else if j == 0 {
         75.0
-    } else if i == n - 1 || j == n - 1 {
-        0.0
     } else {
+        // the far edges and the interior both start at zero
         0.0
     }
 }
@@ -48,7 +47,9 @@ fn sequential(n: usize) -> (Vec<f64>, usize) {
         for i in 1..n - 1 {
             for j in 1..n - 1 {
                 let v = 0.25
-                    * (a[(i - 1) * n + j] + a[(i + 1) * n + j] + a[i * n + j - 1]
+                    * (a[(i - 1) * n + j]
+                        + a[(i + 1) * n + j]
+                        + a[i * n + j - 1]
                         + a[i * n + j + 1]);
                 residual = residual.max((v - a[i * n + j]).abs());
                 b[i * n + j] = v;
@@ -92,7 +93,9 @@ fn parallel(n: usize, nproc: usize) -> (Vec<f64>, usize) {
                 let i = row as usize;
                 for j in 1..n - 1 {
                     let v = 0.25
-                        * (src.get(i - 1, j) + src.get(i + 1, j) + src.get(i, j - 1)
+                        * (src.get(i - 1, j)
+                            + src.get(i + 1, j)
+                            + src.get(i, j - 1)
                             + src.get(i, j + 1));
                     my_residual = my_residual.max((v - src.get(i, j)).abs());
                     dst.set(i, j, v);
@@ -133,14 +136,11 @@ fn parallel(n: usize, nproc: usize) -> (Vec<f64>, usize) {
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let nproc: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get().min(8))
-                .unwrap_or(4)
-        });
+    let nproc: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(4)
+    });
     let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(48);
 
     println!("Jacobi relaxation: {n}x{n} grid, force of {nproc} processes");

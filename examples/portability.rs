@@ -50,7 +50,14 @@ fn main() {
     println!("The Force portability matrix — one source, six machines, force of {nproc}\n");
     println!(
         "{:<18} {:<24} {:<10} {:>8} {:>9} {:>7} {:>6} {:>12}",
-        "machine", "lock primitive", "result", "locks", "contended", "syscall", "full/empty", "sim cycles"
+        "machine",
+        "lock primitive",
+        "result",
+        "locks",
+        "contended",
+        "syscall",
+        "full/empty",
+        "sim cycles"
     );
     println!("{}", "-".repeat(100));
 

@@ -75,7 +75,10 @@ fn main() {
             },
         );
         p.barrier_section(|| {
-            println!("askfor split 16 into {} unit leaves", leaves.load(Ordering::Relaxed));
+            println!(
+                "askfor split 16 into {} unit leaves",
+                leaves.load(Ordering::Relaxed)
+            );
         });
     });
 

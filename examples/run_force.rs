@@ -92,7 +92,10 @@ fn main() {
                 out.cycles
             );
             if !out.linker_commands.is_empty() {
-                println!("link pass emitted {} linker commands", out.linker_commands.len());
+                println!(
+                    "link pass emitted {} linker commands",
+                    out.linker_commands.len()
+                );
             }
         }
         Err(e) => {

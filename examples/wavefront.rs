@@ -110,10 +110,7 @@ fn main() {
                 .map(|(x, y)| (x - y).abs())
                 .fold(0.0f64, f64::max);
             assert_eq!(max_diff, 0.0, "{} nproc={nproc}", machine.name());
-            println!(
-                "{:<18} force of {nproc}: {dt:?} (exact)",
-                machine.name()
-            );
+            println!("{:<18} force of {nproc}: {dt:?} (exact)", machine.name());
         }
     }
     println!("OK: the pipelined wavefront equals the sequential recurrence everywhere");

@@ -81,6 +81,19 @@ pub enum ForceError {
     Prep(force_prep::PrepError),
     /// Compilation or execution failed.
     Fortran(force_fortran::FortError),
+    /// A process of the force faulted (panic, injected fault, or deadlock
+    /// watchdog trip), and the fault plane contained it instead of letting
+    /// the force hang.
+    ProcessFault {
+        /// The faulting process identifier.
+        pid: usize,
+        /// The Force construct the process faulted in ("barrier",
+        /// "critical", "consume", ...).
+        construct: &'static str,
+        /// The fault description (panic message, injected-fault tag, or
+        /// watchdog report).
+        payload: String,
+    },
 }
 
 impl std::fmt::Display for ForceError {
@@ -88,6 +101,11 @@ impl std::fmt::Display for ForceError {
         match self {
             ForceError::Prep(e) => write!(f, "preprocessor: {e}"),
             ForceError::Fortran(e) => write!(f, "execution: {e}"),
+            ForceError::ProcessFault {
+                pid,
+                construct,
+                payload,
+            } => write!(f, "process {pid} faulted in {construct}: {payload}"),
         }
     }
 }
@@ -103,6 +121,16 @@ impl From<force_prep::PrepError> for ForceError {
 impl From<force_fortran::FortError> for ForceError {
     fn from(e: force_fortran::FortError) -> Self {
         ForceError::Fortran(e)
+    }
+}
+
+impl From<machdep::ProcessFault> for ForceError {
+    fn from(f: machdep::ProcessFault) -> Self {
+        ForceError::ProcessFault {
+            pid: f.pid,
+            construct: f.construct,
+            payload: f.payload,
+        }
     }
 }
 

@@ -256,6 +256,202 @@ fn scarce_lock_pool_still_correct_when_exhausted() {
     );
 }
 
+// --- Fault containment: the force-wide fault plane ---------------------
+
+#[test]
+fn a_panic_at_a_barrier_is_contained_on_every_machine() {
+    // One process panics while its peers park at a barrier: on every
+    // machine personality the peers must be cancelled (no hang) and the
+    // caller must see a structured fault naming the right process.
+    use std::time::{Duration, Instant};
+    for id in MachineId::all() {
+        for nproc in [2usize, 8] {
+            let force =
+                Force::with_machine(nproc, Machine::new(id)).with_watchdog(Duration::from_secs(5));
+            let last = nproc - 1;
+            let start = Instant::now();
+            let err = force
+                .try_run(|p| {
+                    if p.pid() == last {
+                        panic!("boom");
+                    }
+                    p.barrier();
+                })
+                .expect_err("the panic must surface as a fault");
+            assert_eq!(err.pid, last, "{} nproc={nproc}", id.name());
+            assert_eq!(err.construct, "body", "{} nproc={nproc}", id.name());
+            assert_eq!(err.payload, "boom", "{} nproc={nproc}", id.name());
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "{} nproc={nproc}: containment took the watchdog bound",
+                id.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn a_panic_holding_a_critical_lock_is_attributed_and_released() {
+    // The faulting process dies *inside* a named critical section.  The
+    // lock must be released on unwind (peers that already entered their
+    // own critical finish it) and the fault must name the construct.
+    for id in MachineId::all() {
+        let force = Force::with_machine(4, Machine::new(id));
+        let err = force
+            .try_run(|p| {
+                if p.pid() == 2 {
+                    p.critical("WEDGE", || panic!("lock holder died"));
+                }
+                p.barrier();
+            })
+            .expect_err("the panic must surface as a fault");
+        assert_eq!(err.pid, 2, "{}", id.name());
+        assert_eq!(err.construct, "critical", "{}", id.name());
+        assert_eq!(err.payload, "lock holder died", "{}", id.name());
+    }
+}
+
+#[test]
+fn consume_with_no_producer_trips_the_watchdog_on_every_machine() {
+    use std::time::{Duration, Instant};
+    for id in MachineId::all() {
+        let force =
+            Force::with_machine(2, Machine::new(id)).with_watchdog(Duration::from_millis(200));
+        let chan: Async<i64> = Async::new(force.machine());
+        let start = Instant::now();
+        let err = force
+            .try_run(|_p| {
+                let _ = chan.consume();
+            })
+            .expect_err("the watchdog must trip");
+        assert_eq!(err.construct, "consume", "{}", id.name());
+        assert!(
+            err.payload.contains("deadlock watchdog"),
+            "{}: {}",
+            id.name(),
+            err.payload
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "{}: watchdog took too long",
+            id.name()
+        );
+        assert!(
+            force.machine().stats().snapshot().watchdog_trips >= 1,
+            "{}: trip not counted",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn an_interpreter_error_cancels_peers_blocked_at_a_barrier() {
+    // Process 1 of four faults (out-of-bounds subscript) before the
+    // barrier its peers are already parked in; the fault plane must
+    // cancel them and surface the interpreter's own diagnostic.
+    let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER A(4)
+      End declarations
+      IF (ME .EQ. 1) THEN
+      A(ME + 9) = 1
+      END IF
+      Barrier
+      A(1) = 1
+      End barrier
+      Join
+";
+    for id in MachineId::all() {
+        let err = run_force_source(src, id, 4).unwrap_err();
+        assert!(
+            err.to_string().contains("outside 1..4"),
+            "{}: {err}",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn engine_watchdog_reports_a_wedged_interpreter_force() {
+    use std::time::Duration;
+    // Every process consumes from an async variable nobody produces.
+    let src = "\
+      Force FMAIN of NP ident ME
+      Async INTEGER CHAN
+      Private INTEGER T
+      End declarations
+      Consume CHAN into T
+      Join
+";
+    for id in MachineId::all() {
+        let (_exp, mut engine) = the_force::compile_force_source(src, id).unwrap();
+        engine.set_watchdog(Duration::from_millis(200));
+        let err = engine.run(2).unwrap_err();
+        assert!(
+            err.to_string().contains("deadlock watchdog"),
+            "{}: {err}",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn fault_injection_with_a_fixed_seed_is_contained_on_every_machine() {
+    // A certain panic rate at construct boundaries: the force must fault
+    // with the injection's tag, never hang, and count what it injected.
+    let inj = FaultInjection {
+        seed: 0xDEAD_BEEF,
+        panic_per_mille: 500,
+        delay_per_mille: 0,
+        spurious_per_mille: 0,
+    };
+    for id in MachineId::all() {
+        let force = Force::with_machine(4, Machine::new(id)).with_fault_injection(inj);
+        let err = force
+            .try_run(|p| {
+                for _ in 0..8 {
+                    p.barrier();
+                }
+            })
+            .expect_err("a 50% injection rate over 8 barriers must fire");
+        assert!(
+            err.payload.contains("injected fault"),
+            "{}: {}",
+            id.name(),
+            err.payload
+        );
+        assert!(
+            force.machine().stats().snapshot().faults_detected >= 1,
+            "{}",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn spurious_and_delay_injection_preserve_program_results() {
+    // Non-fatal perturbations (spurious lock failures, delays) must not
+    // change what the program computes, on any machine.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let inj = FaultInjection {
+        seed: 42,
+        panic_per_mille: 0,
+        delay_per_mille: 200,
+        spurious_per_mille: 200,
+    };
+    for id in MachineId::all() {
+        let force = Force::with_machine(3, Machine::new(id)).with_fault_injection(inj);
+        let shared = AtomicUsize::new(0);
+        force.run(|p| {
+            p.selfsched_do(ForceRange::to(1, 30), |i| {
+                shared.fetch_add(i as usize, Ordering::Relaxed);
+            });
+            p.barrier();
+        });
+        assert_eq!(shared.load(Ordering::Relaxed), 465, "{}", id.name());
+    }
+}
+
 #[test]
 fn async_variable_misuse_void_then_consume_blocks_until_produce() {
     // Void leaves the variable empty; a consume must then wait for a

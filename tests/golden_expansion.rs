@@ -105,7 +105,10 @@ fn the_loop_body_sits_inside_the_completion_test() {
     let body = inter.find("C LOOPBODY").expect("body survives expansion");
     let test = inter.find(".GT. 0 .AND. K .LE.").expect("completion test");
     let goto = inter.find("GO TO 100").expect("loop-back");
-    assert!(test < body && body < goto, "body must be between the test and the GO TO");
+    assert!(
+        test < body && body < goto,
+        "body must be between the test and the GO TO"
+    );
 }
 
 #[test]
@@ -163,8 +166,7 @@ fn the_expansion_executes_correctly() {
         let out = the_force::run_force_source(src, MachineId::EncoreMultimax, nproc).unwrap();
         let hits = &out.shared_values["HITS"];
         assert!(
-            hits.iter()
-                .all(|v| *v == the_force::fortran::Value::Int(1)),
+            hits.iter().all(|v| *v == the_force::fortran::Value::Int(1)),
             "nproc={nproc}: {hits:?}"
         );
         // The barrier protocol left the environment clean for reuse.

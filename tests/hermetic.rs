@@ -69,12 +69,7 @@ fn default_feature_set_is_dependency_free() {
                 continue;
             }
             if in_dep_section && line.contains('=') && !is_workspace_local(line) {
-                offenders.push(format!(
-                    "{}:{}: {}",
-                    manifest.display(),
-                    lineno + 1,
-                    line
-                ));
+                offenders.push(format!("{}:{}: {}", manifest.display(), lineno + 1, line));
             }
         }
     }
@@ -112,12 +107,7 @@ fn no_external_sync_crates_in_source() {
                     }
                     for banned in ["crossbeam", "parking_lot", "rand::"] {
                         if t.contains(banned) {
-                            offenders.push(format!(
-                                "{}:{}: {}",
-                                path.display(),
-                                lineno + 1,
-                                t
-                            ));
+                            offenders.push(format!("{}:{}: {}", path.display(), lineno + 1, t));
                         }
                     }
                 }

@@ -28,7 +28,11 @@ fn fortran_do_loop_around_force_constructs() {
 ";
     for nproc in [1, 2, 4] {
         let out = run(src, nproc);
-        assert_eq!(out.shared_scalar("N"), Some(Value::Int(50)), "nproc={nproc}");
+        assert_eq!(
+            out.shared_scalar("N"),
+            Some(Value::Int(50)),
+            "nproc={nproc}"
+        );
     }
 }
 
@@ -216,11 +220,11 @@ fn pid_and_nproc_are_visible_per_process() {
 ";
     let out = run(src, 5);
     let seen = &out.shared_values["SEEN"];
-    for p in 0..5 {
-        assert_eq!(seen[p], Value::Int(1), "process {p} registered");
+    for (p, s) in seen.iter().enumerate().take(5) {
+        assert_eq!(*s, Value::Int(1), "process {p} registered");
     }
-    for p in 5..8 {
-        assert_eq!(seen[p], Value::Int(0));
+    for s in seen.iter().take(8).skip(5) {
+        assert_eq!(*s, Value::Int(0));
     }
     assert_eq!(out.shared_scalar("TOTALP"), Some(Value::Int(5)));
 }
@@ -330,9 +334,24 @@ fn isfull_tests_the_state_without_consuming() {
         MachineId::Flex32,
     ] {
         let out = run_force_source(src, id, 3).unwrap();
-        assert_eq!(out.shared_scalar("BEFORE"), Some(Value::Int(0)), "{}", id.name());
-        assert_eq!(out.shared_scalar("AFTER"), Some(Value::Int(1)), "{}", id.name());
-        assert_eq!(out.shared_scalar("GONE"), Some(Value::Int(1)), "{}", id.name());
+        assert_eq!(
+            out.shared_scalar("BEFORE"),
+            Some(Value::Int(0)),
+            "{}",
+            id.name()
+        );
+        assert_eq!(
+            out.shared_scalar("AFTER"),
+            Some(Value::Int(1)),
+            "{}",
+            id.name()
+        );
+        assert_eq!(
+            out.shared_scalar("GONE"),
+            Some(Value::Int(1)),
+            "{}",
+            id.name()
+        );
     }
 }
 
@@ -430,9 +449,24 @@ fn async_array_elements_are_independent_in_the_language() {
 ";
     for id in [MachineId::Hep, MachineId::SequentBalance, MachineId::Flex32] {
         let out = run_force_source(src, id, 2).unwrap();
-        assert_eq!(out.shared_scalar("F1"), Some(Value::Int(1)), "{}", id.name());
-        assert_eq!(out.shared_scalar("F3"), Some(Value::Int(1)), "{}", id.name());
-        assert_eq!(out.shared_scalar("E2"), Some(Value::Int(1)), "{}", id.name());
+        assert_eq!(
+            out.shared_scalar("F1"),
+            Some(Value::Int(1)),
+            "{}",
+            id.name()
+        );
+        assert_eq!(
+            out.shared_scalar("F3"),
+            Some(Value::Int(1)),
+            "{}",
+            id.name()
+        );
+        assert_eq!(
+            out.shared_scalar("E2"),
+            Some(Value::Int(1)),
+            "{}",
+            id.name()
+        );
     }
 }
 

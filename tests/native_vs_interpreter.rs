@@ -90,7 +90,8 @@ fn prescheduled_distribution_is_identical() {
             ref other => panic!("non-integer owner {other:?}"),
         };
         assert_eq!(
-            native, interp,
+            native,
+            interp,
             "index {} owned by different processes",
             i + 1
         );

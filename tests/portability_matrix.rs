@@ -127,8 +127,18 @@ fn produce_consume_void_copy() {
       Join
 ";
     matrix(src, |id, nproc, out| {
-        assert_eq!(out.shared_scalar("PEEK"), Some(Value::Int(42)), "{} nproc={nproc}", id.name());
-        assert_eq!(out.shared_scalar("GOT"), Some(Value::Int(42)), "{} nproc={nproc}", id.name());
+        assert_eq!(
+            out.shared_scalar("PEEK"),
+            Some(Value::Int(42)),
+            "{} nproc={nproc}",
+            id.name()
+        );
+        assert_eq!(
+            out.shared_scalar("GOT"),
+            Some(Value::Int(42)),
+            "{} nproc={nproc}",
+            id.name()
+        );
     });
 }
 
@@ -227,11 +237,7 @@ fn machine_profiles_differ_along_the_taxonomy() {
                 );
             }
             MachineId::EncoreMultimax | MachineId::AlliantFx8 => {
-                assert!(
-                    s.padding_words > 0,
-                    "{}: paged sharing must pad",
-                    id.name()
-                );
+                assert!(s.padding_words > 0, "{}: paged sharing must pad", id.name());
             }
             MachineId::Flex32 => {
                 // combined locks: contended acquires may park, but the
@@ -244,7 +250,12 @@ fn machine_profiles_differ_along_the_taxonomy() {
             _ => assert!(out.linker_commands.is_empty(), "{}", id.name()),
         }
         // Every machine computed the same answer.
-        assert_eq!(out.shared_scalar("N"), Some(Value::Int(40)), "{}", id.name());
+        assert_eq!(
+            out.shared_scalar("N"),
+            Some(Value::Int(40)),
+            "{}",
+            id.name()
+        );
     }
 }
 
@@ -273,7 +284,14 @@ fn simulated_cycle_profiles_follow_the_cost_models() {
     let cray = cycles[&MachineId::Cray2];
     for (id, c) in &cycles {
         assert!(hep <= *c, "HEP {hep} should not exceed {} {c}", id.name());
-        assert!(cray >= *c, "Cray {cray} should not undercut {} {c}", id.name());
+        assert!(
+            cray >= *c,
+            "Cray {cray} should not undercut {} {c}",
+            id.name()
+        );
     }
-    assert!(cray > 5 * hep, "the gap should be large: hep={hep} cray={cray}");
+    assert!(
+        cray > 5 * hep,
+        "the gap should be large: hep={hep} cray={cray}"
+    );
 }

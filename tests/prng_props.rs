@@ -42,7 +42,9 @@ fn nonzero_incr(rng: &mut XorShift64, mag: i64) -> i64 {
 /// A random string over `alphabet`, up to `max_len` chars.
 fn random_string(rng: &mut XorShift64, alphabet: &[char], max_len: usize) -> String {
     let len = rng.next_index(max_len + 1);
-    (0..len).map(|_| alphabet[rng.next_index(alphabet.len())]).collect()
+    (0..len)
+        .map(|_| alphabet[rng.next_index(alphabet.len())])
+        .collect()
 }
 
 #[test]
@@ -217,8 +219,7 @@ fn resolve_partitions_are_a_bijection() {
     let mut rng = XorShift64::new(6);
     for _ in 0..16 {
         let ncomp = rng.next_i64_in(1, 3) as usize;
-        let sizes: Vec<usize> =
-            (0..ncomp).map(|_| rng.next_i64_in(1, 3) as usize).collect();
+        let sizes: Vec<usize> = (0..ncomp).map(|_| rng.next_i64_in(1, 3) as usize).collect();
         let nproc: usize = sizes.iter().sum();
         let force = Force::new(nproc);
         let seen: Mutex<Vec<(usize, usize)>> = Mutex::new(Vec::new());
@@ -243,8 +244,7 @@ fn resolve_partitions_are_a_bijection() {
 #[test]
 fn m4_quoted_text_is_preserved() {
     const ALPHABET: &[char] = &[
-        'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '_', '+', '=', '.', ',', ';',
-        ':', '-',
+        'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '_', '+', '=', '.', ',', ';', ':', '-',
     ];
     let mut rng = XorShift64::new(7);
     for _ in 0..200 {
@@ -276,8 +276,27 @@ fn m4_define_roundtrip() {
 /// metacharacters, and plain Fortran text.  Used by the never-panic
 /// sweeps below (errors are fine; panics are not).
 const HOSTILE: &[char] = &[
-    'A', 'k', '0', '7', ' ', '(', ')', '=', '+', ',', '.', '*', '/', '\'',
-    '"', '`', '!', '\u{3a3}', '\u{e9}', '\u{6f22}', '\u{108f0}',
+    'A',
+    'k',
+    '0',
+    '7',
+    ' ',
+    '(',
+    ')',
+    '=',
+    '+',
+    ',',
+    '.',
+    '*',
+    '/',
+    '\'',
+    '"',
+    '`',
+    '!',
+    '\u{3a3}',
+    '\u{e9}',
+    '\u{6f22}',
+    '\u{108f0}',
 ];
 
 #[test]
