@@ -67,6 +67,9 @@ fn main() {
     if run("exp13") {
         exp13();
     }
+    if run("exp14") {
+        exp14();
+    }
 }
 
 fn host_cores() -> usize {
@@ -769,4 +772,127 @@ fn exp13() {
     println!(" never a hang; counters are cumulative per machine instance:");
     println!(" inj=faults injected, det=faults detected, cancel=cancellations");
     println!(" observed by parked peers, wdog=watchdog trips)");
+}
+
+// ---------------------------------------------------------------- EXP-14
+
+fn exp14() {
+    header(
+        "EXP-14",
+        "resident pool throughput: one-shot vs pooled sessions",
+    );
+    use std::time::Instant;
+    let jobs: usize = std::env::var("EXP14_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    let nproc = 4;
+    // A deliberately minimal job: pool amortization is a fixed per-job
+    // saving (process creation, plane/env/barrier construction), so the
+    // job body must not swamp it — construct costs inside a job are
+    // identical on both paths and EXP-3..EXP-6 already measure them.
+    let job = |p: &Player| {
+        busy_work(16 + p.pid() as u64);
+    };
+    println!(
+        "{:<18} {:>7} {:>12} {:>12} {:>8}   {:>14}",
+        "machine", "jobs", "one-shot/s", "pooled/s", "ratio", "procs created"
+    );
+    let mut rows = Vec::new();
+    for id in MachineId::all() {
+        // One-shot: a fresh Force (plane, environment, barrier, scoped
+        // threads) constructed and torn down per job.
+        let machine = Machine::new(id);
+        let t0 = Instant::now();
+        for _ in 0..jobs {
+            let force = Force::with_machine(nproc, Arc::clone(&machine));
+            force.run(job);
+        }
+        let one_shot = jobs as f64 / t0.elapsed().as_secs_f64();
+        let one_shot_procs = machine.stats().snapshot().processes_created;
+
+        // Pooled: one resident session dispatching every job onto the
+        // same worker threads, state reset in place between jobs.
+        let machine = Machine::new(id);
+        let pool = Arc::new(ForcePool::new(nproc, machine.stats()));
+        let session = Force::with_machine(nproc, Arc::clone(&machine)).with_pool(pool);
+        let t0 = Instant::now();
+        for _ in 0..jobs {
+            session.run(job);
+        }
+        let pooled = jobs as f64 / t0.elapsed().as_secs_f64();
+        let pooled_procs = machine.stats().snapshot().processes_created;
+
+        let ratio = pooled / one_shot;
+        println!(
+            "{:<18} {:>7} {:>12.0} {:>12.0} {:>7.1}x   {:>6} -> {:>5}",
+            id.name(),
+            jobs,
+            one_shot,
+            pooled,
+            ratio,
+            one_shot_procs,
+            pooled_procs
+        );
+        rows.push((id, one_shot, pooled, ratio, one_shot_procs, pooled_procs));
+    }
+
+    // The expansion cache plays the same role for the language pipeline:
+    // porting one source across all six personalities preprocesses each
+    // once, and every re-run afterwards is free.
+    let (h0, m0) = the_force::prep::expansion_cache_stats();
+    let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER R
+      Private INTEGER K
+      End declarations
+      Selfsched DO 100 K = 1, 16
+      Critical L
+      R = R + K
+      End critical
+100   End selfsched DO
+      Join
+";
+    for _ in 0..2 {
+        for id in MachineId::all() {
+            run_force_source(src, id, 2).expect("run");
+        }
+    }
+    let (h1, m1) = the_force::prep::expansion_cache_stats();
+    println!(
+        "\nexpansion cache over 2 x 6 ports of one source: {} hits, {} misses",
+        h1 - h0,
+        m1 - m0
+    );
+
+    // Machine-readable artifact for the acceptance gate.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"jobs\": {jobs},\n  \"nproc\": {nproc},\n"));
+    json.push_str(&format!("  \"host_cores\": {},\n", host_cores()));
+    json.push_str(&format!(
+        "  \"cache\": {{ \"hits\": {}, \"misses\": {} }},\n",
+        h1 - h0,
+        m1 - m0
+    ));
+    json.push_str("  \"machines\": [\n");
+    for (i, (id, one_shot, pooled, ratio, op, pp)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"machine\": \"{}\", \"one_shot_jobs_per_sec\": {:.1}, \
+             \"pooled_jobs_per_sec\": {:.1}, \"ratio\": {:.2}, \
+             \"one_shot_processes_created\": {}, \"pooled_processes_created\": {} }}{}\n",
+            id.name(),
+            one_shot,
+            pooled,
+            ratio,
+            op,
+            pp,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_pool.json", &json).expect("write BENCH_pool.json");
+    println!("wrote BENCH_pool.json");
+    println!("(expected shape: pooled >= 2x one-shot jobs/sec for this small");
+    println!(" job on a multi-core host — the pool charges process creation");
+    println!(" once, and sessions reset state in place instead of allocating)");
 }

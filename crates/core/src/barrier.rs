@@ -127,6 +127,23 @@ impl TwoLockBarrier {
         }
     }
 
+    /// Forcibly restore the barrier to its initial state — `BARWIN`
+    /// unlocked, `BARWOT` locked, no arrivals — for a session's next
+    /// run.  After a clean episode this is a no-op; after a *cancelled*
+    /// episode (a fault unwound processes mid-barrier) either lock may
+    /// be stranded in either state, so each is forced rather than
+    /// assumed.  Must only be called while no process is using the
+    /// barrier.
+    pub fn reset(&self) {
+        if self.barwin.is_locked() {
+            self.barwin.unlock();
+        }
+        // try_lock: acquires BARWOT if a straggler left it open, no-op
+        // if it is already in its initial (locked) state.
+        let _ = self.barwot.try_lock();
+        self.zznbar.store(0, Ordering::Relaxed);
+    }
+
     /// A plain barrier: wait for the whole force.
     pub fn wait(&self) {
         self.enter(|| (), || ());

@@ -9,27 +9,57 @@
 //! [`Force`] is the driver the preprocessor would generate: it creates the
 //! processes, hands each a [`Player`] context, runs
 //! the program body in all of them, and performs the final `Join`.
+//!
+//! A `Force` is a reusable **session**: its per-occurrence construct
+//! state (the two-lock barrier, the collective registry behind
+//! selfscheduled loops, Pcase and Askfor, the named-lock and
+//! shared-index tables) and its fault plane live for the session's
+//! lifetime and are *reset in place* at the start of every
+//! [`execute`](Force::execute) instead of being reallocated.  Attach a
+//! resident [`ForcePool`] with [`with_pool`](Force::with_pool) and
+//! successive executes reuse the pool's worker threads too — no per-run
+//! process creation at all.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use force_machdep::{
-    spawn_force_plane, FaultConfig, FaultInjection, FaultPlane, ForceEnvironment, Machine,
-    MachineId, ProcessFault,
+    spawn_force_plane, FaultConfig, FaultInjection, FaultPlane, ForceEnvironment, ForcePool,
+    Machine, MachineId, Mutex, ProcessFault, RunOptions, StatsSnapshot,
 };
 
 use crate::barrier::TwoLockBarrier;
 use crate::player::Player;
 use crate::registry::CollectiveRegistry;
 
-/// A configured force: a process count bound to a machine personality,
-/// plus the fault-containment options (deadlock watchdog, fault
-/// injection), both off by default.
+/// A configured force session: a process count bound to a machine
+/// personality, resident construct state that is reset between runs,
+/// optional dispatch onto a resident [`ForcePool`], and the session's
+/// default fault-containment options (deadlock watchdog, fault
+/// injection), both off by default and overridable per run with
+/// [`try_execute_with`](Force::try_execute_with).
 pub struct Force {
     nproc: usize,
     machine: Arc<Machine>,
     watchdog: Option<Duration>,
     injection: Option<FaultInjection>,
+    /// Resident workers to dispatch onto; `None` runs each job on fresh
+    /// scoped threads (the one-shot path).
+    pool: Option<Arc<ForcePool>>,
+    /// The session's fault plane, re-armed before every run.
+    plane: Arc<FaultPlane>,
+    /// The session's parallel environment (named locks, shared indices).
+    env: Arc<ForceEnvironment>,
+    /// The session's two-lock barrier.
+    barrier: Arc<TwoLockBarrier>,
+    /// Per-occurrence collective state (selfsched counters, askfor
+    /// queues, Pcase slots), cleared between runs.
+    registry: Arc<CollectiveRegistry>,
+    /// Serializes runs on this session: the resident state is per-run
+    /// exclusive, so overlapping executes take turns.
+    run_lock: Mutex<()>,
+    /// Operation counts of the most recent run (per-job delta).
+    last_job_stats: Mutex<StatsSnapshot>,
 }
 
 impl Force {
@@ -49,11 +79,25 @@ impl Force {
     /// Panics if `nproc` is zero.
     pub fn with_machine(nproc: usize, machine: Arc<Machine>) -> Self {
         assert!(nproc > 0, "a force needs at least one process");
+        let plane = FaultPlane::new(nproc, Arc::clone(machine.stats()), FaultConfig::default());
+        let env = Arc::new(ForceEnvironment::with_fault_plane(
+            Arc::clone(&machine),
+            nproc,
+            Arc::clone(&plane),
+        ));
+        let barrier = Arc::new(TwoLockBarrier::new(&machine, nproc));
         Force {
             nproc,
             machine,
             watchdog: None,
             injection: None,
+            pool: None,
+            plane,
+            env,
+            barrier,
+            registry: Arc::new(CollectiveRegistry::new()),
+            run_lock: Mutex::new(()),
+            last_job_stats: Mutex::new(StatsSnapshot::default()),
         }
     }
 
@@ -70,6 +114,24 @@ impl Force {
     /// lock failures at construct boundaries) for robustness testing.
     pub fn with_fault_injection(mut self, injection: FaultInjection) -> Self {
         self.injection = Some(injection);
+        self
+    }
+
+    /// Dispatch this session's runs onto a resident [`ForcePool`]
+    /// instead of spawning scoped threads per run.  The pool must be at
+    /// least as large as the force; pools may be shared by several
+    /// sessions (jobs serialize at the pool's mailbox).
+    ///
+    /// # Panics
+    /// Panics if the pool has fewer workers than the force has processes.
+    pub fn with_pool(mut self, pool: Arc<ForcePool>) -> Self {
+        assert!(
+            pool.size() >= self.nproc,
+            "pool of {} workers cannot host a force of {} processes",
+            pool.size(),
+            self.nproc
+        );
+        self.pool = Some(pool);
         self
     }
 
@@ -104,12 +166,11 @@ impl Force {
         R: Send,
         F: Fn(&Player) -> R + Sync,
     {
-        let plane = self.make_plane();
-        match self.execute_on_plane(&plane, body) {
+        match self.try_execute(body) {
             Ok(results) => results,
             // Re-raise the first faulting process's original panic payload
             // so callers (and `should_panic` tests) see it verbatim.
-            Err(fault) => match plane.take_payload() {
+            Err(fault) => match self.plane.take_payload() {
                 Some(payload) => std::panic::resume_unwind(payload),
                 None => panic!("{fault}"),
             },
@@ -124,47 +185,69 @@ impl Force {
         R: Send,
         F: Fn(&Player) -> R + Sync,
     {
-        self.execute_on_plane(&self.make_plane(), body)
-    }
-
-    fn make_plane(&self) -> Arc<FaultPlane> {
-        FaultPlane::new(
-            self.nproc,
-            Arc::clone(self.machine.stats()),
-            FaultConfig {
+        self.try_execute_with(
+            RunOptions {
                 watchdog: self.watchdog,
                 injection: self.injection,
             },
+            body,
         )
     }
 
-    fn execute_on_plane<R, F>(
+    /// Run one job with explicit per-run [`RunOptions`] (watchdog bound,
+    /// fault injection), overriding the session defaults for this run
+    /// only.  This is how a *shared* session — e.g. one pooled force
+    /// serving many callers — is configured per job without `&mut`
+    /// access.
+    pub fn try_execute_with<R, F>(
         &self,
-        plane: &Arc<FaultPlane>,
+        options: RunOptions,
         body: F,
     ) -> Result<Vec<R>, ProcessFault>
     where
         R: Send,
         F: Fn(&Player) -> R + Sync,
     {
-        let env = Arc::new(ForceEnvironment::with_fault_plane(
-            Arc::clone(&self.machine),
-            self.nproc,
-            Arc::clone(plane),
-        ));
-        let barrier = Arc::new(TwoLockBarrier::new(&self.machine, self.nproc));
-        let registry = Arc::new(CollectiveRegistry::new());
-        spawn_force_plane(plane, |pid| {
+        // One run at a time per session: the resident construct state is
+        // exclusive to the running job.
+        let _run = self.run_lock.lock();
+        self.reset_session(options);
+        let before = self.machine.stats().snapshot();
+        let run_body = |pid: usize| {
             let player = Player::new(
                 pid,
                 self.nproc,
                 Arc::clone(&self.machine),
-                Arc::clone(&env),
-                Arc::clone(&barrier),
-                Arc::clone(&registry),
+                Arc::clone(&self.env),
+                Arc::clone(&self.barrier),
+                Arc::clone(&self.registry),
             );
             body(&player)
-        })
+        };
+        let result = match &self.pool {
+            Some(pool) => pool.run_plane(&self.plane, run_body),
+            None => spawn_force_plane(&self.plane, run_body),
+        };
+        *self.last_job_stats.lock() = self.machine.stats().snapshot().delta(&before);
+        result
+    }
+
+    /// Reset the resident session state in place for a new run: re-arm
+    /// the fault plane with this run's options, clear the collective
+    /// registry, and restore the barrier and environment to their
+    /// initial states (a fault may have stranded locks mid-episode).
+    fn reset_session(&self, options: RunOptions) {
+        self.plane.reset_for_job(options);
+        self.registry.reset();
+        self.barrier.reset();
+        self.env.reset();
+    }
+
+    /// Primitive-operation counts of the most recent run — the per-job
+    /// delta, not the machine's cumulative totals (which, on a resident
+    /// session or shared pool, span every job since creation).
+    pub fn last_job_stats(&self) -> StatsSnapshot {
+        *self.last_job_stats.lock()
     }
 
     /// Like [`execute`](Self::execute) but discarding per-process results.
@@ -321,6 +404,145 @@ mod tests {
             .try_run(|p| p.barrier())
             .expect_err("a certain injection must fault the force");
         assert!(err.payload.contains("injected fault"), "{}", err.payload);
+    }
+
+    #[test]
+    fn pooled_force_matches_scoped_results() {
+        let machine = Machine::new(MachineId::EncoreMultimax);
+        let pool = Arc::new(ForcePool::new(4, machine.stats()));
+        let pooled = Force::with_machine(4, Arc::clone(&machine)).with_pool(pool);
+        let scoped = Force::with_machine(4, machine);
+        for _ in 0..5 {
+            let shared_p = AtomicUsize::new(0);
+            let shared_s = AtomicUsize::new(0);
+            pooled.run(|p| {
+                p.selfsched_do(crate::schedule::ForceRange::to(1, 100), |i| {
+                    shared_p.fetch_add(i as usize, Ordering::Relaxed);
+                });
+            });
+            scoped.run(|p| {
+                p.selfsched_do(crate::schedule::ForceRange::to(1, 100), |i| {
+                    shared_s.fetch_add(i as usize, Ordering::Relaxed);
+                });
+            });
+            assert_eq!(
+                shared_p.load(Ordering::Relaxed),
+                shared_s.load(Ordering::Relaxed)
+            );
+            assert_eq!(shared_p.load(Ordering::Relaxed), 5050);
+        }
+    }
+
+    #[test]
+    fn pooled_session_creates_no_processes_per_run() {
+        let machine = Machine::new(MachineId::SequentBalance);
+        let pool = Arc::new(ForcePool::new(3, machine.stats()));
+        let force = Force::with_machine(3, Arc::clone(&machine)).with_pool(pool);
+        let created_before = machine.stats().snapshot().processes_created;
+        for _ in 0..10 {
+            force.run(|p| p.barrier());
+        }
+        let created_after = machine.stats().snapshot().processes_created;
+        assert_eq!(
+            created_after, created_before,
+            "a resident pool amortizes process creation across jobs"
+        );
+    }
+
+    #[test]
+    fn last_job_stats_reports_per_job_deltas() {
+        let force = Force::new(2);
+        force.run(|p| {
+            for _ in 0..3 {
+                p.barrier();
+            }
+        });
+        assert_eq!(force.last_job_stats().barrier_episodes, 3);
+        force.run(|p| p.barrier());
+        assert_eq!(
+            force.last_job_stats().barrier_episodes,
+            1,
+            "per-job delta, not cumulative"
+        );
+    }
+
+    #[test]
+    fn construct_state_resets_between_runs_with_different_sequences() {
+        // Run 1's collective #0 is a selfsched loop; run 2's collective #0
+        // is a Pcase-style barrier section.  Without the registry reset the
+        // second run would either panic as divergent or inherit a spent
+        // loop counter and skip every iteration.
+        let force = Force::new(3);
+        let sum = AtomicUsize::new(0);
+        force.run(|p| {
+            p.selfsched_do(crate::schedule::ForceRange::to(1, 10), |i| {
+                sum.fetch_add(i as usize, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 55);
+        let sections = AtomicUsize::new(0);
+        force.run(|p| {
+            p.barrier_section(|| {
+                sections.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sections.load(Ordering::Relaxed), 1);
+        // And the same loop again must re-run all iterations from scratch.
+        sum.store(0, Ordering::Relaxed);
+        force.run(|p| {
+            p.selfsched_do(crate::schedule::ForceRange::to(1, 10), |i| {
+                sum.fetch_add(i as usize, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 55);
+    }
+
+    #[test]
+    fn session_recovers_after_a_fault() {
+        // A fault strands the barrier mid-episode; the next run on the
+        // same session must start from a clean slate.
+        let force = Force::new(3);
+        let err = force
+            .try_run(|p| {
+                if p.pid() == 1 {
+                    panic!("mid-barrier casualty");
+                }
+                p.barrier();
+                p.barrier();
+            })
+            .expect_err("the panic must fault the force");
+        assert_eq!(err.pid, 1);
+        let r = force.try_execute(|p| {
+            p.barrier();
+            p.pid()
+        });
+        assert_eq!(
+            r.expect("session must be reusable after a fault"),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn per_run_options_override_session_defaults() {
+        use std::time::Duration;
+        // Session default: no watchdog.  Per-run: a tight watchdog that
+        // must catch the deadlock; then a default run works again.
+        let force = Force::new(2);
+        let chan: crate::asyncvar::Async<u64> = crate::asyncvar::Async::new(force.machine());
+        let err = force
+            .try_execute_with(
+                RunOptions {
+                    watchdog: Some(Duration::from_millis(100)),
+                    injection: None,
+                },
+                |_p| chan.consume(),
+            )
+            .expect_err("per-run watchdog must trip");
+        assert!(err.payload.contains("deadlock watchdog"), "{}", err.payload);
+        assert_eq!(
+            force.try_execute(|p| p.pid()).expect("clean run"),
+            vec![0, 1]
+        );
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub use asyncvar::{Async, AsyncArray};
 pub use barrier::TwoLockBarrier;
 pub use critical::CriticalSection;
 pub use force::Force;
+pub use force_machdep::{ForcePool, RunOptions};
 pub use pcase::Pcase;
 pub use player::Player;
 pub use resolve::Component;

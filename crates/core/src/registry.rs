@@ -67,6 +67,17 @@ impl CollectiveRegistry {
         }
     }
 
+    /// Forget every occurrence slot, returning the registry to its
+    /// initial state for the session's next run.  Each run is a fresh
+    /// SPMD episode: occurrence ordinals restart at zero, so slot `n`
+    /// of run *k + 1* is generally a *different* construct than slot
+    /// `n` of run *k* and must not inherit its state (a leftover
+    /// selfsched counter would skip iterations; a leftover slot of a
+    /// different type would panic as divergence).
+    pub(crate) fn reset(&self) {
+        self.slots.lock().clear();
+    }
+
     /// How many collective occurrences have been entered so far.
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {

@@ -22,8 +22,8 @@ use std::sync::Arc;
 use force_machdep::fault::{self, Construct};
 use force_machdep::Mutex;
 use force_machdep::{
-    spawn_force_plane, FaultConfig, FaultPlane, FullEmptyState, LockHandle, LockKind, LockState,
-    Machine, ProcessModel, SharedRegion, SharingModelId, StatsSnapshot,
+    spawn_force_plane, FaultPlane, ForcePool, FullEmptyState, LockHandle, LockKind, LockState,
+    Machine, ProcessModel, RunOptions, SharedRegion, SharingModelId, StatsSnapshot,
 };
 use force_prep::{ExpandedProgram, VarClass};
 
@@ -34,14 +34,47 @@ use crate::program::{Op, Program, Storage, Symbol, Unit};
 use crate::value::Value;
 
 /// A loaded Force program bound to a machine personality.
+///
+/// An `Engine` is a reusable **session**: the shared COMMON region, the
+/// lock and full/empty-tag tables, and the fault plane live for the
+/// engine's lifetime and are *reset in place* at the start of every
+/// [`run`](Engine::run) instead of being reallocated — re-running a
+/// loaded program pays for shared-memory designation and (with a pool
+/// attached via [`set_pool`](Engine::set_pool)) process creation once,
+/// not per run.  All configuration is interior-mutable, so a shared
+/// `&Engine` can be watchdog-configured and run from several callers;
+/// runs on one session serialize.
 pub struct Engine {
     program: Program,
     machine: Arc<Machine>,
     env_cells: Vec<String>,
     /// Force shared/async variables: name → (type, words).
     shared_vars: Vec<(String, Ty, usize)>,
-    /// Deadlock watchdog bound for the force (off by default).
-    watchdog: Option<std::time::Duration>,
+    /// Session defaults for [`run`](Self::run) (watchdog off, no
+    /// injection); overridable per run with [`run_with`](Self::run_with).
+    defaults: Mutex<RunOptions>,
+    /// Resident workers to dispatch forces onto; `None` spawns scoped
+    /// threads per run.
+    pool: Mutex<Option<Arc<ForcePool>>>,
+    /// Resident per-session state, reset in place between runs.
+    session: Session,
+    /// Serializes runs: the resident state is exclusive to one run.
+    run_lock: Mutex<()>,
+}
+
+/// The engine's resident state: allocated on first use, reset in place
+/// (never reallocated) between runs.
+struct Session {
+    /// The shared COMMON region; zeroed between runs.
+    shared: Mutex<Option<Arc<SharedState>>>,
+    /// Lock table: shared word offset → machine lock.  Cleared between
+    /// runs — each run's driver re-executes every `init_lock`.
+    locks: Mutex<HashMap<usize, LockHandle>>,
+    /// HEP full/empty tags: shared word offset → cell tag.  Cleared
+    /// between runs (a fresh run's cells start empty).
+    tags: Mutex<HashMap<usize, Arc<FullEmptyState>>>,
+    /// The fault plane, reused across runs of the same process count.
+    plane: Mutex<Option<Arc<FaultPlane>>>,
 }
 
 /// The observable result of one run.
@@ -110,16 +143,39 @@ impl Engine {
             machine,
             env_cells: exp.env_cells.clone(),
             shared_vars,
-            watchdog: None,
+            defaults: Mutex::new(RunOptions::default()),
+            pool: Mutex::new(None),
+            session: Session {
+                shared: Mutex::new(None),
+                locks: Mutex::new(HashMap::new()),
+                tags: Mutex::new(HashMap::new()),
+                plane: Mutex::new(None),
+            },
+            run_lock: Mutex::new(()),
         })
     }
 
-    /// Enable the deadlock watchdog: if every process of the force stays
-    /// blocked with no progress for `bound`, the run is cancelled and
-    /// [`run`](Self::run) returns a runtime error naming a parked process
-    /// and the Force construct it was parked in.
-    pub fn set_watchdog(&mut self, bound: std::time::Duration) {
-        self.watchdog = Some(bound);
+    /// Enable the deadlock watchdog by default: if every process of the
+    /// force stays blocked with no progress for `bound`, the run is
+    /// cancelled and [`run`](Self::run) returns a runtime error naming a
+    /// parked process and the Force construct it was parked in.  This
+    /// sets the session default; [`run_with`](Self::run_with) overrides
+    /// it per run.
+    pub fn set_watchdog(&self, bound: std::time::Duration) {
+        self.defaults.lock().watchdog = Some(bound);
+    }
+
+    /// Replace the session-default [`RunOptions`] (watchdog bound and
+    /// fault injection) used by [`run`](Self::run).
+    pub fn set_run_options(&self, options: RunOptions) {
+        *self.defaults.lock() = options;
+    }
+
+    /// Dispatch this engine's forces onto a resident [`ForcePool`]
+    /// instead of spawning scoped threads per run.  Runs whose process
+    /// count exceeds the pool fall back to scoped threads.
+    pub fn set_pool(&self, pool: Arc<ForcePool>) {
+        *self.pool.lock() = Some(pool);
     }
 
     /// The compiled program.
@@ -132,16 +188,28 @@ impl Engine {
         &self.machine
     }
 
-    /// Run the driver (which creates the force of `nproc` processes).
+    /// Run the driver (which creates the force of `nproc` processes)
+    /// with the session-default [`RunOptions`].
     pub fn run(&self, nproc: usize) -> Result<RunOutput, FortError> {
+        let options = *self.defaults.lock();
+        self.run_with(nproc, options)
+    }
+
+    /// Run the driver with explicit per-run [`RunOptions`] (watchdog
+    /// bound, fault injection), overriding the session defaults for this
+    /// run only.
+    pub fn run_with(&self, nproc: usize, options: RunOptions) -> Result<RunOutput, FortError> {
         assert!(nproc > 0, "a force needs at least one process");
+        // One run at a time per session: the resident state is exclusive
+        // to the running job.
+        let _run = self.run_lock.lock();
+        self.reset_session();
         let before = self.machine.stats().snapshot();
         let rt = Rt {
             engine: self,
             nproc,
-            shared: Mutex::new(None),
-            locks: Mutex::new(HashMap::new()),
-            tags: Mutex::new(HashMap::new()),
+            options,
+            pool: self.pool.lock().clone(),
             prints: Mutex::new(Vec::new()),
             linker: Mutex::new(Vec::new()),
         };
@@ -170,7 +238,7 @@ impl Engine {
             + stats.processes_created * costs.process_create
             + stats.shared_words * costs.shared_access;
         let mut shared_values = HashMap::new();
-        if let Some(state) = rt.shared.lock().as_ref() {
+        if let Some(state) = self.session.shared.lock().as_ref() {
             for (name, ty, words) in &self.shared_vars {
                 if let Some(&base) = state.bases.get(name) {
                     let vals = (0..*words)
@@ -214,6 +282,20 @@ impl Engine {
             shared_values,
         })
     }
+
+    /// Reset the resident session state in place for a new run: zero the
+    /// cached shared region (fresh COMMON storage without a fresh
+    /// designation pass) and clear the lock and tag tables (each run's
+    /// driver re-executes every `init_lock`; full/empty cells start
+    /// empty).  The fault plane is re-armed lazily at process creation,
+    /// where the run's process count is known.
+    fn reset_session(&self) {
+        if let Some(state) = self.session.shared.lock().as_ref() {
+            state.region.reset();
+        }
+        self.session.locks.lock().clear();
+        self.session.tags.lock().clear();
+    }
 }
 
 /// Shared storage once allocated: the region plus per-block base offsets.
@@ -222,25 +304,27 @@ struct SharedState {
     bases: HashMap<String, usize>,
 }
 
-/// Per-run runtime state shared by all processes.
+/// Per-run runtime state shared by all processes.  The long-lived
+/// tables (shared region, locks, tags) live on the engine's [`Session`];
+/// this carries only the run-scoped pieces.
 struct Rt<'e> {
     engine: &'e Engine,
     nproc: usize,
-    shared: Mutex<Option<Arc<SharedState>>>,
-    /// Lock table: shared word offset → machine lock.
-    locks: Mutex<HashMap<usize, LockHandle>>,
-    /// HEP full/empty tags: shared word offset → cell tag.
-    tags: Mutex<HashMap<usize, Arc<FullEmptyState>>>,
+    /// This run's fault-containment options.
+    options: RunOptions,
+    /// Resident pool to dispatch this run's force onto, if any.
+    pool: Option<Arc<ForcePool>>,
     prints: Mutex<Vec<String>>,
     linker: Mutex<Vec<String>>,
 }
 
 impl Rt<'_> {
-    /// The shared region, allocated on first use through the machine's
-    /// sharing model.  On the Sequent this fails until the startup/link
-    /// protocol has run — faithfully.
+    /// The shared region: reused from the session if a previous run
+    /// allocated it (zeroed by the run prologue), otherwise allocated
+    /// through the machine's sharing model.  On the Sequent this fails
+    /// until the startup/link protocol has run — faithfully.
     fn shared(&self, line: usize) -> Result<Arc<SharedState>, FortError> {
-        let mut guard = self.shared.lock();
+        let mut guard = self.engine.session.shared.lock();
         if let Some(s) = guard.as_ref() {
             return Ok(Arc::clone(s));
         }
@@ -270,7 +354,9 @@ impl Rt<'_> {
     }
 
     fn lock_handle(&self, offset: usize, line: usize) -> Result<LockHandle, FortError> {
-        self.locks
+        self.engine
+            .session
+            .locks
             .lock()
             .get(&offset)
             .cloned()
@@ -278,7 +364,7 @@ impl Rt<'_> {
     }
 
     fn tag_handle(&self, offset: usize) -> Arc<FullEmptyState> {
-        let mut tags = self.tags.lock();
+        let mut tags = self.engine.session.tags.lock();
         Arc::clone(tags.entry(offset).or_insert_with(|| {
             Arc::new(FullEmptyState::new_empty(Arc::clone(
                 self.engine.machine.stats(),
@@ -534,7 +620,7 @@ impl Proc<'_, '_> {
                 } else {
                     machine.make_dedicated_lock(state)
                 };
-                self.rt.locks.lock().insert(offset, lock);
+                self.rt.engine.session.locks.lock().insert(offset, lock);
                 Ok(Flow::Normal)
             }
             "ZZAINI" => {
@@ -544,7 +630,7 @@ impl Proc<'_, '_> {
                 // pooled lock: dedicated reserve.
                 let e = self.shared_offset_arg(frame, args, 0, name, line)?;
                 let f = self.shared_offset_arg(frame, args, 1, name, line)?;
-                let mut locks = self.rt.locks.lock();
+                let mut locks = self.rt.engine.session.locks.lock();
                 locks.insert(e, machine.make_dedicated_lock(LockState::Locked));
                 locks.insert(f, machine.make_dedicated_lock(LockState::Unlocked));
                 Ok(Flow::Normal)
@@ -698,20 +784,30 @@ impl Proc<'_, '_> {
                 };
                 let unit = self.rt.engine.program.unit(&unit_name).expect("checked");
                 let np = self.rt.nproc;
-                let plane = FaultPlane::new(
-                    np,
-                    Arc::clone(machine.stats()),
-                    FaultConfig {
-                        watchdog: self.rt.engine.watchdog,
-                        injection: None,
-                    },
-                );
+                // Reuse the session's fault plane when the process count
+                // matches (re-armed with this run's options); otherwise
+                // build one and make it resident.
+                let plane = {
+                    let mut slot = self.rt.engine.session.plane.lock();
+                    match slot.as_ref() {
+                        Some(p) if p.nproc() == np => {
+                            p.reset_for_job(self.rt.options);
+                            Arc::clone(p)
+                        }
+                        _ => {
+                            let p =
+                                FaultPlane::new(np, Arc::clone(machine.stats()), self.rt.options);
+                            *slot = Some(Arc::clone(&p));
+                            p
+                        }
+                    }
+                };
                 // An interpreter runtime error in one process must not
                 // leave its peers parked in a barrier or async wait: the
                 // first error trips the fault plane (cancelling the rest
                 // of the force) and is reported with its own line number.
                 let first_err: Mutex<Option<FortError>> = Mutex::new(None);
-                let spawned = spawn_force_plane(&plane, |pid| {
+                let run_one = |pid: usize| {
                     let p = Proc {
                         rt: self.rt,
                         me: pid as i64,
@@ -727,7 +823,11 @@ impl Proc<'_, '_> {
                         }
                         fault::trip_current(Construct::Interpreter, msg);
                     }
-                });
+                };
+                let spawned = match self.rt.pool.as_ref().filter(|pool| np <= pool.size()) {
+                    Some(pool) => pool.run_plane(&plane, run_one),
+                    None => spawn_force_plane(&plane, run_one),
+                };
                 if let Some(e) = first_err.lock().take() {
                     return Err(e);
                 }
@@ -1349,6 +1449,67 @@ mod tests {
             cray.cycles,
             out.cycles
         );
+    }
+
+    #[test]
+    fn engine_is_a_reusable_session() {
+        let exp = preprocess(SUM_PROGRAM, MachineId::EncoreMultimax).unwrap();
+        let machine = Machine::new(MachineId::EncoreMultimax);
+        let engine = Engine::from_expanded(&exp, machine).unwrap();
+        let first = engine.run(3).unwrap();
+        assert_eq!(first.shared_scalar("TOTAL"), Some(Value::Int(5050)));
+        assert!(first.stats.shared_words > 0, "first run designates memory");
+        for _ in 0..3 {
+            let again = engine.run(3).unwrap();
+            assert_eq!(again.shared_scalar("TOTAL"), Some(Value::Int(5050)));
+            assert_eq!(
+                again.stats.shared_words, 0,
+                "re-runs reuse the resident region: no designation pass"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_engine_creates_no_processes_per_run() {
+        let exp = preprocess(SUM_PROGRAM, MachineId::Flex32).unwrap();
+        let machine = Machine::new(MachineId::Flex32);
+        let engine = Engine::from_expanded(&exp, Arc::clone(&machine)).unwrap();
+        let scoped = engine.run(3).unwrap();
+        assert_eq!(scoped.stats.processes_created, 3);
+        engine.set_pool(Arc::new(ForcePool::new(4, machine.stats())));
+        for _ in 0..3 {
+            let pooled = engine.run(3).unwrap();
+            assert_eq!(pooled.shared_scalar("TOTAL"), Some(Value::Int(5050)));
+            assert_eq!(
+                pooled.stats.processes_created, 0,
+                "a resident pool amortizes process creation across runs"
+            );
+        }
+    }
+
+    #[test]
+    fn per_run_options_catch_a_deadlock_and_the_session_recovers() {
+        // Every process consumes from an async variable nobody produces.
+        let src = "\
+      Force FMAIN of NP ident ME
+      Async INTEGER CHAN
+      Private INTEGER T
+      End declarations
+      Consume CHAN into T
+      Join
+";
+        let exp = preprocess(src, MachineId::EncoreMultimax).unwrap();
+        let engine = Engine::from_expanded(&exp, Machine::new(MachineId::EncoreMultimax)).unwrap();
+        let opts = RunOptions {
+            watchdog: Some(std::time::Duration::from_millis(150)),
+            injection: None,
+        };
+        let err = engine.run_with(2, opts).unwrap_err();
+        assert!(err.to_string().contains("deadlock watchdog"), "{err}");
+        // The same session runs again cleanly: the plane is re-armed and
+        // the stranded async lock state was cleared.
+        let err2 = engine.run_with(2, opts).unwrap_err();
+        assert!(err2.to_string().contains("deadlock watchdog"), "{err2}");
     }
 
     #[test]

@@ -131,6 +131,25 @@ impl ForceEnvironment {
     pub fn named_lock_count(&self) -> usize {
         self.named_locks.lock().len()
     }
+
+    /// Restore the environment to its initial state for a session's
+    /// next run: `BARWIN` unlocked, `BARWOT` locked, `ZZNBAR` zero, the
+    /// named-lock and shared-index tables empty, and the dynamic-pid
+    /// source back at `nproc`.  Dropping the lock tables (rather than
+    /// unlocking each entry) matches the macro semantics — every run's
+    /// driver re-executes `init_lock`, so locks a faulted run stranded
+    /// in the locked state simply cease to exist.  Must only be called
+    /// while no process of the force is running.
+    pub fn reset(&self) {
+        if self.barwin.is_locked() {
+            self.barwin.unlock();
+        }
+        let _ = self.barwot.try_lock();
+        self.zznbar.store(0, Ordering::Relaxed);
+        self.named_locks.lock().clear();
+        self.shared_indices.lock().clear();
+        self.next_pid.store(self.nproc, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]

@@ -201,6 +201,14 @@ pub struct FaultConfig {
     pub injection: Option<FaultInjection>,
 }
 
+/// Per-run options for a reusable execution session: the deadlock
+/// watchdog bound and the fault injection applied to *one* job.  An
+/// alias of [`FaultConfig`] — a resident session re-arms its plane with
+/// these at the start of every run
+/// ([`FaultPlane::reset_for_job`]), so a shared pooled force or engine
+/// can be configured per job without `&mut` access.
+pub type RunOptions = FaultConfig;
+
 /// Wait-board states (low two bits of each board word).
 const RUNNING: usize = 0;
 const PARKED: usize = 1;
@@ -213,7 +221,11 @@ const STATE_MASK: usize = 0b11;
 pub struct FaultPlane {
     nproc: usize,
     stats: Arc<OpStats>,
-    config: FaultConfig,
+    /// Per-job configuration.  Behind a mutex so a resident session can
+    /// swap it between jobs ([`reset_for_job`](Self::reset_for_job));
+    /// the hot injection path never touches it — each process snapshots
+    /// the injection config into its thread-local context at install.
+    config: Mutex<FaultConfig>,
     /// The cancellation token.  Set (with `Release`) only after the first
     /// fault has been recorded, so an observer that sees the trip can
     /// read the fault.
@@ -232,7 +244,7 @@ impl FaultPlane {
         Arc::new(FaultPlane {
             nproc,
             stats,
-            config,
+            config: Mutex::new(config),
             tripped: AtomicBool::new(false),
             fault: Mutex::new(None),
             payload: Mutex::new(None),
@@ -254,12 +266,30 @@ impl FaultPlane {
 
     /// The configured watchdog bound, if any.
     pub fn watchdog_interval(&self) -> Option<Duration> {
-        self.config.watchdog
+        self.config.lock().watchdog
     }
 
     /// The configured fault injection, if any.
     pub fn injection(&self) -> Option<FaultInjection> {
-        self.config.injection
+        self.config.lock().injection
+    }
+
+    /// Re-arm the plane for a new job on a resident session: swap in the
+    /// job's configuration, clear the cancellation token, the first-fault
+    /// and payload slots, and return every wait-board entry to `RUNNING`.
+    ///
+    /// Must only be called between jobs (no process of a previous job
+    /// still running under this plane); the session layers serialize
+    /// their runs to guarantee that.  After the reset, a fault tripped by
+    /// job *N* is invisible to job *N + 1*.
+    pub fn reset_for_job(&self, config: FaultConfig) {
+        *self.config.lock() = config;
+        *self.fault.lock() = None;
+        *self.payload.lock() = None;
+        for slot in &self.board {
+            slot.store(RUNNING, Ordering::Release);
+        }
+        self.tripped.store(false, Ordering::Release);
     }
 
     /// Whether the cancellation token has been tripped.  Any blocking
@@ -346,7 +376,7 @@ impl FaultPlane {
     /// construct.  Returns when `stop` is set (force joined), when the
     /// plane trips for any reason, or after its own trip.
     pub fn run_watchdog(&self, stop: &Mutex<bool>, stop_signal: &Condvar) {
-        let Some(bound) = self.config.watchdog else {
+        let Some(bound) = self.watchdog_interval() else {
             return;
         };
         let tick = (bound / 4).max(Duration::from_millis(1));
@@ -404,6 +434,9 @@ struct Ctx {
     /// The construct that was active when this thread started panicking
     /// (recorded by the innermost marker guard during unwind).
     panicked_in: Cell<Option<Construct>>,
+    /// Injection config snapshotted at install time, so the per-operation
+    /// roll never takes the plane's config mutex.
+    injection: Option<FaultInjection>,
     rng: RefCell<Option<XorShift64>>,
 }
 
@@ -432,6 +465,7 @@ pub(crate) fn install(plane: &Arc<FaultPlane>, pid: usize) -> CtxGuard {
             pid,
             construct: Cell::new(Construct::Body),
             panicked_in: Cell::new(None),
+            injection: plane.injection(),
             rng: RefCell::new(None),
         });
         CtxGuard { prev }
@@ -597,7 +631,7 @@ fn roll(want_spurious: bool) -> Injected {
     let rolled = CTX.with(|c| {
         let borrowed = c.borrow();
         let ctx = borrowed.as_ref()?;
-        let inj = ctx.plane.config.injection?;
+        let inj = ctx.injection?;
         let mut rng = ctx.rng.borrow_mut();
         let rng = rng.get_or_insert_with(|| {
             XorShift64::new(inj.seed ^ (ctx.pid as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
@@ -836,6 +870,39 @@ mod tests {
         assert_eq!(f.construct, "consume");
         assert!(f.payload.contains("deadlock watchdog"), "{}", f.payload);
         assert_eq!(p.stats().snapshot().watchdog_trips, 1);
+    }
+
+    #[test]
+    fn reset_for_job_clears_trip_board_and_config() {
+        let p = plane(
+            2,
+            FaultConfig {
+                watchdog: Some(Duration::from_secs(1)),
+                injection: None,
+            },
+        );
+        p.trip(
+            ProcessFault {
+                pid: 0,
+                construct: "consume",
+                payload: "job 1 fault".into(),
+            },
+            Some(Box::new("original payload")),
+        );
+        p.finish(0);
+        p.finish(1);
+        assert!(p.is_tripped());
+
+        p.reset_for_job(FaultConfig::default());
+        assert!(!p.is_tripped(), "token cleared");
+        assert!(p.take_fault().is_none(), "first-fault slot cleared");
+        assert!(p.take_payload().is_none(), "payload slot cleared");
+        assert_eq!(p.watchdog_interval(), None, "config swapped");
+        // The board is back to RUNNING: parking pid 0 alone is not an
+        // all-parked state, because pid 1 is no longer FINISHED.
+        let _ctx = install(&p, 0);
+        let _park = parked(Construct::Barrier);
+        assert_eq!(p.all_parked(), None, "board entries reset to RUNNING");
     }
 
     #[test]

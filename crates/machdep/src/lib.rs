@@ -31,6 +31,7 @@ pub mod linkreg;
 pub mod lock;
 pub mod lockpool;
 pub mod machine;
+pub mod pool;
 pub mod portable;
 pub mod process;
 pub mod sharedmem;
@@ -40,10 +41,11 @@ pub mod syscall_lock;
 
 pub use cost::{CostModel, CycleAccount};
 pub use env::ForceEnvironment;
-pub use fault::{Construct, FaultConfig, FaultInjection, FaultPlane, ProcessFault};
+pub use fault::{Construct, FaultConfig, FaultInjection, FaultPlane, ProcessFault, RunOptions};
 pub use fullempty::{FullEmptyState, HepLock};
 pub use lock::{with_lock, LockHandle, LockKind, LockState, RawLock};
 pub use machine::{Machine, MachineId, MachineSpec};
+pub use pool::ForcePool;
 pub use portable::{Backoff, CachePadded, Condvar, Mutex, XorShift64};
 pub use process::{spawn_force, spawn_force_plane, ChildPrivateInit, ProcessModel};
 pub use sharedmem::{

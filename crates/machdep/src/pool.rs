@@ -1,0 +1,462 @@
+//! A resident force pool: long-lived worker threads with a job mailbox.
+//!
+//! The paper's process-management suppression ("the number of processes
+//! is a run-time parameter") was implemented on machines where process
+//! creation was expensive — the UNIX fork/join ports paid a full
+//! data-and-stack copy per process per run.  A production embedding
+//! amortizes that cost the obvious way: create the force **once** and
+//! keep it resident, dispatching successive jobs onto the same worker
+//! threads.  [`ForcePool`] is that resident force.
+//!
+//! Design:
+//!
+//! * `size` worker threads are created by [`ForcePool::new`] and live
+//!   until the pool is dropped.  Process-creation cost is charged to the
+//!   machine once, at pool construction, not per job.
+//! * A **job mailbox** (generation counter + job slot, under one mutex)
+//!   broadcasts each job to the workers.  A job of `nproc <= size`
+//!   processes occupies workers `0..nproc`; the rest skip the
+//!   generation and keep waiting.
+//! * Each participating worker runs the job body under the same
+//!   fault-plane-aware run loop as the scoped spawner
+//!   ([`crate::process::spawn_force_plane`]): thread-local fault context
+//!   installed, panics trapped and attributed, the first genuine fault
+//!   trips the job's [`FaultPlane`], cancellation unwinds are absorbed,
+//!   and the pid is marked finished on the wait board.  A fault is
+//!   contained to its job: the worker thread survives and the *caller*
+//!   re-arms the plane before the next job
+//!   ([`FaultPlane::reset_for_job`]).
+//! * [`ForcePool::run_plane`] blocks until every participant has
+//!   finished, so job closures may borrow from the caller's stack — the
+//!   same guarantee `std::thread::scope` gives the one-shot path.
+#![allow(unsafe_code)]
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::fault::{FaultPlane, ProcessFault};
+use crate::portable::{Condvar, Mutex};
+use crate::process::run_as_process;
+use crate::stats::OpStats;
+
+/// The type-erased per-pid job body handed to the workers.
+///
+/// The `'static` is a lie told to the compiler: the referent lives on
+/// [`ForcePool::run_plane`]'s stack, and is sound because `run_plane`
+/// does not return until every participating worker has finished the
+/// job and bumped the completion count (the classic scoped-threadpool
+/// argument).
+type JobBody = &'static (dyn Fn(usize) + Sync);
+
+/// One published job: the erased body and how many workers participate.
+struct Job {
+    body: JobBody,
+    nproc: usize,
+}
+
+/// Mailbox state, under the pool's mutex.
+struct PoolState {
+    /// Bumped once per published job; workers use it to recognize a job
+    /// they have not run yet.
+    generation: u64,
+    /// The current job; `Some` from publication until the submitter
+    /// observes completion and clears it.
+    job: Option<Job>,
+    /// How many participants have finished the current job.
+    done: usize,
+    /// Total jobs completed over the pool's lifetime.
+    jobs_completed: u64,
+    /// Set by `Drop`; workers exit their loop.
+    shutdown: bool,
+}
+
+struct PoolShared {
+    size: usize,
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new generation (or shutdown).
+    job_ready: Condvar,
+    /// Submitters wait here for completion and for the job slot to free.
+    job_done: Condvar,
+}
+
+/// A resident pool of force worker threads.
+///
+/// Create one sized to the largest force you will run, then dispatch
+/// jobs onto it with [`run_plane`](Self::run_plane).  Worker threads are
+/// created once; each job reuses them, so per-job cost is a mailbox
+/// broadcast instead of `nproc` thread creations.  Jobs are serialized:
+/// a second `run_plane` call blocks until the current job completes.
+///
+/// ```
+/// use std::sync::Arc;
+/// use force_machdep::{FaultConfig, FaultPlane, ForcePool, OpStats};
+///
+/// let stats = Arc::new(OpStats::new());
+/// let pool = ForcePool::new(4, &stats);
+/// for job in 0..3 {
+///     let plane = FaultPlane::new(4, Arc::clone(&stats), FaultConfig::default());
+///     let results = pool.run_plane(&plane, |pid| pid + job).unwrap();
+///     assert_eq!(results, vec![job, 1 + job, 2 + job, 3 + job]);
+/// }
+/// assert_eq!(pool.jobs_completed(), 3);
+/// ```
+pub struct ForcePool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ForcePool {
+    /// Create a resident pool of `size` worker threads, charging `size`
+    /// process creations to `stats` (the one-time cost the pool exists
+    /// to amortize).
+    ///
+    /// # Panics
+    /// Panics if `size` is zero.
+    pub fn new(size: usize, stats: &Arc<OpStats>) -> ForcePool {
+        assert!(size > 0, "a force pool needs at least one worker");
+        OpStats::add(&stats.processes_created, size as u64);
+        let shared = Arc::new(PoolShared {
+            size,
+            state: Mutex::new(PoolState {
+                generation: 0,
+                job: None,
+                done: 0,
+                jobs_completed: 0,
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            job_done: Condvar::new(),
+        });
+        let workers = (0..size)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("force-pool-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ForcePool { shared, workers }
+    }
+
+    /// Number of resident worker threads (the largest force a job may
+    /// request).
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// Total jobs completed over the pool's lifetime.
+    pub fn jobs_completed(&self) -> u64 {
+        self.shared.state.lock().jobs_completed
+    }
+
+    /// Run one job on the resident workers: `body(pid)` for every pid in
+    /// `0..plane.nproc()`, under `plane`'s fault containment, blocking
+    /// until all participants have finished.  Results are returned in
+    /// pid order; a fault in any process is reported as the job's first
+    /// [`ProcessFault`], exactly like
+    /// [`spawn_force_plane`](crate::process::spawn_force_plane).
+    ///
+    /// The caller owns plane hygiene: a resident session re-arms the
+    /// plane with [`FaultPlane::reset_for_job`] before each job so a
+    /// fault cannot leak into the next one.  When the plane's config
+    /// asks for a deadlock watchdog, one runs on a helper thread for the
+    /// duration of the job.
+    ///
+    /// # Panics
+    /// Panics if the job wants more processes than the pool has workers.
+    pub fn run_plane<R, F>(&self, plane: &Arc<FaultPlane>, body: F) -> Result<Vec<R>, ProcessFault>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let nproc = plane.nproc();
+        assert!(nproc > 0, "a force needs at least one process");
+        assert!(
+            nproc <= self.shared.size,
+            "job of {nproc} processes exceeds the pool's {} workers",
+            self.shared.size
+        );
+        let results: Vec<Mutex<Option<R>>> = (0..nproc).map(|_| Mutex::new(None)).collect();
+        let job_plane = Arc::clone(plane);
+        let run_one = |pid: usize| {
+            let r = run_as_process(&job_plane, pid, || body(pid));
+            *results[pid].lock() = r;
+        };
+        let watchdog_stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let watchdog = plane.watchdog_interval().map(|_| {
+            let plane = Arc::clone(plane);
+            let stop = Arc::clone(&watchdog_stop);
+            std::thread::spawn(move || plane.run_watchdog(&stop.0, &stop.1))
+        });
+        // SAFETY: the erased reference outlives its use — `run_plane`
+        // blocks below until `done == nproc`, i.e. until every worker
+        // that received this body has returned from it, and the job slot
+        // is cleared before we return, so no worker can see the body
+        // afterwards.  `run_one` is `Sync` (it captures `&F: Sync`,
+        // `Arc<FaultPlane>` and `&[Mutex<Option<R>>]` with `R: Send`),
+        // so sharing it across the worker threads is sound.
+        let erased: JobBody =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), JobBody>(&run_one) };
+        {
+            let mut st = self.shared.state.lock();
+            while st.job.is_some() {
+                // Another submitter's job is in flight; queue behind it.
+                self.shared.job_done.wait(&mut st);
+            }
+            st.generation += 1;
+            st.done = 0;
+            st.job = Some(Job {
+                body: erased,
+                nproc,
+            });
+            self.shared.job_ready.notify_all();
+            while st.done < nproc {
+                self.shared.job_done.wait(&mut st);
+            }
+            st.job = None;
+            st.jobs_completed += 1;
+            // Wake any submitter queued on the job slot.
+            self.shared.job_done.notify_all();
+        }
+        if let Some(w) = watchdog {
+            *watchdog_stop.0.lock() = true;
+            watchdog_stop.1.notify_all();
+            let _ = w.join();
+        }
+        match plane.take_fault() {
+            Some(fault) => Err(fault),
+            // A plane tripped by an earlier job (and not re-armed) cancels
+            // every process without recording a new fault; report that as
+            // a structured fault instead of pretending the job ran.
+            None if plane.is_tripped() => Err(stale_trip_fault()),
+            None => Ok(results
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("no fault recorded, so every process completed")
+                })
+                .collect()),
+        }
+    }
+}
+
+/// The fault reported when a job ran under a plane whose token was still
+/// tripped from an earlier job (the session forgot
+/// [`FaultPlane::reset_for_job`]).
+pub(crate) fn stale_trip_fault() -> ProcessFault {
+    ProcessFault {
+        pid: 0,
+        construct: crate::fault::Construct::Body.name(),
+        payload: "force cancelled by a plane still tripped from an earlier job \
+                  (missing reset_for_job between jobs)"
+            .to_string(),
+    }
+}
+
+impl Drop for ForcePool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.job_ready.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// The resident worker: wait for a generation this worker has not seen,
+/// run the job body if this worker participates, report completion.
+fn worker_loop(shared: &PoolShared, index: usize) {
+    let mut last_gen = 0u64;
+    loop {
+        let job: Option<JobBody> = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation > last_gen {
+                    last_gen = st.generation;
+                    match &st.job {
+                        // A job this worker sits out (nproc < size), or
+                        // one that already completed while this worker
+                        // slept (it cannot have been a participant —
+                        // completion waits for all participants).
+                        Some(job) if index < job.nproc => break Some(job.body),
+                        _ => break None,
+                    }
+                }
+                shared.job_ready.wait(&mut st);
+            }
+        };
+        if let Some(body) = job {
+            // The body's own harness (`run_as_process`) traps panics and
+            // absorbs cancellations, so the worker thread survives any
+            // job fault and stays available for the next job.
+            body(index);
+            let mut st = shared.state.lock();
+            st.done += 1;
+            shared.job_done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn pool_and_stats(size: usize) -> (ForcePool, Arc<OpStats>) {
+        let stats = Arc::new(OpStats::new());
+        (ForcePool::new(size, &stats), stats)
+    }
+
+    fn plane(nproc: usize, stats: &Arc<OpStats>) -> Arc<FaultPlane> {
+        FaultPlane::new(nproc, Arc::clone(stats), FaultConfig::default())
+    }
+
+    #[test]
+    fn jobs_reuse_the_resident_workers() {
+        let (pool, stats) = pool_and_stats(4);
+        assert_eq!(stats.snapshot().processes_created, 4);
+        for job in 0..10 {
+            let p = plane(4, &stats);
+            let r = pool.run_plane(&p, |pid| pid * 10 + job).unwrap();
+            assert_eq!(r, vec![job, 10 + job, 20 + job, 30 + job]);
+        }
+        // No per-job process creation: the count stays at pool size.
+        assert_eq!(stats.snapshot().processes_created, 4);
+        assert_eq!(pool.jobs_completed(), 10);
+    }
+
+    #[test]
+    fn smaller_jobs_use_a_prefix_of_the_pool() {
+        let (pool, stats) = pool_and_stats(6);
+        let hits = AtomicUsize::new(0);
+        let p = plane(2, &stats);
+        let r = pool
+            .run_plane(&p, |pid| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                pid
+            })
+            .unwrap();
+        assert_eq!(r, vec![0, 1]);
+        assert_eq!(hits.load(Ordering::Relaxed), 2, "only 2 of 6 workers ran");
+        // The idle workers are still usable afterwards.
+        let p = plane(6, &stats);
+        let r = pool.run_plane(&p, |pid| pid).unwrap();
+        assert_eq!(r, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn a_fault_is_contained_to_its_job() {
+        let (pool, stats) = pool_and_stats(3);
+        let p = plane(3, &stats);
+        let err = pool
+            .run_plane(&p, |pid| {
+                if pid == 1 {
+                    panic!("job one dies");
+                }
+            })
+            .expect_err("the panic must surface");
+        assert_eq!(err.pid, 1);
+        assert_eq!(err.payload, "job one dies");
+        // The workers survived; after a plane reset the next job is clean.
+        p.reset_for_job(FaultConfig::default());
+        let r = pool.run_plane(&p, |pid| pid + 100).unwrap();
+        assert_eq!(r, vec![100, 101, 102]);
+        assert_eq!(stats.snapshot().faults_detected, 1);
+    }
+
+    #[test]
+    fn without_a_reset_a_tripped_plane_cancels_the_next_job() {
+        // Documents why reset_for_job matters: the plane is the
+        // cancellation token, and a stale trip kills the following job.
+        let (pool, stats) = pool_and_stats(2);
+        let p = plane(2, &stats);
+        let _ = pool
+            .run_plane(&p, |_pid| panic!("trip it"))
+            .expect_err("faulted");
+        let err = pool
+            .run_plane(&p, |_pid| {
+                crate::fault::check_cancel();
+            })
+            .expect_err("stale trip must cancel");
+        assert!(
+            err.payload.contains("still tripped from an earlier job"),
+            "{}",
+            err.payload
+        );
+    }
+
+    #[test]
+    fn pooled_watchdog_reports_a_wedged_job() {
+        let (pool, stats) = pool_and_stats(2);
+        let p = FaultPlane::new(
+            2,
+            Arc::clone(&stats),
+            FaultConfig {
+                watchdog: Some(Duration::from_millis(20)),
+                injection: None,
+            },
+        );
+        let err = pool
+            .run_plane(&p, |_pid| {
+                let _park = crate::fault::parked(crate::fault::Construct::Consume);
+                loop {
+                    crate::fault::check_cancel();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+            .expect_err("the watchdog must trip");
+        assert!(err.payload.contains("deadlock watchdog"), "{}", err.payload);
+        // The pool survives a watchdog trip too.
+        p.reset_for_job(FaultConfig::default());
+        let r = pool.run_plane(&p, |pid| pid).unwrap();
+        assert_eq!(r, vec![0, 1]);
+    }
+
+    #[test]
+    fn concurrent_submitters_serialize() {
+        let (pool, stats) = pool_and_stats(2);
+        let pool = Arc::new(pool);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                let stats = Arc::clone(&stats);
+                let total = &total;
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        let p = plane(2, &stats);
+                        let r = pool.run_plane(&p, |pid| pid + 1).unwrap();
+                        total.fetch_add(r.iter().sum::<usize>(), Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 5 * 3);
+        assert_eq!(pool.jobs_completed(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the pool")]
+    fn oversized_jobs_are_rejected() {
+        let (pool, stats) = pool_and_stats(2);
+        let p = plane(3, &stats);
+        let _ = pool.run_plane(&p, |pid| pid);
+    }
+
+    #[test]
+    fn drop_joins_the_workers() {
+        let (pool, stats) = pool_and_stats(3);
+        let p = plane(3, &stats);
+        pool.run_plane(&p, |_| ()).unwrap();
+        drop(pool); // must not hang or leak threads
+    }
+}

@@ -85,6 +85,44 @@ fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// The fault-plane-aware run loop for one process of a force, shared by
+/// the scoped spawner ([`spawn_force_plane`]) and the resident
+/// [`crate::pool::ForcePool`] workers.
+///
+/// Installs the plane's thread-local fault context for `pid`, runs
+/// `body`, and traps its panic: a genuine panic trips the plane (with
+/// construct attribution and the original payload preserved), a
+/// [`Cancelled`] unwind from a peer's fault is absorbed, and either way
+/// the pid is marked finished on the wait board before returning.
+/// Returns `Some` of the body's result only on a clean completion.
+pub(crate) fn run_as_process<R>(
+    plane: &Arc<FaultPlane>,
+    pid: usize,
+    body: impl FnOnce() -> R,
+) -> Option<R> {
+    let _ctx = fault::install(plane, pid);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    let result = match outcome {
+        Ok(r) => Some(r),
+        Err(payload) => {
+            if !payload.is::<Cancelled>() {
+                let construct = fault::take_panicked_construct().unwrap_or(Construct::Body);
+                plane.trip(
+                    ProcessFault {
+                        pid,
+                        construct: construct.name(),
+                        payload: describe_panic(payload.as_ref()),
+                    },
+                    Some(payload),
+                );
+            }
+            None
+        }
+    };
+    plane.finish(pid);
+    result
+}
+
 /// Spawn a force of `nproc` processes under a [`FaultPlane`] and join
 /// them all — the Force driver's create/`Join` cycle with fault
 /// containment.
@@ -120,31 +158,7 @@ where
         let handles: Vec<_> = (0..nproc)
             .map(|pid| {
                 let plane = Arc::clone(plane);
-                scope.spawn(move || {
-                    let _ctx = fault::install(&plane, pid);
-                    let outcome =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(pid)));
-                    let result = match outcome {
-                        Ok(r) => Some(r),
-                        Err(payload) => {
-                            if !payload.is::<Cancelled>() {
-                                let construct =
-                                    fault::take_panicked_construct().unwrap_or(Construct::Body);
-                                plane.trip(
-                                    ProcessFault {
-                                        pid,
-                                        construct: construct.name(),
-                                        payload: describe_panic(payload.as_ref()),
-                                    },
-                                    Some(payload),
-                                );
-                            }
-                            None
-                        }
-                    };
-                    plane.finish(pid);
-                    result
-                })
+                scope.spawn(move || run_as_process(&plane, pid, || body(pid)))
             })
             .collect();
         let mut results = Vec::with_capacity(nproc);
@@ -176,6 +190,9 @@ where
         }
         match plane.take_fault() {
             Some(fault) => Err(fault),
+            // A pre-tripped plane (reused without reset_for_job) cancels
+            // every process without recording a fresh fault.
+            None if plane.is_tripped() => Err(crate::pool::stale_trip_fault()),
             None => Ok(results
                 .into_iter()
                 .map(|r| r.expect("no fault recorded, so every process completed"))

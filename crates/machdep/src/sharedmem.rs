@@ -370,6 +370,17 @@ impl SharedRegion {
         &self.layout
     }
 
+    /// Zero every word in place, restoring the freshly-allocated state
+    /// for a session's next run.  Unlike reallocating, this charges no
+    /// `shared_words` designation cost — a resident session pays for
+    /// shared-memory designation once, not per run.  Must only be called
+    /// while no process is accessing the region.
+    pub fn reset(&self) {
+        for w in self.words.iter() {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// Region length in words.
     pub fn len(&self) -> usize {
         self.words.len()

@@ -151,6 +151,14 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// Difference of two snapshots (`self - earlier`), saturating at
+    /// zero: the per-job operation counts of one run on a resident
+    /// session, as opposed to the pool-lifetime cumulative totals the
+    /// raw counters accumulate.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        self.since(earlier)
+    }
+
     /// Difference of two snapshots (`self - earlier`), saturating at zero.
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {

@@ -34,4 +34,7 @@ pub mod macros;
 pub mod pipeline;
 pub mod sedpass;
 
-pub use pipeline::{preprocess, DeclInfo, ExpandedProgram, PrepError, VarClass};
+pub use pipeline::{
+    clear_expansion_cache, expansion_cache_len, expansion_cache_stats, pass_counts, preprocess,
+    preprocess_cached, DeclInfo, ExpandedProgram, PassCounts, PrepError, VarClass,
+};

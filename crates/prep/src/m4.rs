@@ -34,7 +34,7 @@ const MAX_DEPTH: usize = 200;
 pub enum M4Error {
     /// Quote or parenthesis never closed.
     Unterminated(&'static str),
-    /// Macro recursion exceeded [`MAX_DEPTH`].
+    /// Macro recursion exceeded the depth limit (`MAX_DEPTH`).
     RecursionLimit(String),
     /// A builtin was called with unusable arguments.
     BadArguments {

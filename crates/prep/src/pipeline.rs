@@ -25,6 +25,11 @@
 //! 5. the machine-dependent **driver** is generated and put at the
 //!    beginning of the code.
 
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
 use force_machdep::{MachineId, MachineSpec, SharingModelId};
 
 use crate::m4::{M4Error, M4};
@@ -143,15 +148,41 @@ impl ExpandedProgram {
     }
 }
 
+/// Cumulative text-transformation pass counts for this process — one
+/// `sed` tick and two `m4` ticks per [`preprocess`] call, and none for a
+/// [`preprocess_cached`] hit.  The counters exist so cache behavior is
+/// *observable*: a test (or the reproduce harness) can assert that the
+/// hit path did zero pipeline work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassCounts {
+    /// Completed sed (stream-editor) passes.
+    pub sed: u64,
+    /// Completed m4 macro-expansion passes (two per full pipeline run).
+    pub m4: u64,
+}
+
+static SED_PASSES: AtomicU64 = AtomicU64::new(0);
+static M4_PASSES: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot the process-wide [`PassCounts`].
+pub fn pass_counts() -> PassCounts {
+    PassCounts {
+        sed: SED_PASSES.load(Ordering::Relaxed),
+        m4: M4_PASSES.load(Ordering::Relaxed),
+    }
+}
+
 /// Run the full pipeline for `machine`.
 pub fn preprocess(source: &str, machine: MachineId) -> Result<ExpandedProgram, PrepError> {
     // Step 1: sed.
     let macro_form = sed_pass(source)?;
+    SED_PASSES.fetch_add(1, Ordering::Relaxed);
 
     // Step 2: m4 pass 1 (machine independent).
     let mut l1 = M4::new();
     install_statement_macros(&mut l1);
     let intermediate = l1.expand(&macro_form)?;
+    M4_PASSES.fetch_add(1, Ordering::Relaxed);
 
     // Bookkeeping gathered during pass 1.
     let units: Vec<String> = l1.recorded("units").to_vec();
@@ -238,6 +269,7 @@ pub fn preprocess(source: &str, machine: MachineId) -> Result<ExpandedProgram, P
     let mut l2 = M4::new();
     install_machine_macros(&mut l2, machine);
     let expanded = l2.expand(&injected)?;
+    M4_PASSES.fetch_add(1, Ordering::Relaxed);
 
     // Step 5: the machine-dependent driver module at the beginning.
     let driver = generate_driver(
@@ -263,6 +295,78 @@ pub fn preprocess(source: &str, machine: MachineId) -> Result<ExpandedProgram, P
         async_vars,
         externf,
     })
+}
+
+/// One resident entry of the expansion cache.  The full source is kept
+/// alongside the program so a hash collision degrades to a recompute,
+/// never to serving the wrong expansion.
+struct CacheEntry {
+    source: Arc<str>,
+    program: Arc<ExpandedProgram>,
+}
+
+static EXPANSION_CACHE: OnceLock<Mutex<HashMap<(u64, MachineId), CacheEntry>>> = OnceLock::new();
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<HashMap<(u64, MachineId), CacheEntry>> {
+    EXPANSION_CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn source_hash(source: &str) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    source.hash(&mut h);
+    h.finish()
+}
+
+/// [`preprocess`] with a process-wide expansion cache keyed by
+/// *(source hash, machine personality)*.
+///
+/// Re-running the same program — or porting it across the six
+/// personalities, each of which gets its own entry — skips the sed and
+/// both m4 passes entirely on a hit and returns the resident
+/// [`ExpandedProgram`] by `Arc`.  The hit path does **zero** pipeline
+/// work, observable through [`pass_counts`].  Errors are not cached:
+/// a failing source re-runs the pipeline on every call.
+pub fn preprocess_cached(
+    source: &str,
+    machine: MachineId,
+) -> Result<Arc<ExpandedProgram>, PrepError> {
+    let key = (source_hash(source), machine);
+    if let Some(entry) = cache().lock().unwrap().get(&key) {
+        if &*entry.source == source {
+            CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(&entry.program));
+        }
+    }
+    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    let program = Arc::new(preprocess(source, machine)?);
+    cache().lock().unwrap().insert(
+        key,
+        CacheEntry {
+            source: source.into(),
+            program: Arc::clone(&program),
+        },
+    );
+    Ok(program)
+}
+
+/// Process-wide expansion-cache hit and miss counts, in that order.
+pub fn expansion_cache_stats() -> (u64, u64) {
+    (
+        CACHE_HITS.load(Ordering::Relaxed),
+        CACHE_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Number of resident entries in the expansion cache.
+pub fn expansion_cache_len() -> usize {
+    cache().lock().unwrap().len()
+}
+
+/// Drop every resident expansion (the hit/miss counters are kept).
+pub fn clear_expansion_cache() {
+    cache().lock().unwrap().clear();
 }
 
 /// The `INTEGER` + `COMMON /ZZFENV/` declarations for the environment,
@@ -455,6 +559,52 @@ mod tests {
       Consume CHAN into T
       Join
 ";
+
+    #[test]
+    fn cached_preprocessing_does_zero_pipeline_work_on_a_hit() {
+        // A source unique to this test so no other test warms the entry.
+        let source = PROGRAM.replace("TOTAL", "CTOTAL");
+        let first = preprocess_cached(&source, MachineId::AlliantFx8).unwrap();
+        let before = pass_counts();
+        let again = preprocess_cached(&source, MachineId::AlliantFx8).unwrap();
+        let after = pass_counts();
+        assert_eq!(after, before, "the hit path must run no sed or m4 pass");
+        assert!(
+            Arc::ptr_eq(&first, &again),
+            "a hit returns the resident expansion, not a copy"
+        );
+    }
+
+    #[test]
+    fn cache_is_keyed_per_machine_personality() {
+        let source = PROGRAM.replace("TOTAL", "MTOTAL");
+        let mut programs = Vec::new();
+        for id in MachineId::all() {
+            programs.push(preprocess_cached(&source, id).unwrap());
+        }
+        // Six personalities, six distinct expansions — porting re-runs
+        // the pipeline once per machine, then every re-run is free.
+        let before = pass_counts();
+        for (id, first) in MachineId::all().into_iter().zip(&programs) {
+            let again = preprocess_cached(&source, id).unwrap();
+            assert!(Arc::ptr_eq(first, &again), "{}", id.name());
+        }
+        assert_eq!(pass_counts(), before);
+        assert!(programs[0].code != programs[1].code);
+    }
+
+    #[test]
+    fn cache_misses_on_changed_source() {
+        let a = PROGRAM.replace("TOTAL", "XTOTAL");
+        let b = PROGRAM.replace("TOTAL", "YTOTAL");
+        let pa = preprocess_cached(&a, MachineId::Hep).unwrap();
+        let before = pass_counts();
+        let pb = preprocess_cached(&b, MachineId::Hep).unwrap();
+        let after = pass_counts();
+        assert_eq!(after.sed, before.sed + 1, "new source runs the pipeline");
+        assert_eq!(after.m4, before.m4 + 2);
+        assert!(!Arc::ptr_eq(&pa, &pb));
+    }
 
     #[test]
     fn pipeline_produces_all_metadata() {

@@ -134,9 +134,10 @@ impl From<machdep::ProcessFault> for ForceError {
     }
 }
 
-/// Run a Force-language source end to end: preprocess for `machine`,
-/// load onto a fresh instance of that machine, execute with a force of
-/// `nproc` processes, and return the observable output.
+/// Run a Force-language source end to end: preprocess for `machine`
+/// (through the expansion cache — re-running the same source skips the
+/// sed/m4 passes), load onto a fresh instance of that machine, execute
+/// with a force of `nproc` processes, and return the observable output.
 ///
 /// This is the whole §4.3 pipeline in one call — the moral equivalent of
 /// `forcecompile prog.force && a.out`.
@@ -145,20 +146,20 @@ pub fn run_force_source(
     machine: machdep::MachineId,
     nproc: usize,
 ) -> Result<fortran::RunOutput, ForceError> {
-    let expanded = prep::preprocess(source, machine)?;
+    let expanded = prep::preprocess_cached(source, machine)?;
     let m = machdep::Machine::new(machine);
     let engine = fortran::Engine::from_expanded(&expanded, Arc::clone(&m))?;
     Ok(engine.run(nproc)?)
 }
 
-/// Preprocess and load a Force program without running it (useful when a
-/// caller wants to run the same engine several times or inspect the
-/// expansion).
+/// Preprocess (through the expansion cache) and load a Force program
+/// without running it (useful when a caller wants to run the same engine
+/// several times or inspect the expansion).
 pub fn compile_force_source(
     source: &str,
     machine: machdep::MachineId,
-) -> Result<(prep::ExpandedProgram, fortran::Engine), ForceError> {
-    let expanded = prep::preprocess(source, machine)?;
+) -> Result<(Arc<prep::ExpandedProgram>, fortran::Engine), ForceError> {
+    let expanded = prep::preprocess_cached(source, machine)?;
     let m = machdep::Machine::new(machine);
     let engine = fortran::Engine::from_expanded(&expanded, m)?;
     Ok((expanded, engine))

@@ -384,7 +384,7 @@ fn engine_watchdog_reports_a_wedged_interpreter_force() {
       Join
 ";
     for id in MachineId::all() {
-        let (_exp, mut engine) = the_force::compile_force_source(src, id).unwrap();
+        let (_exp, engine) = the_force::compile_force_source(src, id).unwrap();
         engine.set_watchdog(Duration::from_millis(200));
         let err = engine.run(2).unwrap_err();
         assert!(
@@ -450,6 +450,78 @@ fn spurious_and_delay_injection_preserve_program_results() {
         });
         assert_eq!(shared.load(Ordering::Relaxed), 465, "{}", id.name());
     }
+}
+
+// --- Sessions and pooling: state reset between jobs --------------------
+
+#[test]
+fn a_force_session_fully_resets_construct_state_between_runs() {
+    // Repeated `execute` on ONE Force, alternating construct sequences:
+    // run k's collective #0 is a selfsched loop, run k+1's is an askfor.
+    // Any leaked occurrence slot, barrier arrival count, or shared-index
+    // cell would show up as a wrong sum, a divergence panic, or a hang.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let force = Force::new(4);
+    for round in 0..3 {
+        let sum = AtomicUsize::new(0);
+        force.run(|p| {
+            p.selfsched_do(ForceRange::to(1, 50), |i| {
+                sum.fetch_add(i as usize, Ordering::Relaxed);
+            });
+            p.barrier();
+            p.selfsched_do(ForceRange::to(1, 20), |i| {
+                sum.fetch_add(i as usize, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 1275 + 210, "round {round}");
+
+        let sections = AtomicUsize::new(0);
+        force.run(|p| {
+            p.barrier_section(|| {
+                sections.fetch_add(1, Ordering::Relaxed);
+            });
+            p.critical("R", || {
+                sections.fetch_add(10, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sections.load(Ordering::Relaxed), 41, "round {round}");
+    }
+}
+
+#[test]
+fn a_pooled_run_after_an_injected_fault_starts_from_a_clean_plane() {
+    // Job 1 faults by injection; the session must re-arm the plane so
+    // job 2 — on the SAME pool and session, with injection off — runs
+    // clean instead of being cancelled by the stale trip.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let machine = Machine::new(MachineId::EncoreMultimax);
+    let pool = std::sync::Arc::new(ForcePool::new(4, machine.stats()));
+    let force = Force::with_machine(4, machine).with_pool(pool);
+    let inj = FaultInjection {
+        seed: 0xF001,
+        panic_per_mille: 1000,
+        delay_per_mille: 0,
+        spurious_per_mille: 0,
+    };
+    let err = force
+        .try_execute_with(
+            RunOptions {
+                watchdog: None,
+                injection: Some(inj),
+            },
+            |p| p.barrier(),
+        )
+        .expect_err("a certain injection must fault the pooled job");
+    assert!(err.payload.contains("injected fault"), "{}", err.payload);
+
+    let sum = AtomicUsize::new(0);
+    let r = force.try_run(|p| {
+        p.barrier();
+        sum.fetch_add(p.pid() + 1, Ordering::Relaxed);
+    });
+    assert!(r.is_ok(), "plane must be reset between pooled jobs: {r:?}");
+    assert_eq!(sum.load(Ordering::Relaxed), 10);
+    assert_eq!(force.last_job_stats().barrier_episodes, 1);
 }
 
 #[test]
