@@ -82,6 +82,10 @@ impl TwoLockBarrier {
         let _c = fault::enter(Construct::Barrier);
         self.barwin.lock();
         let n = self.zznbar.load(Ordering::Relaxed);
+        // Under BARWIN arrivals are serialized, so first/last flags are
+        // exact; the trace layer uses them to bound the episode's
+        // arrival spread.
+        force_machdep::trace::barrier_arrive(n == 0, n + 1 == self.nproc);
         if n == 0 {
             on_first();
         }
@@ -119,6 +123,7 @@ impl TwoLockBarrier {
             .checked_sub(1)
             .expect("TwoLockBarrier::exit without a matching enter");
         self.zznbar.store(n, Ordering::Relaxed);
+        force_machdep::trace::barrier_release(n == 0);
         if n == 0 {
             OpStats::count(&self.stats.barrier_episodes);
             self.barwin.unlock();

@@ -12,7 +12,7 @@
 //! Fortran lock variable.
 
 use force_machdep::fault;
-use force_machdep::{with_lock, Construct, LockHandle, LockState, Machine};
+use force_machdep::{trace, with_lock, Construct, LockHandle, LockState, Machine, RawLock};
 
 use crate::player::Player;
 
@@ -30,7 +30,36 @@ impl Player {
         let _c = fault::enter(Construct::Critical);
         fault::inject(Construct::Critical);
         let lock = self.named_lock(name);
-        with_lock(lock.as_ref(), body)
+        // With tracing armed, wait (to acquire) and hold (to release,
+        // even by unwind) times are attributed to this section's name;
+        // without it the path is exactly the pre-trace `with_lock`.
+        match trace::named_lock_id(name) {
+            None => with_lock(lock.as_ref(), body),
+            Some(id) => {
+                let t0 = trace::now_ns().unwrap_or(0);
+                lock.lock();
+                let entered = trace::now_ns().unwrap_or(t0);
+                trace::named_wait(id, entered.saturating_sub(t0));
+                struct HoldRelease<'a> {
+                    lock: &'a dyn RawLock,
+                    id: u32,
+                    since: u64,
+                }
+                impl Drop for HoldRelease<'_> {
+                    fn drop(&mut self) {
+                        let now = trace::now_ns().unwrap_or(self.since);
+                        trace::named_hold(self.id, now.saturating_sub(self.since));
+                        self.lock.unlock();
+                    }
+                }
+                let _hold = HoldRelease {
+                    lock: lock.as_ref(),
+                    id,
+                    since: entered,
+                };
+                body()
+            }
+        }
     }
 }
 

@@ -28,7 +28,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use force_machdep::fault;
-use force_machdep::Construct;
+use force_machdep::{trace, Construct};
 
 use crate::player::Player;
 use crate::schedule::ForceRange;
@@ -49,10 +49,13 @@ impl Player {
         let range = range.into();
         let n = range.count();
         let mut trip = self.pid() as u64;
+        let mut executed = 0u64;
         while trip < n {
             body(range.nth(trip));
+            executed += 1;
             trip += self.nproc() as u64;
         }
+        trace::doall_trips(executed);
         self.barrier();
     }
 
@@ -78,6 +81,7 @@ impl Player {
         for trip in lo..hi {
             body(range.nth(trip));
         }
+        trace::doall_trips(hi - lo);
         self.barrier();
     }
 
@@ -107,6 +111,7 @@ impl Player {
         let state = self.collective(|| SelfSchedState {
             next: AtomicU64::new(0),
         });
+        let mut executed = 0u64;
         loop {
             let lo = state.next.fetch_add(chunk, Ordering::Relaxed);
             if lo >= n {
@@ -116,7 +121,9 @@ impl Player {
             for trip in lo..hi {
                 body(range.nth(trip));
             }
+            executed += hi - lo;
         }
+        trace::doall_trips(executed);
         self.barrier();
     }
 
@@ -135,10 +142,13 @@ impl Player {
         let ni = inner.count();
         let n = outer.count() * ni;
         let mut trip = self.pid() as u64;
+        let mut executed = 0u64;
         while trip < n {
             body(outer.nth(trip / ni), inner.nth(trip % ni));
+            executed += 1;
             trip += self.nproc() as u64;
         }
+        trace::doall_trips(executed);
         self.barrier();
     }
 
@@ -158,13 +168,16 @@ impl Player {
         let state = self.collective(|| SelfSchedState {
             next: AtomicU64::new(0),
         });
+        let mut executed = 0u64;
         loop {
             let trip = state.next.fetch_add(1, Ordering::Relaxed);
             if trip >= n {
                 break;
             }
             body(outer.nth(trip / ni), inner.nth(trip % ni));
+            executed += 1;
         }
+        trace::doall_trips(executed);
         self.barrier();
     }
 }

@@ -25,7 +25,7 @@ use std::time::Duration;
 
 use force_machdep::{
     spawn_force_plane, FaultConfig, FaultInjection, FaultPlane, ForceEnvironment, ForcePool,
-    Machine, MachineId, Mutex, ProcessFault, RunOptions, StatsSnapshot,
+    Machine, MachineId, Mutex, ProcessFault, ProfileReport, RunOptions, StatsSnapshot, TraceConfig,
 };
 
 use crate::barrier::TwoLockBarrier;
@@ -43,6 +43,7 @@ pub struct Force {
     machine: Arc<Machine>,
     watchdog: Option<Duration>,
     injection: Option<FaultInjection>,
+    trace: Option<TraceConfig>,
     /// Resident workers to dispatch onto; `None` runs each job on fresh
     /// scoped threads (the one-shot path).
     pool: Option<Arc<ForcePool>>,
@@ -91,6 +92,7 @@ impl Force {
             machine,
             watchdog: None,
             injection: None,
+            trace: None,
             pool: None,
             plane,
             env,
@@ -114,6 +116,15 @@ impl Force {
     /// lock failures at construct boundaries) for robustness testing.
     pub fn with_fault_injection(mut self, injection: FaultInjection) -> Self {
         self.injection = Some(injection);
+        self
+    }
+
+    /// Enable construct-level tracing for this session's runs: every run
+    /// records construct enter/exit, lock and full/empty events, barrier
+    /// arrival spread, and DOALL trip distribution, surfaced afterwards
+    /// by [`last_job_profile`](Self::last_job_profile).
+    pub fn with_tracing(mut self, config: TraceConfig) -> Self {
+        self.trace = Some(config);
         self
     }
 
@@ -189,6 +200,7 @@ impl Force {
             RunOptions {
                 watchdog: self.watchdog,
                 injection: self.injection,
+                trace: self.trace,
             },
             body,
         )
@@ -248,6 +260,23 @@ impl Force {
     /// session or shared pool, span every job since creation).
     pub fn last_job_stats(&self) -> StatsSnapshot {
         *self.last_job_stats.lock()
+    }
+
+    /// Construct-level profile of the most recent run: per-construct
+    /// wait/hold histograms, named-lock contention, barrier arrival
+    /// spread, DOALL trip distribution, and the retained event trace
+    /// (exportable with [`ProfileReport::chrome_trace_json`]).  `None`
+    /// when the most recent run did not enable tracing (via
+    /// [`with_tracing`](Self::with_tracing) or `RunOptions::trace`).
+    ///
+    /// Summarization happens *here*, not per job: a traced run only pays
+    /// for recording, and this call drains the resident sink into a
+    /// plain-data report.  It takes the session's run lock (the sink is
+    /// only readable at job quiescence), so call it between runs, never
+    /// from inside a job body.
+    pub fn last_job_profile(&self) -> Option<ProfileReport> {
+        let _run = self.run_lock.lock();
+        self.plane.profile_report()
     }
 
     /// Like [`execute`](Self::execute) but discarding per-process results.
@@ -534,6 +563,7 @@ mod tests {
                 RunOptions {
                     watchdog: Some(Duration::from_millis(100)),
                     injection: None,
+                    trace: None,
                 },
                 |_p| chan.consume(),
             )
@@ -543,6 +573,51 @@ mod tests {
             force.try_execute(|p| p.pid()).expect("clean run"),
             vec![0, 1]
         );
+    }
+
+    #[test]
+    fn traced_run_surfaces_a_profile() {
+        let force = Force::new(3).with_tracing(TraceConfig::default());
+        force.run(|p| {
+            p.presched_do(crate::schedule::ForceRange::to(1, 30), |_| {});
+            p.critical("HOT", || {});
+            p.barrier();
+        });
+        let r = force.last_job_profile().expect("traced run has a profile");
+        assert_eq!(r.nproc, 3);
+        assert!(r.construct("doall").is_some(), "doall attributed");
+        assert!(r.construct("barrier").is_some(), "barrier attributed");
+        assert!(r.construct("critical").is_some(), "critical attributed");
+        let l = r.named_lock("HOT").expect("named lock profiled");
+        assert_eq!(l.acquires, 3);
+        assert_eq!(l.wait.count(), 3);
+        assert_eq!(l.hold.count(), 3);
+        assert_eq!(r.doall_trips.iter().sum::<u64>(), 30, "30 trips traced");
+        assert!(
+            r.barrier_spread.count() >= 2,
+            "doall end + explicit barrier"
+        );
+        let json = r.chrome_trace_json();
+        assert!(json.contains("\"ph\":\"B\"") && json.contains("\"ph\":\"E\""));
+    }
+
+    #[test]
+    fn per_run_tracing_overrides_session_default() {
+        let force = Force::new(2);
+        force
+            .try_execute_with(
+                RunOptions {
+                    trace: Some(TraceConfig::default()),
+                    ..RunOptions::default()
+                },
+                |p| p.barrier(),
+            )
+            .expect("clean run");
+        let r = force.last_job_profile().expect("per-run tracing");
+        assert!(r.construct("barrier").is_some());
+        // The next default run does not trace.
+        force.run(|p| p.barrier());
+        assert!(force.last_job_profile().is_none());
     }
 
     #[test]

@@ -20,10 +20,11 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use force_machdep::fault::{self, Construct};
+use force_machdep::trace;
 use force_machdep::Mutex;
 use force_machdep::{
     spawn_force_plane, FaultPlane, ForcePool, FullEmptyState, LockHandle, LockKind, LockState,
-    Machine, ProcessModel, RunOptions, SharedRegion, SharingModelId, StatsSnapshot,
+    Machine, ProcessModel, ProfileReport, RunOptions, SharedRegion, SharingModelId, StatsSnapshot,
 };
 use force_prep::{ExpandedProgram, VarClass};
 
@@ -90,6 +91,9 @@ pub struct RunOutput {
     pub linker_commands: Vec<String>,
     /// Final values of the Force shared variables and environment cells.
     pub shared_values: HashMap<String, Vec<Value>>,
+    /// Construct-level profile of this run; `Some` only when the run's
+    /// [`RunOptions::trace`] was set and a force was actually created.
+    pub profile: Option<ProfileReport>,
 }
 
 impl RunOutput {
@@ -203,7 +207,7 @@ impl Engine {
         // One run at a time per session: the resident state is exclusive
         // to the running job.
         let _run = self.run_lock.lock();
-        self.reset_session();
+        self.reset_session(options);
         let before = self.machine.stats().snapshot();
         let rt = Rt {
             engine: self,
@@ -274,27 +278,59 @@ impl Engine {
                 }
             }
         }
+        // Snapshot the profile while the run's quiescence still holds
+        // (the next run's reset would wipe the sink).  Gated on this
+        // run's options so a resident plane from an earlier traced run
+        // cannot leak a stale profile into an untraced one.
+        let profile = match options.trace {
+            Some(_) => self
+                .session
+                .plane
+                .lock()
+                .as_ref()
+                .and_then(|p| p.profile_report()),
+            None => None,
+        };
         Ok(RunOutput {
             prints: rt.prints.into_inner(),
             stats,
             cycles,
             linker_commands: rt.linker.into_inner(),
             shared_values,
+            profile,
         })
+    }
+
+    /// Construct-level profile of the most recent run (see
+    /// [`RunOutput::profile`]); `None` when that run did not trace.
+    /// Summarized lazily from the resident sink under the run lock —
+    /// call it between runs, never from inside a running program.
+    pub fn last_job_profile(&self) -> Option<ProfileReport> {
+        let _run = self.run_lock.lock();
+        self.session
+            .plane
+            .lock()
+            .as_ref()
+            .and_then(|p| p.profile_report())
     }
 
     /// Reset the resident session state in place for a new run: zero the
     /// cached shared region (fresh COMMON storage without a fresh
     /// designation pass) and clear the lock and tag tables (each run's
     /// driver re-executes every `init_lock`; full/empty cells start
-    /// empty).  The fault plane is re-armed lazily at process creation,
-    /// where the run's process count is known.
-    fn reset_session(&self) {
+    /// empty).  A resident fault plane is re-armed with this run's
+    /// options up front (so a run that never creates a force still
+    /// cannot observe a previous job's trip or trace); process creation
+    /// re-arms again when it reuses the plane, which is idempotent.
+    fn reset_session(&self, options: RunOptions) {
         if let Some(state) = self.session.shared.lock().as_ref() {
             state.region.reset();
         }
         self.session.locks.lock().clear();
         self.session.tags.lock().clear();
+        if let Some(plane) = self.session.plane.lock().as_ref() {
+            plane.reset_for_job(options);
+        }
     }
 }
 
@@ -597,7 +633,25 @@ impl Proc<'_, '_> {
             let offset = self.shared_offset_arg(frame, args, 0, name, line)?;
             let handle = self.rt.lock_handle(offset, line)?;
             if is_lock {
-                handle.lock();
+                // With tracing armed, attribute the wait to the lock
+                // *variable's* name (BARWIN/BARWOT, LOOPn, user critical
+                // names).  Hold time is not recorded here: the expanded
+                // barrier and loop protocols pass lock ownership between
+                // processes, so a lock→unlock pairing on one pid would
+                // mis-state it.
+                let named = match args.first() {
+                    Some(Expr::Var(n)) => trace::named_lock_id(n),
+                    _ => None,
+                };
+                match named {
+                    None => handle.lock(),
+                    Some(id) => {
+                        let t0 = trace::now_ns().unwrap_or(0);
+                        handle.lock();
+                        let now = trace::now_ns().unwrap_or(t0);
+                        trace::named_wait(id, now.saturating_sub(t0));
+                    }
+                }
             } else {
                 handle.unlock();
             }
@@ -808,6 +862,10 @@ impl Proc<'_, '_> {
                 // of the force) and is reported with its own line number.
                 let first_err: Mutex<Option<FortError>> = Mutex::new(None);
                 let run_one = |pid: usize| {
+                    // With tracing armed, the whole process body is
+                    // attributed to the interpreter construct; lock
+                    // parks and named-lock waits nest inside it.
+                    let _c = fault::enter(Construct::Interpreter);
                     let p = Proc {
                         rt: self.rt,
                         me: pid as i64,
@@ -1503,6 +1561,7 @@ mod tests {
         let opts = RunOptions {
             watchdog: Some(std::time::Duration::from_millis(150)),
             injection: None,
+            trace: None,
         };
         let err = engine.run_with(2, opts).unwrap_err();
         assert!(err.to_string().contains("deadlock watchdog"), "{err}");
@@ -1510,6 +1569,43 @@ mod tests {
         // the stranded async lock state was cleared.
         let err2 = engine.run_with(2, opts).unwrap_err();
         assert!(err2.to_string().contains("deadlock watchdog"), "{err2}");
+    }
+
+    #[test]
+    fn traced_run_profiles_interpreter_constructs() {
+        use force_machdep::TraceConfig;
+        let exp = preprocess(SUM_PROGRAM, MachineId::EncoreMultimax).unwrap();
+        let engine = Engine::from_expanded(&exp, Machine::new(MachineId::EncoreMultimax)).unwrap();
+        let opts = RunOptions {
+            trace: Some(TraceConfig::default()),
+            ..RunOptions::default()
+        };
+        let out = engine.run_with(3, opts).unwrap();
+        assert_eq!(out.shared_scalar("TOTAL"), Some(Value::Int(5050)));
+        let profile = out.profile.as_ref().expect("traced run carries a profile");
+        assert_eq!(profile.nproc, 3);
+        let interp = profile
+            .construct("interpreter")
+            .expect("process bodies are attributed to the interpreter");
+        assert_eq!(interp.enters, 3, "one body per process");
+        assert!(
+            profile.named_locks.iter().any(|l| l.name == "BARWIN"),
+            "the expanded barrier's entry lock is profiled by name: {:?}",
+            profile
+                .named_locks
+                .iter()
+                .map(|l| &l.name)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(
+            engine.last_job_profile().as_ref(),
+            Some(profile),
+            "engine accessor mirrors the run output"
+        );
+        // The next untraced run clears it (no stale profile leaks from
+        // the resident plane).
+        engine.run(3).unwrap();
+        assert!(engine.last_job_profile().is_none());
     }
 
     #[test]

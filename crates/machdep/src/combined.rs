@@ -61,6 +61,7 @@ impl RawLock for CombinedLock {
                     OpStats::count(&self.stats.lock_contended);
                     OpStats::add(&self.stats.spin_retries, spun);
                 }
+                crate::trace::lock_acquired(spun > 0);
                 return;
             }
             spun += 1;
@@ -76,6 +77,7 @@ impl RawLock for CombinedLock {
         let mut guard = self.wait.lock();
         if !self.locked.swap(true, Ordering::Acquire) {
             OpStats::count(&self.stats.lock_acquires);
+            crate::trace::lock_acquired(true);
             return;
         }
         // One park per blocking episode (a cancellable wait is sliced into
@@ -86,6 +88,7 @@ impl RawLock for CombinedLock {
             fault::cancellable_wait(&self.cond, &mut guard);
             if !self.locked.swap(true, Ordering::Acquire) {
                 OpStats::count(&self.stats.lock_acquires);
+                crate::trace::lock_acquired(true);
                 return;
             }
         }

@@ -45,6 +45,7 @@ use std::time::Duration;
 
 use crate::portable::{CachePadded, Condvar, Mutex, MutexGuard, XorShift64};
 use crate::stats::OpStats;
+use crate::trace::{self, ProfileReport, TraceConfig, TraceSink};
 
 /// Which Force construct a process is executing or blocked in.  Used for
 /// fault attribution ("pid 2 faulted in critical") and watchdog reports
@@ -116,14 +117,18 @@ impl Construct {
         }
     }
 
-    fn index(self) -> usize {
+    /// Stable discriminant of the construct (its position in the
+    /// board/construct table); the inverse of [`from_index`](Self::from_index).
+    pub fn index(self) -> usize {
         CONSTRUCTS
             .iter()
             .position(|&c| c == self)
             .expect("in table")
     }
 
-    fn from_index(i: usize) -> Construct {
+    /// The construct with the given discriminant (`Body` when out of
+    /// range).
+    pub fn from_index(i: usize) -> Construct {
         CONSTRUCTS.get(i).copied().unwrap_or(Construct::Body)
     }
 }
@@ -199,6 +204,10 @@ pub struct FaultConfig {
     pub watchdog: Option<Duration>,
     /// Fault injection; `None` (the default) injects nothing.
     pub injection: Option<FaultInjection>,
+    /// Construct-level tracing ([`crate::trace`]); `None` (the default)
+    /// records nothing and keeps every trace hook a single thread-local
+    /// `Option` test.
+    pub trace: Option<TraceConfig>,
 }
 
 /// Per-run options for a reusable execution session: the deadlock
@@ -236,6 +245,10 @@ pub struct FaultPlane {
     payload: Mutex<Option<Box<dyn Any + Send>>>,
     /// Wait board: per-pid `state | construct_index << 2`.
     board: Vec<CachePadded<AtomicUsize>>,
+    /// The job's trace sink, when tracing is armed.  Behind a mutex for
+    /// the same reason as `config`; each process snapshots the `Arc` into
+    /// its thread-local context at install, so trace hooks never take it.
+    trace: Mutex<Option<Arc<TraceSink>>>,
 }
 
 impl FaultPlane {
@@ -251,6 +264,7 @@ impl FaultPlane {
             board: (0..nproc)
                 .map(|_| CachePadded::new(AtomicUsize::new(RUNNING)))
                 .collect(),
+            trace: Mutex::new(config.trace.map(|t| TraceSink::new(nproc, t))),
         })
     }
 
@@ -283,6 +297,21 @@ impl FaultPlane {
     /// their runs to guarantee that.  After the reset, a fault tripped by
     /// job *N* is invisible to job *N + 1*.
     pub fn reset_for_job(&self, config: FaultConfig) {
+        {
+            let mut sink = self.trace.lock();
+            match config.trace {
+                // Reuse the resident sink when its shape still fits (the
+                // common pooled case): resetting in place is much cheaper
+                // than reallocating rings every job.
+                Some(t) => match sink.as_ref() {
+                    Some(s) if s.capacity() == t.rounded_capacity() && s.nproc() == self.nproc => {
+                        s.reset()
+                    }
+                    _ => *sink = Some(TraceSink::new(self.nproc, t)),
+                },
+                None => *sink = None,
+            }
+        }
         *self.config.lock() = config;
         *self.fault.lock() = None;
         *self.payload.lock() = None;
@@ -290,6 +319,18 @@ impl FaultPlane {
             slot.store(RUNNING, Ordering::Release);
         }
         self.tripped.store(false, Ordering::Release);
+    }
+
+    /// The job's trace sink, when tracing is armed (shared; hot paths
+    /// read the copy snapshotted into the thread-local context instead).
+    pub fn trace_sink(&self) -> Option<Arc<TraceSink>> {
+        self.trace.lock().clone()
+    }
+
+    /// Summarize the job's trace into a [`ProfileReport`] (`None` when
+    /// tracing was not armed).  Call only at job quiescence.
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.trace.lock().as_ref().map(|s| s.report())
     }
 
     /// Whether the cancellation token has been tripped.  Any blocking
@@ -437,6 +478,9 @@ struct Ctx {
     /// Injection config snapshotted at install time, so the per-operation
     /// roll never takes the plane's config mutex.
     injection: Option<FaultInjection>,
+    /// Trace sink snapshotted at install time, for the same reason: the
+    /// per-event hooks never take the plane's trace mutex.
+    trace: Option<Arc<TraceSink>>,
     rng: RefCell<Option<XorShift64>>,
 }
 
@@ -466,6 +510,7 @@ pub(crate) fn install(plane: &Arc<FaultPlane>, pid: usize) -> CtxGuard {
             construct: Cell::new(Construct::Body),
             panicked_in: Cell::new(None),
             injection: plane.injection(),
+            trace: plane.trace_sink(),
             rng: RefCell::new(None),
         });
         CtxGuard { prev }
@@ -478,21 +523,42 @@ pub(crate) fn take_panicked_construct() -> Option<Construct> {
     CTX.with(|c| c.borrow().as_ref().and_then(|ctx| ctx.panicked_in.take()))
 }
 
+/// Run `f` with the current thread's trace sink, pid, and innermost
+/// construct marker; `None` when the thread is outside a force or its
+/// force is not tracing.  The single entry point for every trace hook.
+#[inline]
+pub(crate) fn with_trace<R>(f: impl FnOnce(&TraceSink, usize, Construct) -> R) -> Option<R> {
+    CTX.with(|c| {
+        let borrowed = c.borrow();
+        let ctx = borrowed.as_ref()?;
+        let sink = ctx.trace.as_ref()?;
+        Some(f(sink, ctx.pid, ctx.construct.get()))
+    })
+}
+
 /// RAII construct marker: the innermost active marker names the construct
 /// for fault attribution and park reports.
 pub struct ConstructGuard {
     prev: Option<Construct>,
+    /// When tracing: the construct to close out and its enter stamp.
+    timed: Option<(Construct, u64)>,
 }
 
 impl Drop for ConstructGuard {
     fn drop(&mut self) {
         let Some(prev) = self.prev else { return };
+        let timed = self.timed.take();
         CTX.with(|c| {
             if let Some(ctx) = c.borrow().as_ref() {
                 if std::thread::panicking() && ctx.panicked_in.get().is_none() {
                     ctx.panicked_in.set(Some(ctx.construct.get()));
                 }
                 ctx.construct.set(prev);
+                if let Some((construct, t0)) = timed {
+                    if let Some(sink) = ctx.trace.as_ref() {
+                        trace::construct_exited(sink, ctx.pid, construct, t0);
+                    }
+                }
             }
         });
     }
@@ -504,9 +570,31 @@ pub fn enter(construct: Construct) -> ConstructGuard {
     CTX.with(|c| match c.borrow().as_ref() {
         Some(ctx) => {
             let prev = ctx.construct.replace(construct);
-            ConstructGuard { prev: Some(prev) }
+            // Re-entering the construct already being executed (e.g. a
+            // barrier primitive marked inside the barrier *statement*'s
+            // own marker) keeps the fault attribution but does not open
+            // a second trace span — the enclosing marker already times
+            // the whole episode, and a nested span would double-count
+            // the histogram and double the event volume.
+            let timed = (prev != construct)
+                .then(|| {
+                    ctx.trace.as_ref().map(|sink| {
+                        (
+                            construct,
+                            trace::construct_entered(sink, ctx.pid, construct),
+                        )
+                    })
+                })
+                .flatten();
+            ConstructGuard {
+                prev: Some(prev),
+                timed,
+            }
         }
-        None => ConstructGuard { prev: None },
+        None => ConstructGuard {
+            prev: None,
+            timed: None,
+        },
     })
 }
 
@@ -551,13 +639,35 @@ fn cancel_now() -> ! {
 pub struct ParkGuard {
     plane: Option<Arc<FaultPlane>>,
     pid: usize,
+    /// When tracing: the construct the wait was attributed to and its
+    /// park stamp.
+    trace: Option<(Construct, u64)>,
 }
 
 impl Drop for ParkGuard {
     fn drop(&mut self) {
-        if let Some(plane) = &self.plane {
-            plane.set_board(self.pid, RUNNING, Construct::Body);
-        }
+        let Some(plane) = self.plane.take() else {
+            return;
+        };
+        let traced = self.trace.take();
+        // Restore `RUNNING` with the innermost *still-active* construct
+        // marker, read at drop time — not `Construct::Body`.  A nested
+        // blocking wait ending must not erase the enclosing construct's
+        // attribution; that stays on the board until the enclosing
+        // marker itself drops.
+        CTX.with(|c| {
+            let borrowed = c.borrow();
+            let ctx = borrowed.as_ref();
+            let construct = ctx
+                .map(|ctx| ctx.construct.get())
+                .unwrap_or(Construct::Body);
+            plane.set_board(self.pid, RUNNING, construct);
+            if let Some((attributed, t0)) = traced {
+                if let Some(sink) = ctx.and_then(|ctx| ctx.trace.as_ref()) {
+                    trace::park_ended(sink, self.pid, attributed, t0);
+                }
+            }
+        });
     }
 }
 
@@ -571,14 +681,20 @@ pub fn parked(fallback: Construct) -> ParkGuard {
                 marked => marked,
             };
             ctx.plane.set_board(ctx.pid, PARKED, construct);
+            let trace = ctx
+                .trace
+                .as_ref()
+                .map(|sink| (construct, trace::park_begun(sink, ctx.pid, construct)));
             ParkGuard {
                 plane: Some(Arc::clone(&ctx.plane)),
                 pid: ctx.pid,
+                trace,
             }
         }
         None => ParkGuard {
             plane: None,
             pid: 0,
+            trace: None,
         },
     })
 }
@@ -804,6 +920,108 @@ mod tests {
     }
 
     #[test]
+    fn park_guard_restores_the_enclosing_construct() {
+        let p = plane(1, FaultConfig::default());
+        let _ctx = install(&p, 0);
+        let _outer = enter(Construct::Doall);
+        {
+            let _inner = enter(Construct::Consume);
+            let park = parked(Construct::Lock);
+            let word = p.board[0].load(Ordering::Acquire);
+            assert_eq!(word & STATE_MASK, PARKED);
+            assert_eq!(Construct::from_index(word >> 2), Construct::Consume);
+            drop(park);
+            // Regression: the guard used to restore `RUNNING` with
+            // `Construct::Body`, erasing the enclosing attribution until
+            // the next `enter`.  It must keep the innermost still-active
+            // marker.
+            let word = p.board[0].load(Ordering::Acquire);
+            assert_eq!(word & STATE_MASK, RUNNING);
+            assert_eq!(Construct::from_index(word >> 2), Construct::Consume);
+        }
+        // With the inner marker gone, a new wait attributes to the outer
+        // construct, and its end restores that same attribution.
+        let park = parked(Construct::Lock);
+        drop(park);
+        let word = p.board[0].load(Ordering::Acquire);
+        assert_eq!(word & STATE_MASK, RUNNING);
+        assert_eq!(Construct::from_index(word >> 2), Construct::Doall);
+    }
+
+    #[test]
+    fn tracing_attributes_constructs_and_waits() {
+        let p = plane(
+            1,
+            FaultConfig {
+                trace: Some(TraceConfig::default()),
+                ..FaultConfig::default()
+            },
+        );
+        let _ctx = install(&p, 0);
+        {
+            let _g = enter(Construct::Critical);
+            let _park = parked(Construct::Lock);
+        }
+        let r = p.profile_report().expect("tracing armed");
+        let c = r.construct("critical").expect("critical profiled");
+        assert_eq!(c.enters, 1);
+        assert_eq!(c.time.count(), 1);
+        assert_eq!(c.wait.count(), 1, "park wait attributed to critical");
+        use crate::trace::EventKind;
+        for kind in [
+            EventKind::ConstructEnter,
+            EventKind::Park,
+            EventKind::Unpark,
+            EventKind::ConstructExit,
+        ] {
+            assert!(
+                r.events.iter().any(|e| e.kind == kind),
+                "missing {kind:?} event"
+            );
+        }
+        assert!(p.trace_sink().is_some());
+    }
+
+    #[test]
+    fn reset_for_job_rearms_or_drops_the_trace_sink() {
+        let p = plane(
+            2,
+            FaultConfig {
+                trace: Some(TraceConfig { ring_capacity: 64 }),
+                ..FaultConfig::default()
+            },
+        );
+        let first = p.trace_sink().expect("armed at construction");
+        {
+            let _ctx = install(&p, 0);
+            let _g = enter(Construct::Barrier);
+        }
+        assert!(!p.profile_report().expect("armed").is_empty());
+
+        // Same shape: the sink is reused, but blank.
+        p.reset_for_job(FaultConfig {
+            trace: Some(TraceConfig { ring_capacity: 64 }),
+            ..FaultConfig::default()
+        });
+        let second = p.trace_sink().expect("still armed");
+        assert!(Arc::ptr_eq(&first, &second), "resident sink reused");
+        assert!(p.profile_report().expect("armed").is_empty());
+
+        // Different shape: rebuilt.
+        p.reset_for_job(FaultConfig {
+            trace: Some(TraceConfig { ring_capacity: 256 }),
+            ..FaultConfig::default()
+        });
+        let third = p.trace_sink().expect("still armed");
+        assert!(!Arc::ptr_eq(&first, &third), "capacity change rebuilds");
+
+        // Tracing off: dropped entirely.
+        p.reset_for_job(FaultConfig::default());
+        assert!(p.trace_sink().is_none());
+        assert!(p.profile_report().is_none());
+    }
+
+    #[test]
     fn injection_streams_are_deterministic_per_pid() {
         let config = FaultConfig {
             watchdog: None,
@@ -813,6 +1031,7 @@ mod tests {
                 delay_per_mille: 0,
                 spurious_per_mille: 500,
             }),
+            trace: None,
         };
         let run = |pid: usize| {
             let p = plane(4, config);
@@ -839,6 +1058,7 @@ mod tests {
                 delay_per_mille: 0,
                 spurious_per_mille: 0,
             }),
+            trace: None,
         };
         let p = plane(1, config);
         let _ctx = install(&p, 0);
@@ -857,6 +1077,7 @@ mod tests {
             FaultConfig {
                 watchdog: Some(Duration::from_millis(20)),
                 injection: None,
+                trace: None,
             },
         );
         let _ctx = install(&p, 0);
@@ -879,6 +1100,7 @@ mod tests {
             FaultConfig {
                 watchdog: Some(Duration::from_secs(1)),
                 injection: None,
+                trace: None,
             },
         );
         p.trip(
@@ -912,6 +1134,7 @@ mod tests {
             FaultConfig {
                 watchdog: Some(Duration::from_secs(3600)),
                 injection: None,
+                trace: None,
             },
         );
         let stop = Arc::new((Mutex::new(false), Condvar::new()));

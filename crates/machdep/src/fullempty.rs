@@ -85,6 +85,7 @@ impl FullEmptyState {
     pub fn acquire_full(&self) {
         self.transition(FULL, BUSY);
         OpStats::count(&self.stats.fe_consumes);
+        crate::trace::fe_consumed();
     }
 
     /// Finish a consume: the cell becomes EMPTY.
@@ -98,6 +99,7 @@ impl FullEmptyState {
     pub fn acquire_empty(&self) {
         self.transition(EMPTY, BUSY);
         OpStats::count(&self.stats.fe_produces);
+        crate::trace::fe_produced();
     }
 
     /// Finish a produce: the cell becomes FULL.
@@ -112,6 +114,7 @@ impl FullEmptyState {
         let ok = self.try_transition(FULL, BUSY);
         if ok {
             OpStats::count(&self.stats.fe_consumes);
+            crate::trace::fe_consumed();
         }
         ok
     }
@@ -122,6 +125,7 @@ impl FullEmptyState {
         let ok = self.try_transition(EMPTY, BUSY);
         if ok {
             OpStats::count(&self.stats.fe_produces);
+            crate::trace::fe_produced();
         }
         ok
     }
@@ -176,10 +180,13 @@ impl HepLock {
 
 impl RawLock for HepLock {
     fn lock(&self) {
-        // Consume the token: FULL -> BUSY -> EMPTY.
+        // Consume the token: FULL -> BUSY -> EMPTY.  Contention shows up
+        // in the trace as park/unpark around the transition, so the
+        // acquire event itself is stamped uncontended.
         self.fe.acquire_full();
         self.fe.release_empty();
         OpStats::count(&self.stats.lock_acquires);
+        crate::trace::lock_acquired(false);
     }
 
     fn unlock(&self) {

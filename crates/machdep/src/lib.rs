@@ -38,6 +38,7 @@ pub mod sharedmem;
 pub mod spin;
 pub mod stats;
 pub mod syscall_lock;
+pub mod trace;
 
 pub use cost::{CostModel, CycleAccount};
 pub use env::ForceEnvironment;
@@ -52,3 +53,7 @@ pub use sharedmem::{
     BlockRequest, SharedLayout, SharedRegion, SharingError, SharingModel, SharingModelId,
 };
 pub use stats::{OpStats, StatsSnapshot};
+pub use trace::{
+    ConstructProfile, HistogramSnapshot, NamedLockProfile, ProfileReport, TraceConfig, TraceEvent,
+    TraceSink,
+};

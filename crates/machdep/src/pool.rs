@@ -403,6 +403,7 @@ mod tests {
             FaultConfig {
                 watchdog: Some(Duration::from_millis(20)),
                 injection: None,
+                trace: None,
             },
         );
         let err = pool

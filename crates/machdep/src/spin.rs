@@ -51,6 +51,7 @@ impl RawLock for SpinLock {
             OpStats::count(&self.stats.lock_contended);
             OpStats::add(&self.stats.spin_retries, retries);
         }
+        crate::trace::lock_acquired(retries > 0);
     }
 
     fn unlock(&self) {

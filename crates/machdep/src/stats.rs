@@ -5,58 +5,119 @@
 //! without the original hardware, every machine personality counts the
 //! primitive operations it performs.  The counters use relaxed atomics so
 //! that accounting never perturbs the synchronization being measured.
+//!
+//! The counter list is written exactly once, in the `op_counters!`
+//! invocation below; the macro generates both [`OpStats`] and
+//! [`StatsSnapshot`] plus every whole-struct operation (`snapshot`,
+//! `reset`, `since`, `fields`).  A counter added to the list is therefore
+//! covered by snapshots and deltas *by construction* — it cannot be
+//! silently dropped the way a hand-enumerated field list could drop it.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Per-machine counters of low-level primitive operations.
-///
-/// All increments are `Relaxed`: the counts are diagnostics, not
-/// synchronization, and exact cross-thread ordering of increments is
-/// irrelevant to their totals.
-#[derive(Debug, Default)]
-pub struct OpStats {
+/// Defines [`OpStats`] and [`StatsSnapshot`] from one field list, plus the
+/// operations that must stay in sync with that list.
+macro_rules! op_counters {
+    ($($(#[$doc:meta])* $name:ident,)+) => {
+        /// Per-machine counters of low-level primitive operations.
+        ///
+        /// All increments are `Relaxed`: the counts are diagnostics, not
+        /// synchronization, and exact cross-thread ordering of increments
+        /// is irrelevant to their totals.
+        #[derive(Debug, Default)]
+        pub struct OpStats {
+            $($(#[$doc])* pub $name: AtomicU64,)+
+        }
+
+        /// A point-in-time copy of [`OpStats`]; fields mirror the counters
+        /// there.
+        #[allow(missing_docs)]
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct StatsSnapshot {
+            $(pub $name: u64,)+
+        }
+
+        impl OpStats {
+            /// Snapshot the counters into a plain struct for reporting.
+            pub fn snapshot(&self) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)+
+                }
+            }
+
+            /// Reset every counter to zero.
+            pub fn reset(&self) {
+                $(self.$name.store(0, Ordering::Relaxed);)+
+            }
+
+            /// Every counter with its name, in declaration order (used by
+            /// diagnostics and the exhaustiveness tests).
+            pub fn counters(&self) -> Vec<(&'static str, &AtomicU64)> {
+                vec![$((stringify!($name), &self.$name),)+]
+            }
+        }
+
+        impl StatsSnapshot {
+            /// Difference of two snapshots (`self - earlier`), saturating
+            /// at zero.  Covers every counter by construction (generated
+            /// from the same field list as the structs).
+            pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+                StatsSnapshot {
+                    $($name: self.$name.saturating_sub(earlier.$name),)+
+                }
+            }
+
+            /// Every field with its name, in declaration order.
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($name), self.$name),)+]
+            }
+        }
+    };
+}
+
+op_counters! {
     /// Successful lock acquisitions (all lock kinds).
-    pub lock_acquires: AtomicU64,
+    lock_acquires,
     /// Lock acquisitions that did not succeed on the first attempt.
-    pub lock_contended: AtomicU64,
+    lock_contended,
     /// Lock releases.
-    pub lock_releases: AtomicU64,
+    lock_releases,
     /// Simulated operating-system calls (Cray-style system-call locks,
     /// and the parked phase of Flex/32 combined locks).
-    pub syscalls: AtomicU64,
+    syscalls,
     /// Times a process parked (blocked in the OS) waiting for a lock.
-    pub parks: AtomicU64,
+    parks,
     /// Busy-wait retry iterations across all spinning locks.
-    pub spin_retries: AtomicU64,
+    spin_retries,
     /// Hardware full/empty produce operations (HEP personality).
-    pub fe_produces: AtomicU64,
+    fe_produces,
     /// Hardware full/empty consume operations (HEP personality).
-    pub fe_consumes: AtomicU64,
+    fe_consumes,
     /// Barrier episodes completed.
-    pub barrier_episodes: AtomicU64,
+    barrier_episodes,
     /// Logical locks created.
-    pub locks_created: AtomicU64,
+    locks_created,
     /// Logical locks that aliased an already-used pool slot (scarce-lock
     /// machines only).
-    pub locks_aliased: AtomicU64,
+    locks_aliased,
     /// Shared-memory words allocated.
-    pub shared_words: AtomicU64,
+    shared_words,
     /// Padding words inserted by the sharing model to keep private data
     /// off shared pages (Encore) or to align blocks to pages (Alliant).
-    pub padding_words: AtomicU64,
+    padding_words,
     /// Processes created.
-    pub processes_created: AtomicU64,
+    processes_created,
     /// Faults deliberately injected by the fault-injection layer
     /// (panics, delays, spurious lock failures).
-    pub faults_injected: AtomicU64,
+    faults_injected,
     /// Genuine process faults detected by the fault plane (panics and
     /// interpreter runtime errors trapped at process boundaries).
-    pub faults_detected: AtomicU64,
+    faults_detected,
     /// Times a blocked process observed a tripped cancellation token and
     /// unwound instead of waiting forever.
-    pub cancellations_observed: AtomicU64,
+    cancellations_observed,
     /// Times the deadlock watchdog declared a no-progress episode.
-    pub watchdog_trips: AtomicU64,
+    watchdog_trips,
 }
 
 impl OpStats {
@@ -76,78 +137,6 @@ impl OpStats {
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
     }
-
-    /// Snapshot the counters into a plain struct for reporting.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        StatsSnapshot {
-            lock_acquires: g(&self.lock_acquires),
-            lock_contended: g(&self.lock_contended),
-            lock_releases: g(&self.lock_releases),
-            syscalls: g(&self.syscalls),
-            parks: g(&self.parks),
-            spin_retries: g(&self.spin_retries),
-            fe_produces: g(&self.fe_produces),
-            fe_consumes: g(&self.fe_consumes),
-            barrier_episodes: g(&self.barrier_episodes),
-            locks_created: g(&self.locks_created),
-            locks_aliased: g(&self.locks_aliased),
-            shared_words: g(&self.shared_words),
-            padding_words: g(&self.padding_words),
-            processes_created: g(&self.processes_created),
-            faults_injected: g(&self.faults_injected),
-            faults_detected: g(&self.faults_detected),
-            cancellations_observed: g(&self.cancellations_observed),
-            watchdog_trips: g(&self.watchdog_trips),
-        }
-    }
-
-    /// Reset every counter to zero.
-    pub fn reset(&self) {
-        let z = |c: &AtomicU64| c.store(0, Ordering::Relaxed);
-        z(&self.lock_acquires);
-        z(&self.lock_contended);
-        z(&self.lock_releases);
-        z(&self.syscalls);
-        z(&self.parks);
-        z(&self.spin_retries);
-        z(&self.fe_produces);
-        z(&self.fe_consumes);
-        z(&self.barrier_episodes);
-        z(&self.locks_created);
-        z(&self.locks_aliased);
-        z(&self.shared_words);
-        z(&self.padding_words);
-        z(&self.processes_created);
-        z(&self.faults_injected);
-        z(&self.faults_detected);
-        z(&self.cancellations_observed);
-        z(&self.watchdog_trips);
-    }
-}
-
-/// A point-in-time copy of [`OpStats`]; fields mirror the counters there.
-#[allow(missing_docs)]
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StatsSnapshot {
-    pub lock_acquires: u64,
-    pub lock_contended: u64,
-    pub lock_releases: u64,
-    pub syscalls: u64,
-    pub parks: u64,
-    pub spin_retries: u64,
-    pub fe_produces: u64,
-    pub fe_consumes: u64,
-    pub barrier_episodes: u64,
-    pub locks_created: u64,
-    pub locks_aliased: u64,
-    pub shared_words: u64,
-    pub padding_words: u64,
-    pub processes_created: u64,
-    pub faults_injected: u64,
-    pub faults_detected: u64,
-    pub cancellations_observed: u64,
-    pub watchdog_trips: u64,
 }
 
 impl StatsSnapshot {
@@ -157,36 +146,6 @@ impl StatsSnapshot {
     /// raw counters accumulate.
     pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         self.since(earlier)
-    }
-
-    /// Difference of two snapshots (`self - earlier`), saturating at zero.
-    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
-        StatsSnapshot {
-            lock_acquires: self.lock_acquires.saturating_sub(earlier.lock_acquires),
-            lock_contended: self.lock_contended.saturating_sub(earlier.lock_contended),
-            lock_releases: self.lock_releases.saturating_sub(earlier.lock_releases),
-            syscalls: self.syscalls.saturating_sub(earlier.syscalls),
-            parks: self.parks.saturating_sub(earlier.parks),
-            spin_retries: self.spin_retries.saturating_sub(earlier.spin_retries),
-            fe_produces: self.fe_produces.saturating_sub(earlier.fe_produces),
-            fe_consumes: self.fe_consumes.saturating_sub(earlier.fe_consumes),
-            barrier_episodes: self
-                .barrier_episodes
-                .saturating_sub(earlier.barrier_episodes),
-            locks_created: self.locks_created.saturating_sub(earlier.locks_created),
-            locks_aliased: self.locks_aliased.saturating_sub(earlier.locks_aliased),
-            shared_words: self.shared_words.saturating_sub(earlier.shared_words),
-            padding_words: self.padding_words.saturating_sub(earlier.padding_words),
-            processes_created: self
-                .processes_created
-                .saturating_sub(earlier.processes_created),
-            faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
-            faults_detected: self.faults_detected.saturating_sub(earlier.faults_detected),
-            cancellations_observed: self
-                .cancellations_observed
-                .saturating_sub(earlier.cancellations_observed),
-            watchdog_trips: self.watchdog_trips.saturating_sub(earlier.watchdog_trips),
-        }
     }
 }
 
@@ -231,6 +190,44 @@ mod tests {
         assert_eq!(b.since(&a).lock_acquires, 7);
         // Saturates instead of underflowing.
         assert_eq!(a.since(&b).lock_acquires, 0);
+    }
+
+    #[test]
+    fn delta_covers_every_counter_exhaustively() {
+        // Bump every counter by a distinct baseline, snapshot, bump each
+        // by a distinct per-field delta, and check that `delta` reports
+        // exactly that per-field delta for *every* counter.  The counter
+        // list is enumerated through `counters()`/`fields()`, which the
+        // `op_counters!` macro generates from the same list as `since`,
+        // so a future counter cannot be silently dropped from deltas: it
+        // is either covered or this test sees a length mismatch.
+        let st = OpStats::new();
+        for (i, (_, c)) in st.counters().iter().enumerate() {
+            OpStats::add(c, 1000 + i as u64 * 13);
+        }
+        let earlier = st.snapshot();
+        for (i, (_, c)) in st.counters().iter().enumerate() {
+            OpStats::add(c, i as u64 + 1);
+        }
+        let later = st.snapshot();
+        let d = later.delta(&earlier);
+        let fields = d.fields();
+        assert_eq!(fields.len(), st.counters().len());
+        for (i, (name, v)) in fields.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 1, "delta dropped or corrupted `{name}`");
+        }
+        // The four fault counters of the fault plane are among them.
+        for fault_counter in [
+            "faults_injected",
+            "faults_detected",
+            "cancellations_observed",
+            "watchdog_trips",
+        ] {
+            assert!(
+                fields.iter().any(|(n, _)| *n == fault_counter),
+                "`{fault_counter}` missing from the counter list"
+            );
+        }
     }
 
     #[test]

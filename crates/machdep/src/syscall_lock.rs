@@ -55,6 +55,7 @@ impl RawLock for SyscallLock {
         if waited {
             OpStats::count(&self.stats.lock_contended);
         }
+        crate::trace::lock_acquired(waited);
     }
 
     fn unlock(&self) {

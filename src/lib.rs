@@ -61,6 +61,17 @@
 //!     assert_eq!(out.shared_scalar("TOTAL").unwrap().as_int(0).unwrap(), 55);
 //! }
 //! ```
+//!
+//! ## Observability
+//!
+//! Both front ends can trace a job: set
+//! [`RunOptions::trace`](machdep::RunOptions) (or
+//! `Force::with_tracing`) and read the resulting
+//! [`ProfileReport`](machdep::ProfileReport) from
+//! `Force::last_job_profile` / `Engine::last_job_profile` — per-construct
+//! wait/hold histograms, named-lock contention, barrier arrival spread,
+//! DOALL trip distribution, and a Chrome `trace_event` export
+//! ([`ProfileReport::chrome_trace_json`](machdep::ProfileReport::chrome_trace_json)).
 
 pub use force_core as core;
 pub use force_fortran as fortran;
@@ -205,6 +216,29 @@ mod tests {
                 fortran::Value::Int(nproc as i64)
             );
         }
+    }
+
+    #[test]
+    fn traced_language_run_yields_a_profile() {
+        let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER N
+      End declarations
+      Barrier
+      N = N + 1
+      End barrier
+      Join
+";
+        let (_expanded, engine) = compile_force_source(src, MachineId::SequentBalance).unwrap();
+        let opts = machdep::RunOptions {
+            trace: Some(machdep::TraceConfig::default()),
+            ..machdep::RunOptions::default()
+        };
+        let out = engine.run_with(3, opts).unwrap();
+        let profile = out.profile.expect("traced run yields a profile");
+        assert!(profile.construct("interpreter").is_some());
+        let json = profile.chrome_trace_json();
+        assert!(json.contains("\"traceEvents\""), "{json}");
     }
 
     #[test]

@@ -508,6 +508,7 @@ fn a_pooled_run_after_an_injected_fault_starts_from_a_clean_plane() {
             RunOptions {
                 watchdog: None,
                 injection: Some(inj),
+                trace: None,
             },
             |p| p.barrier(),
         )

@@ -1,0 +1,183 @@
+//! Observability: construct-level tracing, contention profiles, and the
+//! accounting fixes that keep the numbers honest — the profile must reset
+//! per job like the fault plane, and a `preprocess_cached` hit must not
+//! attribute miss-path sed/m4 work.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use the_force::fortran::Engine;
+use the_force::machdep::{ForcePool, Machine, MachineId, RunOptions, TraceConfig};
+use the_force::prelude::*;
+use the_force::prep;
+
+const SUM_PROGRAM: &str = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER TOTAL
+      Private INTEGER K
+      End declarations
+      Selfsched DO 100 K = 1, 100
+      Critical LCK
+      TOTAL = TOTAL + K
+      End critical
+100   End selfsched DO
+      Barrier
+      End barrier
+      Join
+";
+
+/// `PassCounts` is process-wide, so tests that assert on its deltas must
+/// not interleave with other preprocessor runs in this binary.
+static PREP_GATE: Mutex<()> = Mutex::new(());
+
+/// Satellite: a `preprocess_cached` *hit* must not bump the sed/m4 pass
+/// counters — the miss path's work belongs to the job that missed, and a
+/// pooled session re-running a cached program does none of it.
+#[test]
+fn cached_hits_do_not_count_prep_passes() {
+    let _gate = PREP_GATE.lock().unwrap();
+    let machine = Machine::new(MachineId::EncoreMultimax);
+
+    // Warm the cache (a miss is allowed to count one sed + two m4 passes).
+    let expanded = prep::preprocess_cached(SUM_PROGRAM, MachineId::EncoreMultimax).unwrap();
+    let engine = Engine::from_expanded(&expanded, Arc::clone(&machine)).unwrap();
+    engine.set_pool(Arc::new(ForcePool::new(4, machine.stats())));
+
+    let before = prep::pass_counts();
+    let (hits_before, misses_before) = prep::expansion_cache_stats();
+    for _ in 0..3 {
+        let hit = prep::preprocess_cached(SUM_PROGRAM, MachineId::EncoreMultimax).unwrap();
+        let engine = Engine::from_expanded(&hit, Arc::clone(&machine)).unwrap();
+        engine.set_pool(Arc::new(ForcePool::new(4, machine.stats())));
+        let out = engine.run(4).unwrap();
+        assert_eq!(
+            out.shared_scalar("TOTAL"),
+            Some(the_force::fortran::Value::Int(5050))
+        );
+    }
+    let after = prep::pass_counts();
+    let (hits_after, misses_after) = prep::expansion_cache_stats();
+    assert_eq!(after, before, "cache hits must not count sed/m4 passes");
+    assert_eq!(
+        misses_after, misses_before,
+        "re-running the same source misses nothing"
+    );
+    assert!(hits_after >= hits_before + 3);
+}
+
+/// Satellite: pooled-session trace reset.  Job A runs traced, job B
+/// untraced on the same resident session; B must report no profile and
+/// A's already-captured report must be unaffected (the `ProfileReport`
+/// is plain data, detached from the recycled sink).
+#[test]
+fn pooled_session_trace_resets_between_jobs() {
+    let machine = Machine::new(MachineId::SequentBalance);
+    let pool = Arc::new(ForcePool::new(4, machine.stats()));
+    let force = Force::with_machine(4, Arc::clone(&machine)).with_pool(pool);
+
+    let traced = RunOptions {
+        trace: Some(TraceConfig::default()),
+        ..RunOptions::default()
+    };
+    let sum = AtomicU64::new(0);
+    force
+        .try_execute_with(traced, |p| {
+            p.presched_do(ForceRange::to(1, 40), |i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            p.critical("HOT", || {});
+            p.barrier();
+        })
+        .unwrap();
+    let job_a = force.last_job_profile().expect("job A was traced");
+    assert!(job_a.construct("doall").is_some());
+    assert_eq!(job_a.doall_trips.iter().sum::<u64>(), 40);
+    let job_a_copy = job_a.clone();
+
+    // Job B: same session, tracing off.  No profile, and the hot path
+    // reverts to the untraced one.
+    force.try_run(|p| p.barrier()).unwrap();
+    assert!(
+        force.last_job_profile().is_none(),
+        "an untraced job must not surface the previous job's profile"
+    );
+    assert_eq!(job_a, job_a_copy, "A's report is detached plain data");
+
+    // Job C: traced again on the recycled sink — counts start from zero,
+    // proving the reset (not accumulation onto job A's numbers).
+    force.try_execute_with(traced, |p| p.barrier()).unwrap();
+    let job_c = force.last_job_profile().expect("job C was traced");
+    assert!(job_c.construct("doall").is_none(), "job C ran no DOALL");
+    assert_eq!(job_c.doall_trips.iter().sum::<u64>(), 0);
+    assert!(job_c.named_locks.is_empty(), "job C entered no critical");
+}
+
+/// The same reset contract through the language front end: a pooled
+/// engine session runs job A traced and job B untraced.
+#[test]
+fn pooled_engine_session_trace_resets_between_jobs() {
+    let _gate = PREP_GATE.lock().unwrap();
+    let machine = Machine::new(MachineId::Flex32);
+    let expanded = prep::preprocess_cached(SUM_PROGRAM, MachineId::Flex32).unwrap();
+    let engine = Engine::from_expanded(&expanded, Arc::clone(&machine)).unwrap();
+    engine.set_pool(Arc::new(ForcePool::new(3, machine.stats())));
+
+    let traced = RunOptions {
+        trace: Some(TraceConfig::default()),
+        ..RunOptions::default()
+    };
+    let out_a = engine.run_with(3, traced).unwrap();
+    let job_a = out_a.profile.expect("job A was traced");
+    assert!(job_a.construct("interpreter").is_some());
+    assert!(
+        job_a.named_locks.iter().any(|l| l.name == "LCK"),
+        "the user critical section is profiled by name: {:?}",
+        job_a
+            .named_locks
+            .iter()
+            .map(|l| &l.name)
+            .collect::<Vec<_>>()
+    );
+
+    let out_b = engine.run(3).unwrap();
+    assert!(out_b.profile.is_none());
+    assert!(engine.last_job_profile().is_none());
+    assert_eq!(
+        out_b.shared_scalar("TOTAL"),
+        Some(the_force::fortran::Value::Int(5050))
+    );
+}
+
+/// The Chrome `trace_event` export is structurally sound: a JSON object
+/// with a `traceEvents` array, balanced duration events (every `B` has a
+/// matching `E`), and process metadata naming the force.
+#[test]
+fn chrome_export_is_balanced_and_loadable() {
+    let force = Force::new(3).with_tracing(TraceConfig::default());
+    force.run(|p| {
+        p.presched_do(ForceRange::to(1, 30), |_| {});
+        p.critical("X", || {});
+        p.barrier();
+    });
+    let profile = force.last_job_profile().unwrap();
+    let json = profile.chrome_trace_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"process_name\""));
+    let count = |needle: &str| json.matches(needle).count();
+    assert_eq!(
+        count("\"ph\":\"B\""),
+        count("\"ph\":\"E\""),
+        "every duration-begin event pairs with an end"
+    );
+    assert!(count("\"ph\":\"B\"") > 0, "trace retained construct spans");
+    // Balanced braces/brackets — the cheap structural check a JSON
+    // parser would do (the export never emits strings with braces).
+    for (open, close) in [('{', '}'), ('[', ']')] {
+        assert_eq!(
+            json.matches(open).count(),
+            json.matches(close).count(),
+            "balanced {open}{close}"
+        );
+    }
+}
