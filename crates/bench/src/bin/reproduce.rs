@@ -73,6 +73,9 @@ fn main() {
     if run("exp15") {
         exp15();
     }
+    if run("exp16") {
+        exp16();
+    }
 }
 
 fn host_cores() -> usize {
@@ -1090,4 +1093,208 @@ fn exp15() {
     println!(" within 5% on the construct-rich job; the merged trace attributes");
     println!(" spans per construct, with barrier imbalance and critical-section");
     println!(" hold times visible per machine personality)");
+}
+
+// ---------------------------------------------------------------- EXP-16
+
+/// Structural check of `BENCH_sched.json`: braces/brackets balance
+/// outside strings, exactly one block per machine personality, and every
+/// policy measured on both workloads everywhere.  Hand-rolled like the
+/// EXP-15 trace validator — the harness has no JSON dependency.
+fn validate_sched_json(json: &str) -> Result<(), String> {
+    let mut depth = 0i64;
+    let (mut in_str, mut esc) = (false, false);
+    for c in json.chars() {
+        if in_str {
+            if esc {
+                esc = false;
+            } else if c == '\\' {
+                esc = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return Err("closing brace below depth zero".into());
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_str {
+        return Err(format!("document ends at depth {depth} (in_str={in_str})"));
+    }
+    let machines = json.matches("\"machine\":").count();
+    let want_machines = MachineId::all().len();
+    if machines != want_machines {
+        return Err(format!("{machines} machine blocks, want {want_machines}"));
+    }
+    for s in Schedule::all() {
+        let key = format!("\"policy\": \"{}\"", s.policy().name());
+        let count = json.matches(&key).count();
+        let want = want_machines * 2; // uniform + skewed
+        if count != want {
+            return Err(format!("{key} appears {count} times, want {want}"));
+        }
+    }
+    Ok(())
+}
+
+fn exp16() {
+    header(
+        "EXP-16",
+        "unified scheduling plane: six policies on uniform and skewed DOALLs",
+    );
+    let env = |k: &str, d: u64| {
+        std::env::var(k)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(d)
+    };
+    let trips = env("EXP16_TRIPS", 2048) as i64;
+    let scale = env("EXP16_SCALE", 48);
+    let nproc = env("EXP16_NPROC", 4) as usize;
+    let reps = env("EXP16_REPS", 3) as usize;
+    let schedules = Schedule::all();
+    println!("trips={trips} scale={scale} nproc={nproc} reps={reps}\n");
+    print!("{:<18} {:<8}", "machine", "workload");
+    for s in &schedules {
+        print!(" {:>14}", s.policy().name());
+    }
+    println!();
+
+    struct SchedRow {
+        id: MachineId,
+        steals: u64,
+        steal_attempts_failed: u64,
+        /// Per-workload policy times, in `Schedule::all()` order.
+        workloads: Vec<(String, Vec<u128>)>,
+        skewed_speedup: f64,
+    }
+    let mut rows: Vec<SchedRow> = Vec::new();
+    let mut winners = 0usize;
+    for id in MachineId::all() {
+        let machine = Machine::new(id);
+        let force = Force::with_machine(nproc, Arc::clone(&machine));
+        let mut workloads: Vec<(String, Vec<u128>)> = Vec::new();
+        let mut skew_selfsched = 0u128;
+        let mut skew_dynamic_best = u128::MAX;
+        for (wname, cost) in [
+            ("uniform", uniform_cost as fn(i64, u64) -> u64),
+            ("skewed", triangular_cost as fn(i64, u64) -> u64),
+        ] {
+            print!("{:<18} {:<8}", id.name(), wname);
+            let mut times = Vec::new();
+            let mut checksum = None;
+            for s in &schedules {
+                let got = run_doall(&force, trips, cost, scale, *s);
+                match checksum {
+                    None => checksum = Some(got),
+                    Some(want) => assert_eq!(
+                        got,
+                        want,
+                        "{}: {wname} checksum diverges under {}",
+                        id.name(),
+                        s.name()
+                    ),
+                }
+                let t = median_time(reps, || {
+                    run_doall(&force, trips, cost, scale, *s);
+                })
+                .as_nanos();
+                if wname == "skewed" {
+                    match s {
+                        Schedule::SelfSched => skew_selfsched = t,
+                        Schedule::Guided(_) | Schedule::Steal => {
+                            skew_dynamic_best = skew_dynamic_best.min(t)
+                        }
+                        _ => {}
+                    }
+                }
+                print!(
+                    " {:>14}",
+                    fmt_dur(std::time::Duration::from_nanos(t as u64))
+                );
+                times.push(t);
+            }
+            println!();
+            workloads.push((wname.into(), times));
+        }
+        let snap = machine.stats().snapshot();
+        let speedup = skew_selfsched as f64 / skew_dynamic_best as f64;
+        if speedup > 1.0 {
+            winners += 1;
+        }
+        rows.push(SchedRow {
+            id,
+            steals: snap.steals,
+            steal_attempts_failed: snap.steal_attempts_failed,
+            workloads,
+            skewed_speedup: speedup,
+        });
+    }
+    println!(
+        "\nguided/steal beats one-trip selfsched on the skewed loop on {winners} of {} machines",
+        rows.len()
+    );
+
+    // Machine-readable artifact for the acceptance gate.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"trips\": {trips},\n  \"scale\": {scale},\n  \"nproc\": {nproc},\n  \"reps\": {reps},\n"
+    ));
+    json.push_str(&format!("  \"host_cores\": {},\n", host_cores()));
+    json.push_str(&format!(
+        "  \"machines_where_guided_or_steal_wins_skewed\": {winners},\n"
+    ));
+    json.push_str("  \"machines\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"machine\": \"{}\", \"steals\": {}, \
+             \"steal_attempts_failed\": {}, \
+             \"skewed_speedup_vs_selfsched\": {:.3},\n",
+            row.id.name(),
+            row.steals,
+            row.steal_attempts_failed,
+            row.skewed_speedup
+        ));
+        json.push_str("      \"workloads\": [\n");
+        for (wi, (wname, times)) in row.workloads.iter().enumerate() {
+            json.push_str(&format!(
+                "        {{ \"workload\": \"{wname}\", \"policies\": ["
+            ));
+            for (si, (s, t)) in schedules.iter().zip(times).enumerate() {
+                json.push_str(&format!(
+                    "{}{{ \"policy\": \"{}\", \"ns\": {t} }}",
+                    if si > 0 { ", " } else { "" },
+                    s.policy().name()
+                ));
+            }
+            json.push_str(&format!(
+                "] }}{}\n",
+                if wi + 1 < row.workloads.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        json.push_str(&format!(
+            "      ] }}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    validate_sched_json(&json).expect("sched JSON validates");
+    std::fs::write("BENCH_sched.json", &json).expect("write BENCH_sched.json");
+    println!("wrote BENCH_sched.json (validated)");
+    println!("(expected shape: on the uniform loop the static policies win on");
+    println!(" locking cost; on the skewed loop guided or steal beats one-trip");
+    println!(" selfscheduling by amortizing claims without losing balance)");
 }

@@ -41,15 +41,9 @@ pub fn run_doall(
 ) -> u64 {
     let acc = AtomicU64::new(0);
     force.run(|p| {
-        let body = |i: i64| {
+        p.doall_with(schedule.policy(), ForceRange::to(1, n), |i| {
             acc.fetch_add(busy_work(cost(i, scale)) & 0xFF, Ordering::Relaxed);
-        };
-        match schedule {
-            Schedule::Presched => p.presched_do(ForceRange::to(1, n), body),
-            Schedule::PreschedBlock => p.presched_do_block(ForceRange::to(1, n), body),
-            Schedule::SelfSched => p.selfsched_do(ForceRange::to(1, n), body),
-            Schedule::SelfSchedChunk(c) => p.selfsched_do_chunked(ForceRange::to(1, n), c, body),
-        }
+        });
     });
     acc.load(Ordering::Relaxed)
 }
@@ -65,6 +59,10 @@ pub enum Schedule {
     SelfSched,
     /// Selfscheduled in chunks.
     SelfSchedChunk(u64),
+    /// Guided selfscheduling with a minimum chunk.
+    Guided(u64),
+    /// Block-seeded work stealing.
+    Steal,
 }
 
 impl Schedule {
@@ -75,7 +73,33 @@ impl Schedule {
             Schedule::PreschedBlock => "presched (block)".into(),
             Schedule::SelfSched => "selfsched".into(),
             Schedule::SelfSchedChunk(c) => format!("selfsched chunk={c}"),
+            Schedule::Guided(m) => format!("guided min={m}"),
+            Schedule::Steal => "steal".into(),
         }
+    }
+
+    /// The core scheduling policy this flavour maps to.
+    pub fn policy(&self) -> SchedulePolicy {
+        match *self {
+            Schedule::Presched => SchedulePolicy::Cyclic,
+            Schedule::PreschedBlock => SchedulePolicy::Block,
+            Schedule::SelfSched => SchedulePolicy::Selfsched { chunk: 1 },
+            Schedule::SelfSchedChunk(c) => SchedulePolicy::Selfsched { chunk: c },
+            Schedule::Guided(m) => SchedulePolicy::Guided { min_chunk: m },
+            Schedule::Steal => SchedulePolicy::Steal,
+        }
+    }
+
+    /// Every flavour the scheduling experiment compares, in report order.
+    pub fn all() -> Vec<Schedule> {
+        vec![
+            Schedule::Presched,
+            Schedule::PreschedBlock,
+            Schedule::SelfSched,
+            Schedule::SelfSchedChunk(16),
+            Schedule::Guided(1),
+            Schedule::Steal,
+        ]
     }
 }
 
@@ -159,6 +183,8 @@ mod tests {
             Schedule::PreschedBlock,
             Schedule::SelfSched,
             Schedule::SelfSchedChunk(4),
+            Schedule::Guided(1),
+            Schedule::Steal,
         ] {
             assert_eq!(
                 run_doall(&force, 50, uniform_cost, 4, s),

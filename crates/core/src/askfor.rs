@@ -12,6 +12,17 @@
 //! is empty and no process is still working (so no more items can
 //! appear).
 //!
+//! Internally the pot is a set of per-process deques plus one shared
+//! queue.  Seeds (and posts from outside the force) land in the shared
+//! FIFO; a handler's posts go to the posting process's own deque, which
+//! that process pops LIFO without touching the pot lock.  A process whose
+//! deque runs dry drains the shared queue, then *steals* FIFO from a
+//! peer's deque.  The Lusk/Overbeek dry-and-idle termination protocol is
+//! unchanged and remains the slow path: every post passes through the pot
+//! lock, so a checker holding that lock that sees every queue empty and
+//! nobody working knows no further work can appear (new items are posted
+//! only by handlers, and a running handler implies `working > 0`).
+//!
 //! ```
 //! # use force_core::prelude::*;
 //! # use std::sync::atomic::{AtomicU64, Ordering};
@@ -35,7 +46,8 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use force_machdep::fault;
-use force_machdep::{Condvar, Construct, Mutex};
+use force_machdep::trace::{self, EventKind};
+use force_machdep::{Condvar, Construct, Mutex, WorkQueues};
 
 use crate::player::Player;
 
@@ -43,9 +55,12 @@ use crate::player::Player;
 pub struct AskforPot<W> {
     state: Mutex<PotState<W>>,
     cond: Condvar,
+    /// Per-process deques: local LIFO for the owner, FIFO for thieves.
+    deques: WorkQueues<W>,
 }
 
 struct PotState<W> {
+    /// Seeds and out-of-force posts; drained FIFO before stealing.
     queue: VecDeque<W>,
     working: usize,
     posted: u64,
@@ -53,7 +68,13 @@ struct PotState<W> {
 }
 
 impl<W> AskforPot<W> {
+    /// A one-deque pot, as used outside any force (tests and probes).
+    #[cfg(test)]
     fn new(seed: Vec<W>) -> Self {
+        Self::with_deques(seed, 1)
+    }
+
+    fn with_deques(seed: Vec<W>, nproc: usize) -> Self {
         let posted = seed.len() as u64;
         AskforPot {
             state: Mutex::new(PotState {
@@ -63,15 +84,24 @@ impl<W> AskforPot<W> {
                 completed: 0,
             }),
             cond: Condvar::new(),
+            deques: WorkQueues::new(nproc),
         }
+    }
+
+    /// The deque this thread owns (deque 0 outside a force).
+    fn home(&self) -> usize {
+        fault::current_pid().unwrap_or(0)
     }
 
     /// Request work: posted by the handler of another (or this) item.
     /// Callable from inside a handler via the pot reference it receives.
+    /// The item lands on the posting process's own deque; posting still
+    /// passes through the pot lock so the termination check stays sound.
     pub fn post(&self, work: W) {
         let mut st = self.state.lock();
-        st.queue.push_back(work);
         st.posted += 1;
+        // Pot lock, then deque lock — the one lock order used everywhere.
+        self.deques.push(self.home(), work);
         drop(st);
         self.cond.notify_one();
     }
@@ -80,9 +110,31 @@ impl<W> AskforPot<W> {
     /// some process is still working (new items may appear); returns
     /// `None` once the pot is dry and idle — the termination condition.
     fn ask(&self) -> Option<W> {
+        let pid = self.home();
+        // Fast path: pop the local deque without the pot lock.  Racing
+        // the termination check is benign — a peer that concurrently
+        // declares the pot dry simply leaves this item (and anything its
+        // handler posts) to us, and we keep asking until dry ourselves.
+        if let Some(w) = self.deques.pop(pid) {
+            self.state.lock().working += 1;
+            return Some(w);
+        }
         let mut st = self.state.lock();
         loop {
+            // All slow-path probes run under the pot lock, so the wait
+            // below can never miss a post: posts need this lock too.
+            if let Some(w) = self.deques.pop(pid) {
+                st.working += 1;
+                return Some(w);
+            }
             if let Some(w) = st.queue.pop_front() {
+                st.working += 1;
+                return Some(w);
+            }
+            let out = self.deques.steal(pid);
+            fault::count_steal(out.taken.is_some(), out.failed_probes);
+            if let Some((victim, w)) = out.taken {
+                trace::event(EventKind::Steal, victim as u32);
                 st.working += 1;
                 return Some(w);
             }
@@ -104,7 +156,7 @@ impl<W> AskforPot<W> {
         let mut st = self.state.lock();
         st.working -= 1;
         st.completed += 1;
-        if st.working == 0 && st.queue.is_empty() {
+        if st.working == 0 {
             drop(st);
             self.cond.notify_all();
         }
@@ -138,7 +190,8 @@ impl Player {
     {
         let _c = fault::enter(Construct::Askfor);
         fault::inject(Construct::Askfor);
-        let pot: Arc<AskforPot<W>> = self.collective(|| AskforPot::new(seed()));
+        let nproc = self.nproc();
+        let pot: Arc<AskforPot<W>> = self.collective(|| AskforPot::with_deques(seed(), nproc));
         while let Some(w) = pot.ask() {
             handler(w, &pot);
             pot.done();
@@ -151,6 +204,7 @@ impl Player {
 mod tests {
     use super::*;
     use crate::force::Force;
+    use force_machdep::Mutex;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
@@ -243,6 +297,36 @@ mod tests {
     }
 
     #[test]
+    fn posted_equals_completed_after_the_barrier() {
+        // The accounting invariant under stealing: whatever the
+        // interleaving, every item ever posted (seeds plus handler posts)
+        // is handled exactly once by the time the end barrier opens.
+        for nproc in [1, 2, 5, 8] {
+            let force = Force::new(nproc);
+            let handled = AtomicU64::new(0);
+            let posts = AtomicU64::new(0);
+            force.run(|p| {
+                p.askfor(
+                    || (1..=40u64).collect(),
+                    |n, pot| {
+                        handled.fetch_add(1, Ordering::SeqCst);
+                        if n > 1 {
+                            posts.fetch_add(2, Ordering::SeqCst);
+                            pot.post(n / 2);
+                            pot.post(n - n / 2);
+                        }
+                    },
+                );
+                assert_eq!(
+                    handled.load(Ordering::SeqCst),
+                    40 + posts.load(Ordering::SeqCst),
+                    "nproc={nproc}"
+                );
+            });
+        }
+    }
+
+    #[test]
     fn consecutive_askfors_are_independent() {
         let force = Force::new(3);
         let a = AtomicU64::new(0);
@@ -263,6 +347,26 @@ mod tests {
         });
         assert_eq!(a.load(Ordering::Relaxed), 10);
         assert_eq!(b.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn local_posts_are_popped_lifo() {
+        // One process: handler posts a, b; the local deque pops b first.
+        let force = Force::new(1);
+        let order = Mutex::new(Vec::new());
+        force.run(|p| {
+            p.askfor(
+                || vec![0u64],
+                |n, pot| {
+                    order.lock().push(n);
+                    if n == 0 {
+                        pot.post(1);
+                        pot.post(2);
+                    }
+                },
+            );
+        });
+        assert_eq!(order.into_inner(), vec![0, 2, 1]);
     }
 
     #[test]

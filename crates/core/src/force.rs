@@ -25,7 +25,8 @@ use std::time::Duration;
 
 use force_machdep::{
     spawn_force_plane, FaultConfig, FaultInjection, FaultPlane, ForceEnvironment, ForcePool,
-    Machine, MachineId, Mutex, ProcessFault, ProfileReport, RunOptions, StatsSnapshot, TraceConfig,
+    Machine, MachineId, Mutex, ProcessFault, ProfileReport, RunOptions, SchedulePolicy,
+    StatsSnapshot, TraceConfig,
 };
 
 use crate::barrier::TwoLockBarrier;
@@ -44,6 +45,7 @@ pub struct Force {
     watchdog: Option<Duration>,
     injection: Option<FaultInjection>,
     trace: Option<TraceConfig>,
+    default_schedule: SchedulePolicy,
     /// Resident workers to dispatch onto; `None` runs each job on fresh
     /// scoped threads (the one-shot path).
     pool: Option<Arc<ForcePool>>,
@@ -93,6 +95,7 @@ impl Force {
             watchdog: None,
             injection: None,
             trace: None,
+            default_schedule: SchedulePolicy::default(),
             pool: None,
             plane,
             env,
@@ -116,6 +119,16 @@ impl Force {
     /// lock failures at construct boundaries) for robustness testing.
     pub fn with_fault_injection(mut self, injection: FaultInjection) -> Self {
         self.injection = Some(injection);
+        self
+    }
+
+    /// Set the session's default work-distribution policy: the policy
+    /// the bare [`Player::doall`](crate::player::Player)/`doall2`
+    /// methods use when no per-loop override is given.  Defaults to the
+    /// paper's one-trip selfscheduling.  Overridable per run through
+    /// [`RunOptions::default_schedule`].
+    pub fn with_default_schedule(mut self, policy: SchedulePolicy) -> Self {
+        self.default_schedule = policy;
         self
     }
 
@@ -201,6 +214,7 @@ impl Force {
                 watchdog: self.watchdog,
                 injection: self.injection,
                 trace: self.trace,
+                default_schedule: self.default_schedule,
             },
             body,
         )
@@ -562,8 +576,7 @@ mod tests {
             .try_execute_with(
                 RunOptions {
                     watchdog: Some(Duration::from_millis(100)),
-                    injection: None,
-                    trace: None,
+                    ..RunOptions::default()
                 },
                 |_p| chan.consume(),
             )
@@ -573,6 +586,37 @@ mod tests {
             force.try_execute(|p| p.pid()).expect("clean run"),
             vec![0, 1]
         );
+    }
+
+    #[test]
+    fn per_run_default_schedule_overrides_the_session() {
+        // Session default: selfsched.  Per-run: cyclic, observable as
+        // presched's deterministic per-process trip assignment.
+        let force = Force::new(4);
+        let r = force
+            .try_execute_with(
+                RunOptions {
+                    default_schedule: SchedulePolicy::Cyclic,
+                    ..RunOptions::default()
+                },
+                |p| {
+                    let mut mine = Vec::new();
+                    p.doall(crate::schedule::ForceRange::to(0, 11), |i| mine.push(i));
+                    mine
+                },
+            )
+            .expect("clean run");
+        assert_eq!(r[0], vec![0, 4, 8]);
+        assert_eq!(r[3], vec![3, 7, 11]);
+        // The next default run reverts to the session default; coverage
+        // stays exact.
+        let sum = AtomicUsize::new(0);
+        force.run(|p| {
+            p.doall(crate::schedule::ForceRange::to(1, 10), |i| {
+                sum.fetch_add(i as usize, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 55);
     }
 
     #[test]

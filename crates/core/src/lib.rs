@@ -69,4 +69,4 @@ pub use force_machdep::{ForcePool, RunOptions};
 pub use pcase::Pcase;
 pub use player::Player;
 pub use resolve::Component;
-pub use schedule::ForceRange;
+pub use schedule::{ForceRange, SchedulePolicy};

@@ -22,10 +22,8 @@
 //! });
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use force_machdep::fault;
-use force_machdep::Construct;
+use force_machdep::{Construct, SchedulePolicy};
 
 use crate::player::Player;
 
@@ -43,11 +41,6 @@ struct Section<'s> {
 pub struct Pcase<'p, 's> {
     player: &'p Player,
     sections: Vec<Section<'s>>,
-}
-
-/// Shared state of one selfscheduled Pcase occurrence.
-struct PcaseState {
-    next: AtomicUsize,
 }
 
 impl Player {
@@ -98,28 +91,28 @@ impl<'p, 's> Pcase<'p, 's> {
     }
 
     /// Selfscheduled execution: processes claim the next unexecuted block
-    /// from a shared counter.  Ends with the construct barrier.
+    /// through the same one-trip selfscheduling driver as `Selfsched DO`
+    /// ("a selfscheduled Pcase is similar to the selfscheduled do loop").
+    /// Ends with the construct barrier.
     pub fn selfsched(self) {
         let _c = fault::enter(Construct::Pcase);
         fault::inject(Construct::Pcase);
         let Pcase { player, sections } = self;
-        let n = sections.len();
-        let state = player.collective(|| PcaseState {
-            next: AtomicUsize::new(0),
-        });
+        let n = sections.len() as u64;
         // Each player owns its *own* closures; the shared counter only
         // coordinates which ordinal each player executes.
         let mut sections: Vec<Option<Section<'s>>> = sections.into_iter().map(Some).collect();
-        loop {
-            let j = state.next.fetch_add(1, Ordering::Relaxed);
-            if j >= n {
-                break;
-            }
-            let s = sections[j].take().expect("section claimed twice");
-            if s.cond {
-                (s.body)();
-            }
-        }
+        crate::doall::dispatch_trips(
+            player,
+            SchedulePolicy::Selfsched { chunk: 1 },
+            n,
+            &mut |j| {
+                let s = sections[j as usize].take().expect("section claimed twice");
+                if s.cond {
+                    (s.body)();
+                }
+            },
+        );
         player.barrier();
     }
 }

@@ -16,7 +16,7 @@ pub use crate::critical::CriticalSection;
 pub use crate::force::Force;
 pub use crate::player::Player;
 pub use crate::resolve::Component;
-pub use crate::schedule::ForceRange;
+pub use crate::schedule::{ForceRange, SchedulePolicy};
 pub use crate::shared::{SharedCell, SharedF64Array, SharedF64Matrix, SharedI64Array};
 pub use force_machdep::{
     FaultInjection, ForcePool, Machine, MachineId, ProcessFault, ProfileReport, RunOptions,

@@ -5,6 +5,15 @@
 //! increments.  [`ForceRange`] reproduces the Fortran iteration-count rule
 //! so both DOALL flavours distribute exactly the indices a sequential
 //! `DO` would visit, in the same per-stream order.
+//!
+//! *How* those trips are divided among the processes of the force is a
+//! [`SchedulePolicy`] (re-exported from the machine-dependent layer,
+//! where the default policy of a run lives): the paper's cyclic
+//! prescheduling and §4.2 selfscheduling, plus block, guided, and
+//! work-stealing extensions, all executed by one driver in
+//! [`crate::doall`].
+
+pub use force_machdep::SchedulePolicy;
 
 /// An inclusive, strided index range: `DO K = start, last, incr`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

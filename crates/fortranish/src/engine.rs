@@ -1560,8 +1560,7 @@ mod tests {
         let engine = Engine::from_expanded(&exp, Machine::new(MachineId::EncoreMultimax)).unwrap();
         let opts = RunOptions {
             watchdog: Some(std::time::Duration::from_millis(150)),
-            injection: None,
-            trace: None,
+            ..RunOptions::default()
         };
         let err = engine.run_with(2, opts).unwrap_err();
         assert!(err.to_string().contains("deadlock watchdog"), "{err}");

@@ -46,6 +46,7 @@ use std::time::Duration;
 use crate::portable::{CachePadded, Condvar, Mutex, MutexGuard, XorShift64};
 use crate::stats::OpStats;
 use crate::trace::{self, ProfileReport, TraceConfig, TraceSink};
+use crate::workq::SchedulePolicy;
 
 /// Which Force construct a process is executing or blocked in.  Used for
 /// fault attribution ("pid 2 faulted in critical") and watchdog reports
@@ -208,6 +209,10 @@ pub struct FaultConfig {
     /// records nothing and keeps every trace hook a single thread-local
     /// `Option` test.
     pub trace: Option<TraceConfig>,
+    /// Work-distribution policy used by scheduling constructs that do not
+    /// carry an explicit per-loop override.  Defaults to the paper's §4.2
+    /// selfscheduling (`Selfsched { chunk: 1 }`).
+    pub default_schedule: SchedulePolicy,
 }
 
 /// Per-run options for a reusable execution session: the deadlock
@@ -286,6 +291,11 @@ impl FaultPlane {
     /// The configured fault injection, if any.
     pub fn injection(&self) -> Option<FaultInjection> {
         self.config.lock().injection
+    }
+
+    /// The job's default work-distribution policy.
+    pub fn default_schedule(&self) -> SchedulePolicy {
+        self.config.lock().default_schedule
     }
 
     /// Re-arm the plane for a new job on a resident session: swap in the
@@ -481,6 +491,9 @@ struct Ctx {
     /// Trace sink snapshotted at install time, for the same reason: the
     /// per-event hooks never take the plane's trace mutex.
     trace: Option<Arc<TraceSink>>,
+    /// Default schedule snapshotted at install time, so scheduling
+    /// constructs read the job's policy without taking the config mutex.
+    schedule: SchedulePolicy,
     rng: RefCell<Option<XorShift64>>,
 }
 
@@ -511,6 +524,7 @@ pub(crate) fn install(plane: &Arc<FaultPlane>, pid: usize) -> CtxGuard {
             panicked_in: Cell::new(None),
             injection: plane.injection(),
             trace: plane.trace_sink(),
+            schedule: plane.default_schedule(),
             rng: RefCell::new(None),
         });
         CtxGuard { prev }
@@ -596,6 +610,41 @@ pub fn enter(construct: Construct) -> ConstructGuard {
             timed: None,
         },
     })
+}
+
+/// The default work-distribution policy of the current thread's run
+/// (snapshotted at process start; [`SchedulePolicy::default`] outside a
+/// force).
+pub fn current_default_schedule() -> SchedulePolicy {
+    CTX.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|ctx| ctx.schedule)
+            .unwrap_or_default()
+    })
+}
+
+/// The pid of the current thread within its force (`None` outside a
+/// force).  Scheduling code uses this to address per-pid work deques
+/// from contexts that do not carry a player reference.
+pub fn current_pid() -> Option<usize> {
+    CTX.with(|c| c.borrow().as_ref().map(|ctx| ctx.pid))
+}
+
+/// Account a steal-probe outcome to the current force's machine
+/// counters: a successful theft bumps `steals`, and each victim found
+/// empty bumps `steal_attempts_failed`.  A no-op outside a force.
+pub fn count_steal(taken: bool, failed_probes: u64) {
+    CTX.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            if taken {
+                OpStats::count(&ctx.plane.stats.steals);
+            }
+            if failed_probes > 0 {
+                OpStats::add(&ctx.plane.stats.steal_attempts_failed, failed_probes);
+            }
+        }
+    });
 }
 
 /// The construct the current thread is marked as executing (`Body` when
@@ -859,6 +908,25 @@ mod tests {
     }
 
     #[test]
+    fn default_schedule_is_snapshotted_into_the_context() {
+        assert_eq!(
+            current_default_schedule(),
+            SchedulePolicy::default(),
+            "outside a force the paper default applies"
+        );
+        let p = plane(
+            1,
+            FaultConfig {
+                default_schedule: SchedulePolicy::Steal,
+                ..FaultConfig::default()
+            },
+        );
+        assert_eq!(p.default_schedule(), SchedulePolicy::Steal);
+        let _ctx = install(&p, 0);
+        assert_eq!(current_default_schedule(), SchedulePolicy::Steal);
+    }
+
+    #[test]
     fn markers_nest_and_attribute_panics() {
         let p = plane(1, FaultConfig::default());
         let _ctx = install(&p, 0);
@@ -1024,14 +1092,13 @@ mod tests {
     #[test]
     fn injection_streams_are_deterministic_per_pid() {
         let config = FaultConfig {
-            watchdog: None,
             injection: Some(FaultInjection {
                 seed: 42,
                 panic_per_mille: 0,
                 delay_per_mille: 0,
                 spurious_per_mille: 500,
             }),
-            trace: None,
+            ..FaultConfig::default()
         };
         let run = |pid: usize| {
             let p = plane(4, config);
@@ -1051,14 +1118,13 @@ mod tests {
     #[test]
     fn injected_panics_carry_the_construct_and_pid() {
         let config = FaultConfig {
-            watchdog: None,
             injection: Some(FaultInjection {
                 seed: 7,
                 panic_per_mille: 1000,
                 delay_per_mille: 0,
                 spurious_per_mille: 0,
             }),
-            trace: None,
+            ..FaultConfig::default()
         };
         let p = plane(1, config);
         let _ctx = install(&p, 0);
@@ -1076,8 +1142,7 @@ mod tests {
             1,
             FaultConfig {
                 watchdog: Some(Duration::from_millis(20)),
-                injection: None,
-                trace: None,
+                ..FaultConfig::default()
             },
         );
         let _ctx = install(&p, 0);
@@ -1099,8 +1164,7 @@ mod tests {
             2,
             FaultConfig {
                 watchdog: Some(Duration::from_secs(1)),
-                injection: None,
-                trace: None,
+                ..FaultConfig::default()
             },
         );
         p.trip(
@@ -1133,8 +1197,7 @@ mod tests {
             1,
             FaultConfig {
                 watchdog: Some(Duration::from_secs(3600)),
-                injection: None,
-                trace: None,
+                ..FaultConfig::default()
             },
         );
         let stop = Arc::new((Mutex::new(false), Condvar::new()));

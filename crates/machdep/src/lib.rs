@@ -39,6 +39,7 @@ pub mod spin;
 pub mod stats;
 pub mod syscall_lock;
 pub mod trace;
+pub mod workq;
 
 pub use cost::{CostModel, CycleAccount};
 pub use env::ForceEnvironment;
@@ -57,3 +58,4 @@ pub use trace::{
     ConstructProfile, HistogramSnapshot, NamedLockProfile, ProfileReport, TraceConfig, TraceEvent,
     TraceSink,
 };
+pub use workq::{SchedulePolicy, StealOutcome, WorkQueues};

@@ -402,8 +402,7 @@ mod tests {
             Arc::clone(&stats),
             FaultConfig {
                 watchdog: Some(Duration::from_millis(20)),
-                injection: None,
-                trace: None,
+                ..FaultConfig::default()
             },
         );
         let err = pool

@@ -118,6 +118,10 @@ op_counters! {
     cancellations_observed,
     /// Times the deadlock watchdog declared a no-progress episode.
     watchdog_trips,
+    /// Work items successfully stolen from another process's deque.
+    steals,
+    /// Steal probes that found the victim's deque empty.
+    steal_attempts_failed,
 }
 
 impl OpStats {

@@ -99,9 +99,12 @@ pub enum EventKind {
     Park,
     /// The process left the parked state.
     Unpark,
+    /// A work item was stolen from another process's deque (`id` = the
+    /// victim pid).
+    Steal,
 }
 
-const EVENT_KINDS: [EventKind; 10] = [
+const EVENT_KINDS: [EventKind; 11] = [
     EventKind::ConstructEnter,
     EventKind::ConstructExit,
     EventKind::LockAcquire,
@@ -112,6 +115,7 @@ const EVENT_KINDS: [EventKind; 10] = [
     EventKind::Consume,
     EventKind::Park,
     EventKind::Unpark,
+    EventKind::Steal,
 ];
 
 impl EventKind {
@@ -129,6 +133,7 @@ impl EventKind {
             EventKind::Consume => "consume",
             EventKind::Park => "park",
             EventKind::Unpark => "unpark",
+            EventKind::Steal => "steal",
         }
     }
 
@@ -638,6 +643,19 @@ impl ProfileReport {
         self.named_locks.iter().find(|l| l.name == name)
     }
 
+    /// Per-pid trip imbalance of the job's DOALLs: `(max, min)` executed
+    /// trips across pids (`None` when no DOALL ran).  A large gap under a
+    /// static policy on a skewed workload is exactly what the dynamic
+    /// policies exist to close.
+    pub fn doall_trip_spread(&self) -> Option<(u64, u64)> {
+        if self.doall_trips.is_empty() || self.doall_trips.iter().all(|&t| t == 0) {
+            return None;
+        }
+        let max = *self.doall_trips.iter().max().unwrap();
+        let min = *self.doall_trips.iter().min().unwrap();
+        Some((max, min))
+    }
+
     /// DOALL imbalance: max per-pid trips over mean per-pid trips (1.0 =
     /// perfectly balanced; 0.0 when no DOALL ran).
     pub fn doall_imbalance(&self) -> f64 {
@@ -992,6 +1010,25 @@ mod tests {
         assert!(r.barrier_spread.percentile(1.0) >= 60);
         assert_eq!(r.doall_trips, vec![12, 0]);
         assert!((r.doall_imbalance() - 2.0).abs() < 1e-9, "12 vs mean 6");
+        assert_eq!(r.doall_trip_spread(), Some((12, 0)));
+    }
+
+    #[test]
+    fn trip_spread_is_none_without_doalls() {
+        let sink = TraceSink::new(3, TraceConfig::default());
+        assert_eq!(sink.report().doall_trip_spread(), None);
+    }
+
+    #[test]
+    fn steal_events_round_trip_with_their_victim() {
+        let sink = TraceSink::new(2, TraceConfig::default());
+        sink.emit(0, 42, EventKind::Steal, Construct::Askfor, 1);
+        let r = sink.report();
+        assert_eq!(r.events.len(), 1);
+        assert_eq!(r.events[0].kind, EventKind::Steal);
+        assert_eq!(r.events[0].id, 1, "id carries the victim pid");
+        let json = r.chrome_trace_json();
+        assert!(json.contains("\"name\":\"steal\""), "{json}");
     }
 
     #[test]

@@ -156,9 +156,13 @@ C critical section $1
     );
 
     // ---- selfscheduled DO (the §4.2 worked example) ------------------------------
+    // ZZDOKIND<label> records which selfscheduling flavour opened the
+    // loop (S = one-trip, C = chunked, G = guided) so the shared End
+    // statement can emit the matching epilogue.
     m4.define(
         "ZZSELFSCHEDDO",
         "define(`ZZDOVAR$1', `$2')define(`ZZDOLAST$1', `$4')define(`ZZDOINCR$1', `$5')dnl
+define(`ZZDOKIND$1', `S')dnl
 zzrecord(`envlocks', `LOOP$1')zzrecord(`envints', `$2_shared')dnl
 C loop entry code
       lock(BARWIN)
@@ -182,10 +186,20 @@ C get next index value
 C test for completion
       IF ((($5) .GT. 0 .AND. $2 .LE. ($4)) .OR. (($5) .LT. 0 .AND. $2 .GE. ($4))) THEN",
     );
+    // The epilogue depends on the flavour: one-trip loops go straight
+    // back to the claim; chunked/guided loops first walk the remaining
+    // trips of the claimed chunk (counter ZZC<label>, bound stored by
+    // the opening macro).
     m4.define(
         "ZZENDSELFSCHEDDO",
-        "      GO TO $1
-      END IF
+        "ifelse(defn(`ZZDOKIND$1'), `C', `      ZZC$1 = ZZC$1 + 1
+      IF (ZZC$1 .LT. (ZZDOCHUNKN$1)) GO TO ZZDOBODY$1
+      GO TO $1
+      END IF', `ifelse(defn(`ZZDOKIND$1'), `G', `      ZZC$1 = ZZC$1 + 1
+      IF (ZZC$1 .LT. ZZK$1) GO TO ZZDOBODY$1
+      GO TO $1
+      END IF', `      GO TO $1
+      END IF')')
 C loop exit code
       lock(BARWOT)
 C report exit of processes
@@ -195,6 +209,79 @@ C report exit of processes
       ELSE
       unlock(BARWOT)
       END IF",
+    );
+
+    // ---- chunked / guided selfscheduled DO (scheduling-plane extension) ----------
+    // `Selfsched DO n v = e1, e2[, e3] CHUNK c`: same barrier entry and
+    // locked claim as §4.2, but each visit to the shared index takes `c`
+    // consecutive trips; the private counter ZZC<label> then walks them
+    // without re-acquiring LOOP<label>.  A chunk that crosses the bound
+    // simply fails the per-trip completion test, which exits the loop.
+    m4.define(
+        "ZZSELFSCHEDDOC",
+        "define(`ZZDOVAR$1', `$2')define(`ZZDOLAST$1', `$4')define(`ZZDOINCR$1', `$5')dnl
+define(`ZZDOKIND$1', `C')define(`ZZDOCHUNKN$1', `$6')define(`ZZDOBODY$1', zzgensym(`97'))dnl
+zzrecord(`envlocks', `LOOP$1')zzrecord(`envints', `$2_shared')dnl
+zzrecord(`privints', `ZZV$1')zzrecord(`privints', `ZZC$1')dnl
+C chunked selfscheduled loop entry
+      lock(BARWIN)
+      IF (ZZNBAR .EQ. 0) THEN
+C initialize loop index
+      $2_shared = $3
+      END IF
+C report arrival of processes
+      ZZNBAR = ZZNBAR + 1
+      IF (ZZNBAR .EQ. ZZNPV) THEN
+      unlock(BARWOT)
+      ELSE
+      unlock(BARWIN)
+      END IF
+C claim ($6) consecutive index values per visit
+$1    lock(LOOP$1)
+      ZZV$1 = $2_shared
+      $2_shared = ZZV$1 + ($6)*($5)
+      unlock(LOOP$1)
+      ZZC$1 = 0
+ZZDOBODY$1 CONTINUE
+      $2 = ZZV$1 + ZZC$1*($5)
+C test for completion
+      IF ((($5) .GT. 0 .AND. $2 .LE. ($4)) .OR. (($5) .LT. 0 .AND. $2 .GE. ($4))) THEN",
+    );
+    // `Selfsched DO n v = e1, e2[, e3] GUIDED`: the chunk size tapers with
+    // the remaining trip count — MAX(1, remaining/(2*NP)) — so early
+    // claims are large and the tail self-balances.
+    m4.define(
+        "ZZSELFSCHEDDOG",
+        "define(`ZZDOVAR$1', `$2')define(`ZZDOLAST$1', `$4')define(`ZZDOINCR$1', `$5')dnl
+define(`ZZDOKIND$1', `G')define(`ZZDOBODY$1', zzgensym(`97'))dnl
+zzrecord(`envlocks', `LOOP$1')zzrecord(`envints', `$2_shared')dnl
+zzrecord(`privints', `ZZV$1')zzrecord(`privints', `ZZR$1')dnl
+zzrecord(`privints', `ZZK$1')zzrecord(`privints', `ZZC$1')dnl
+C guided selfscheduled loop entry
+      lock(BARWIN)
+      IF (ZZNBAR .EQ. 0) THEN
+C initialize loop index
+      $2_shared = $3
+      END IF
+C report arrival of processes
+      ZZNBAR = ZZNBAR + 1
+      IF (ZZNBAR .EQ. ZZNPV) THEN
+      unlock(BARWOT)
+      ELSE
+      unlock(BARWIN)
+      END IF
+C claim a tapering chunk of index values
+$1    lock(LOOP$1)
+      ZZV$1 = $2_shared
+      ZZR$1 = ((($4) - ZZV$1) + ($5)) / ($5)
+      ZZK$1 = MAX(1, ZZR$1 / (2*ZZNPV))
+      $2_shared = ZZV$1 + ZZK$1*($5)
+      unlock(LOOP$1)
+      ZZC$1 = 0
+ZZDOBODY$1 CONTINUE
+      $2 = ZZV$1 + ZZC$1*($5)
+C test for completion
+      IF ((($5) .GT. 0 .AND. $2 .LE. ($4)) .OR. (($5) .LT. 0 .AND. $2 .GE. ($4))) THEN",
     );
 
     // ---- prescheduled DO -------------------------------------------------------
@@ -425,6 +512,63 @@ mod tests {
             .unwrap();
         assert!(m4.recorded("envlocks").contains(&"LOOP100".to_string()));
         assert!(m4.recorded("envints").contains(&"K_shared".to_string()));
+    }
+
+    #[test]
+    fn chunked_selfsched_do_claims_and_walks_a_chunk() {
+        let src = "ZZFORCE(M, NP, ME)\nZZSELFSCHEDDOC(100, K, `1', `N', `1', `4')\nC LOOPBODY\nZZENDSELFSCHEDDO(100)";
+        let out = expand(src);
+        let landmarks = [
+            "lock(BARWIN)",
+            "K_shared = 1",
+            // claim 4 indices under the loop lock
+            "100    lock(LOOP100)",
+            "ZZV100 = K_shared",
+            "K_shared = ZZV100 + (4)*(1)",
+            "unlock(LOOP100)",
+            "ZZC100 = 0",
+            "971 CONTINUE",
+            "K = ZZV100 + ZZC100*(1)",
+            "C LOOPBODY",
+            // walk the chunk, then go claim another
+            "ZZC100 = ZZC100 + 1",
+            "IF (ZZC100 .LT. (4)) GO TO 971",
+            "GO TO 100",
+            "lock(BARWOT)",
+        ];
+        let mut pos = 0;
+        for lm in landmarks {
+            let found = out[pos..]
+                .find(lm)
+                .unwrap_or_else(|| panic!("landmark `{lm}` missing or out of order in:\n{out}"));
+            pos += found + lm.len();
+        }
+    }
+
+    #[test]
+    fn guided_selfsched_do_tapers_its_chunk() {
+        let src = "ZZFORCE(M, NP, ME)\nZZSELFSCHEDDOG(9, K, `1', `N', `1')\nC LOOPBODY\nZZENDSELFSCHEDDO(9)";
+        let out = expand(src);
+        // chunk computed from the remaining trips under the lock
+        assert!(out.contains("ZZR9 = (((N) - ZZV9) + (1)) / (1)"), "{out}");
+        assert!(out.contains("ZZK9 = MAX(1, ZZR9 / (2*NP))"), "{out}");
+        assert!(out.contains("K_shared = ZZV9 + ZZK9*(1)"), "{out}");
+        assert!(out.contains("IF (ZZC9 .LT. ZZK9) GO TO 971"), "{out}");
+        assert!(out.contains("GO TO 9"), "{out}");
+    }
+
+    #[test]
+    fn mixed_selfsched_flavours_each_get_their_own_epilogue() {
+        // A plain loop following a chunked one must keep the plain §4.2
+        // epilogue: the kind marker is per-label.
+        let src = "ZZFORCE(M, NP, ME)\n\
+                   ZZSELFSCHEDDOC(100, K, `1', `N', `1', `4')\nC B1\nZZENDSELFSCHEDDO(100)\n\
+                   ZZSELFSCHEDDO(200, J, `1', `N', `1')\nC B2\nZZENDSELFSCHEDDO(200)";
+        let out = expand(src);
+        assert!(out.contains("IF (ZZC100 .LT. (4)) GO TO 971"), "{out}");
+        // the plain loop's epilogue has no chunk counter
+        assert!(!out.contains("ZZC200"), "{out}");
+        assert!(out.contains("GO TO 200"), "{out}");
     }
 
     #[test]

@@ -252,7 +252,7 @@ pub fn preprocess(source: &str, machine: MachineId) -> Result<ExpandedProgram, P
     }
 
     // Step 3: inject the environment declarations at each unit's marker.
-    let env_decl_text = env_declaration(&env_cells);
+    let env_decl_text = env_declaration(&env_cells, l1.recorded("privints"));
     let mut injected = String::with_capacity(intermediate.len() + 256);
     for line in intermediate.lines() {
         if let Some(rest) = line.trim().strip_prefix("C*ZZENVDECL*") {
@@ -370,12 +370,16 @@ pub fn clear_expansion_cache() {
 }
 
 /// The `INTEGER` + `COMMON /ZZFENV/` declarations for the environment,
-/// plus the private scratch cells every unit gets.
-fn env_declaration(env_cells: &[String]) -> String {
+/// plus the private scratch cells every unit gets: the fixed ones, and
+/// any per-loop temps the macros recorded (chunked/guided claims).
+fn env_declaration(env_cells: &[String], priv_ints: &[String]) -> String {
     let list = env_cells.join(", ");
-    format!(
-        "      INTEGER {list}\n      COMMON /ZZFENV/ {list}\n      INTEGER ZZPSEC, ZZNXT, ZZT, ZZN1, ZZN2\n"
-    )
+    let mut scratch = "ZZPSEC, ZZNXT, ZZT, ZZN1, ZZN2".to_string();
+    for v in priv_ints {
+        scratch.push_str(", ");
+        scratch.push_str(v);
+    }
+    format!("      INTEGER {list}\n      COMMON /ZZFENV/ {list}\n      INTEGER {scratch}\n")
 }
 
 /// Generate the machine-dependent driver (§4.1.1): environment

@@ -188,10 +188,24 @@ fn translate_line(line: &str) -> Result<String, String> {
             match second.as_str() {
                 "DO" => {
                     let label = words.expect_label()?;
-                    let (var, e1, e2, e3) = parse_do_control(words.rest())?;
-                    Some(format!(
-                        "ZZ{first}DO({label}, {var}, `{e1}', `{e2}', `{e3}')"
-                    ))
+                    let (control, sched) = split_schedule_suffix(words.rest());
+                    if first == "PRESCHED" && !matches!(sched, ScheduleSuffix::None) {
+                        return Err(
+                            "CHUNK/GUIDED scheduling applies only to Selfsched DO".to_string()
+                        );
+                    }
+                    let (var, e1, e2, e3) = parse_do_control(&control)?;
+                    match sched {
+                        ScheduleSuffix::None => Some(format!(
+                            "ZZ{first}DO({label}, {var}, `{e1}', `{e2}', `{e3}')"
+                        )),
+                        ScheduleSuffix::Chunk(n) => Some(format!(
+                            "ZZSELFSCHEDDOC({label}, {var}, `{e1}', `{e2}', `{e3}', `{n}')"
+                        )),
+                        ScheduleSuffix::Guided => Some(format!(
+                            "ZZSELFSCHEDDOG({label}, {var}, `{e1}', `{e2}', `{e3}')"
+                        )),
+                    }
                 }
                 "DO2" => {
                     // Doubly nested loop over index *pairs* (§3.3):
@@ -325,6 +339,47 @@ fn split_label(s: &str) -> (Option<&str>, &str) {
         (None, s)
     } else {
         (Some(&s[..end]), s[end..].trim_start())
+    }
+}
+
+/// An optional scheduling suffix on `Selfsched DO`: `CHUNK <n>` claims
+/// `n` trips per visit to the shared index, `GUIDED` uses tapering
+/// chunks.  Absent, the paper's one-trip selfscheduling applies.
+enum ScheduleSuffix {
+    None,
+    Chunk(String),
+    Guided,
+}
+
+/// Split a trailing `CHUNK <tok>` or `GUIDED` keyword off the DO-control
+/// text.  The keywords are case-insensitive and must stand as their own
+/// trailing words; anything else stays part of the bounds expressions.
+fn split_schedule_suffix(s: &str) -> (String, ScheduleSuffix) {
+    let t = s.trim_end();
+    if let Some(head) = strip_last_word(t, "GUIDED") {
+        return (head.to_string(), ScheduleSuffix::Guided);
+    }
+    if let Some(ws) = t.rfind(char::is_whitespace) {
+        let (head, tok) = (t[..ws].trim_end(), t[ws..].trim());
+        if let Some(head2) = strip_last_word(head, "CHUNK") {
+            return (head2.to_string(), ScheduleSuffix::Chunk(tok.to_string()));
+        }
+    }
+    (t.to_string(), ScheduleSuffix::None)
+}
+
+/// Strip an ASCII keyword standing as the final whitespace-separated
+/// word of `s` (case-insensitive); `None` if it is not there.
+fn strip_last_word<'a>(s: &'a str, word: &str) -> Option<&'a str> {
+    let n = word.len();
+    if s.len() <= n || !s.is_char_boundary(s.len() - n) {
+        return None;
+    }
+    let (head, tail) = s.split_at(s.len() - n);
+    if tail.eq_ignore_ascii_case(word) && head.ends_with(char::is_whitespace) {
+        Some(head.trim_end())
+    } else {
+        None
     }
 }
 
@@ -553,6 +608,32 @@ mod tests {
             "ZZSELFSCHEDDO(100, K, `START', `LAST', `INCR')"
         );
         assert_eq!(one("100   End Selfsched DO"), "ZZENDSELFSCHEDDO(100)");
+    }
+
+    #[test]
+    fn selfsched_do_chunk_and_guided_suffixes() {
+        assert_eq!(
+            one("      Selfsched DO 100 K = 1, N CHUNK 4"),
+            "ZZSELFSCHEDDOC(100, K, `1', `N', `1', `4')"
+        );
+        assert_eq!(
+            one("      Selfsched DO 7 K = 1, 20, 2 chunk NC"),
+            "ZZSELFSCHEDDOC(7, K, `1', `20', `2', `NC')"
+        );
+        assert_eq!(
+            one("      Selfsched DO 9 K = 1, N GUIDED"),
+            "ZZSELFSCHEDDOG(9, K, `1', `N', `1')"
+        );
+        // The end statement is the plain one either way.
+        assert_eq!(one("100   End Selfsched DO"), "ZZENDSELFSCHEDDO(100)");
+        // Presched is static by definition: the suffixes are an error.
+        assert!(translate_line("      Presched DO 10 I = 1, N CHUNK 4").is_err());
+        assert!(translate_line("      Presched DO 10 I = 1, N GUIDED").is_err());
+        // An identifier merely *containing* the keyword stays a bound.
+        assert_eq!(
+            one("      Selfsched DO 5 K = 1, NGUIDED"),
+            "ZZSELFSCHEDDO(5, K, `1', `NGUIDED', `1')"
+        );
     }
 
     #[test]

@@ -429,6 +429,84 @@ fn fault_injection_with_a_fixed_seed_is_contained_on_every_machine() {
 }
 
 #[test]
+fn a_fault_under_every_schedule_policy_is_attributed_to_the_doall() {
+    // One process dies mid-loop under each policy of the scheduling
+    // plane; the fault must name the DOALL construct and the right pid,
+    // and the force must not hang — peers may be spinning on a shared
+    // trip counter, parked in the end barrier, or probing deques.
+    for policy in SchedulePolicy::all() {
+        let force = Force::new(4);
+        let err = force
+            .try_run(|p| {
+                p.doall_with(policy, ForceRange::to(1, 64), |i| {
+                    if i == 23 {
+                        panic!("trip 23 died");
+                    }
+                });
+            })
+            .expect_err("the panic must surface as a fault");
+        assert_eq!(err.construct, "doall", "{policy:?}");
+        assert_eq!(err.payload, "trip 23 died", "{policy:?}");
+    }
+}
+
+#[test]
+fn a_fault_while_peers_are_stealing_is_contained() {
+    // Work stealing adds a new blocking edge (thieves probing victim
+    // deques).  A process that dies while holding most of the work must
+    // still cancel the whole force promptly on every machine.
+    use std::time::{Duration, Instant};
+    for id in MachineId::all() {
+        let force = Force::with_machine(4, Machine::new(id)).with_watchdog(Duration::from_secs(5));
+        let start = Instant::now();
+        let err = force
+            .try_run(|p| {
+                p.doall_with(SchedulePolicy::Steal, ForceRange::to(1, 64), |i| {
+                    if i == 1 {
+                        // pid 0's first seeded trip: die before anything
+                        // is drained, while peers turn to stealing.
+                        panic!("victim died");
+                    }
+                    std::thread::sleep(Duration::from_micros(50));
+                });
+            })
+            .expect_err("the panic must surface as a fault");
+        assert_eq!(err.construct, "doall", "{}", id.name());
+        assert_eq!(err.payload, "victim died", "{}", id.name());
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "{}: containment took the watchdog bound",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn an_askfor_handler_fault_under_stealing_is_attributed() {
+    // The deque-backed Askfor: a handler dies while peers are asking
+    // (stealing or parked in the dry-wait); everyone must be released
+    // and the fault attributed to the askfor construct.
+    let force = Force::new(4);
+    let err = force
+        .try_run(|p| {
+            p.askfor(
+                || (1..=40u64).collect(),
+                |w, pot| {
+                    if w == 7 {
+                        panic!("handler died");
+                    }
+                    if w > 20 {
+                        pot.post(w - 20);
+                    }
+                },
+            );
+        })
+        .expect_err("the handler panic must surface");
+    assert_eq!(err.construct, "askfor");
+    assert_eq!(err.payload, "handler died");
+}
+
+#[test]
 fn spurious_and_delay_injection_preserve_program_results() {
     // Non-fatal perturbations (spurious lock failures, delays) must not
     // change what the program computes, on any machine.
@@ -506,9 +584,8 @@ fn a_pooled_run_after_an_injected_fault_starts_from_a_clean_plane() {
     let err = force
         .try_execute_with(
             RunOptions {
-                watchdog: None,
                 injection: Some(inj),
-                trace: None,
+                ..RunOptions::default()
             },
             |p| p.barrier(),
         )

@@ -178,6 +178,110 @@ fn the_expansion_executes_correctly() {
 }
 
 #[test]
+fn the_chunked_expansion_executes_correctly() {
+    // The CHUNK extension: each visit to the shared index claims four
+    // consecutive trips.  25 is not a multiple of 4, so the final chunk
+    // crosses the bound and must stop at the per-trip completion test.
+    let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER HITS(25)
+      Private INTEGER K
+      End declarations
+      Selfsched DO 100 K = 1, 25 CHUNK 4
+      Critical LCK
+      HITS(K) = HITS(K) + 1
+      End critical
+100   End Selfsched DO
+      Join
+";
+    for nproc in [1, 2, 4] {
+        let out = the_force::run_force_source(src, MachineId::EncoreMultimax, nproc).unwrap();
+        let hits = &out.shared_values["HITS"];
+        assert!(
+            hits.iter().all(|v| *v == the_force::fortran::Value::Int(1)),
+            "nproc={nproc}: {hits:?}"
+        );
+        assert_eq!(
+            out.shared_scalar("ZZNBAR"),
+            Some(the_force::fortran::Value::Int(0))
+        );
+    }
+}
+
+#[test]
+fn the_chunked_expansion_claims_under_one_lock_round_trip() {
+    // The point of CHUNK: the expansion advances the shared index by
+    // CHUNK*INCR per lock acquisition and walks the chunk privately.
+    let src = "\
+      Force FMAIN of NP ident ME
+      Private INTEGER K
+      End declarations
+      Selfsched DO 100 K = 1, N CHUNK 4
+C LOOPBODY
+100   End Selfsched DO
+      Join
+";
+    let p = preprocess(src, MachineId::EncoreMultimax).expect("preprocess");
+    let inter = &p.intermediate;
+    assert!(
+        inter.contains("K_shared = ZZV100 + (4)*(1)"),
+        "chunked claim missing:\n{inter}"
+    );
+    assert!(
+        inter.contains("IF (ZZC100 .LT. (4)) GO TO"),
+        "chunk walk missing:\n{inter}"
+    );
+}
+
+#[test]
+fn the_guided_expansion_executes_correctly() {
+    // GUIDED: chunk size tapers as MAX(1, remaining/(2*NP)); coverage
+    // must still be exactly-once, including with a negative increment.
+    let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER HITS(40)
+      Private INTEGER K
+      End declarations
+      Selfsched DO 100 K = 1, 40 GUIDED
+      Critical LCK
+      HITS(K) = HITS(K) + 1
+      End critical
+100   End Selfsched DO
+      Join
+";
+    for nproc in [1, 3, 4] {
+        let out = the_force::run_force_source(src, MachineId::Flex32, nproc).unwrap();
+        let hits = &out.shared_values["HITS"];
+        assert!(
+            hits.iter().all(|v| *v == the_force::fortran::Value::Int(1)),
+            "nproc={nproc}: {hits:?}"
+        );
+        assert_eq!(
+            out.shared_scalar("ZZNBAR"),
+            Some(the_force::fortran::Value::Int(0))
+        );
+    }
+
+    let down = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER COUNT
+      Private INTEGER K
+      End declarations
+      Selfsched DO 100 K = 19, 1, -2 GUIDED
+      Critical LCK
+      COUNT = COUNT + 1
+      End critical
+100   End Selfsched DO
+      Join
+";
+    let out = the_force::run_force_source(down, MachineId::SequentBalance, 2).unwrap();
+    assert_eq!(
+        out.shared_scalar("COUNT"),
+        Some(the_force::fortran::Value::Int(10))
+    );
+}
+
+#[test]
 fn negative_increment_matches_the_papers_completion_test() {
     let src = "\
       Force FMAIN of NP ident ME

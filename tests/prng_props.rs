@@ -186,6 +186,91 @@ fn pcase_sections_run_exactly_once() {
 }
 
 #[test]
+fn every_schedule_policy_covers_random_ranges_exactly_once() {
+    // The unified distribute driver, randomized over range shape, force
+    // width, and policy — the per-policy unit tests pin small fixed
+    // ranges; this sweeps the space.
+    let mut rng = XorShift64::new(16);
+    let policies = SchedulePolicy::all();
+    for case in 0..30 {
+        let start = rng.next_i64_in(-50, 49);
+        let span = rng.next_i64_in(0, 119);
+        let incr = nonzero_incr(&mut rng, 4);
+        let nproc = rng.next_i64_in(1, 6) as usize;
+        let policy = policies[rng.next_index(policies.len())];
+        let last = if incr > 0 { start + span } else { start - span };
+        let range = ForceRange::new(start, last, incr);
+        let expected = naive_range(start, last, incr);
+        let force = Force::new(nproc);
+        let hits: Mutex<HashMap<i64, usize>> = Mutex::new(HashMap::new());
+        force.run(|p| {
+            p.doall_with(policy, range, |i| {
+                *hits.lock().entry(i).or_insert(0) += 1;
+            });
+        });
+        let hits = hits.into_inner();
+        let ctx =
+            format!("case {case}: DO K = {start}, {last}, {incr} on {nproc} procs, {policy:?}");
+        assert_eq!(hits.len(), expected.len(), "{ctx}");
+        for i in expected {
+            assert_eq!(hits.get(&i), Some(&1), "index {i} in {ctx}");
+        }
+    }
+}
+
+#[test]
+fn askfor_split_trees_balance_exactly_under_stealing_on_every_machine() {
+    // The deque-backed Askfor on all six machine personalities: random
+    // split trees must conserve both the item count (every handler
+    // invocation beyond the seeds was posted by some handler) and the
+    // total value (splits conserve the sum), whatever the stealing
+    // interleaving.
+    let mut rng = XorShift64::new(17);
+    for id in MachineId::all() {
+        for _ in 0..4 {
+            let nproc = rng.next_i64_in(1, 6) as usize;
+            let nseeds = rng.next_i64_in(1, 4) as usize;
+            let seeds: Vec<u64> = (0..nseeds).map(|_| rng.next_i64_in(1, 60) as u64).collect();
+            let total: u64 = seeds.iter().sum();
+            let force = Force::with_machine(nproc, Machine::new(id));
+            let handled = AtomicU64::new(0);
+            let posts = AtomicU64::new(0);
+            let leaf_sum = AtomicU64::new(0);
+            let seeds_in = seeds.clone();
+            force.run(|p| {
+                p.askfor(
+                    || seeds_in.clone(),
+                    |n, pot| {
+                        handled.fetch_add(1, Ordering::SeqCst);
+                        if n > 1 {
+                            posts.fetch_add(2, Ordering::SeqCst);
+                            pot.post(n / 2);
+                            pot.post(n - n / 2);
+                        } else {
+                            leaf_sum.fetch_add(n, Ordering::SeqCst);
+                        }
+                    },
+                );
+                // After the construct's end barrier every process sees
+                // the full accounting: posted == completed.
+                assert_eq!(
+                    handled.load(Ordering::SeqCst),
+                    seeds_in.len() as u64 + posts.load(Ordering::SeqCst),
+                    "{}: seeds {seeds_in:?} on {nproc} procs",
+                    id.name()
+                );
+            });
+            assert_eq!(
+                leaf_sum.load(Ordering::SeqCst),
+                total,
+                "{}: seeds {seeds:?} on {nproc} procs",
+                id.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn askfor_processes_every_posted_item() {
     let mut rng = XorShift64::new(5);
     for _ in 0..16 {

@@ -160,6 +160,66 @@ proptest! {
     }
 
     #[test]
+    fn every_policy_executes_every_index_exactly_once(
+        start in -50i64..50,
+        span in 0i64..100,
+        incr in prop_oneof![-4i64..=-1, 1i64..=4],
+        nproc in 1usize..6,
+        which in 0usize..6,
+    ) {
+        let last = if incr > 0 { start + span } else { start - span };
+        let range = ForceRange::new(start, last, incr);
+        let expected = naive_range(start, last, incr);
+        let policy = SchedulePolicy::all()[which];
+        let force = Force::new(nproc);
+        let hits: Mutex<HashMap<i64, usize>> = Mutex::new(HashMap::new());
+        force.run(|p| {
+            p.doall_with(policy, range, |i| {
+                *hits.lock().entry(i).or_insert(0) += 1;
+            });
+        });
+        let hits = hits.into_inner();
+        prop_assert_eq!(hits.len(), expected.len(), "{:?}", policy);
+        for k in &expected {
+            prop_assert_eq!(hits.get(k), Some(&1), "index {} under {:?}", k, policy);
+        }
+    }
+
+    #[test]
+    fn askfor_split_trees_balance_under_stealing(
+        machine_ix in 0usize..6,
+        nproc in 1usize..6,
+        seeds in proptest::collection::vec(1u64..50, 1..4),
+    ) {
+        let machine = Machine::new(MachineId::all()[machine_ix]);
+        let force = Force::with_machine(nproc, machine);
+        let total: u64 = seeds.iter().sum();
+        let posts = AtomicU64::new(0);
+        let handled = AtomicU64::new(0);
+        let leaves = AtomicU64::new(0);
+        let seeds2 = seeds.clone();
+        force.run(|p| {
+            p.askfor(move || seeds2.clone(), |n, pot| {
+                handled.fetch_add(1, Ordering::Relaxed);
+                if n > 1 {
+                    posts.fetch_add(2, Ordering::Relaxed);
+                    pot.post(n / 2);
+                    pot.post(n - n / 2);
+                } else {
+                    leaves.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        // Every posted item is handled exactly once, and the split tree
+        // conserves the sum regardless of which pid stole which node.
+        prop_assert_eq!(
+            handled.load(Ordering::Relaxed),
+            seeds.len() as u64 + posts.load(Ordering::Relaxed)
+        );
+        prop_assert_eq!(leaves.load(Ordering::Relaxed), total);
+    }
+
+    #[test]
     fn resolve_partitions_are_a_bijection(
         sizes in proptest::collection::vec(1usize..4, 1..4),
     ) {
