@@ -76,6 +76,9 @@ fn main() {
     if run("exp16") {
         exp16();
     }
+    if run("exp17") {
+        exp17();
+    }
 }
 
 fn host_cores() -> usize {
@@ -1297,4 +1300,227 @@ fn exp16() {
     println!("(expected shape: on the uniform loop the static policies win on");
     println!(" locking cost; on the skewed loop guided or steal beats one-trip");
     println!(" selfscheduling by amortizing claims without losing balance)");
+}
+
+// ---------------------------------------------------------------- EXP-17
+
+/// Structural check of `BENCH_vm.json`: braces/brackets balance outside
+/// strings, one block per machine personality, and both workloads
+/// measured everywhere.  Hand-rolled like the EXP-16 validator.
+fn validate_vm_json(json: &str) -> Result<(), String> {
+    let mut depth = 0i64;
+    let (mut in_str, mut esc) = (false, false);
+    for c in json.chars() {
+        if in_str {
+            if esc {
+                esc = false;
+            } else if c == '\\' {
+                esc = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return Err("closing brace below depth zero".into());
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_str {
+        return Err(format!("document ends at depth {depth} (in_str={in_str})"));
+    }
+    let machines = json.matches("\"machine\":").count();
+    let want_machines = MachineId::all().len();
+    if machines != want_machines {
+        return Err(format!("{machines} machine blocks, want {want_machines}"));
+    }
+    for w in ["pooled-small", "skewed-loop"] {
+        let key = format!("\"workload\": \"{w}\"");
+        let count = json.matches(&key).count();
+        if count != want_machines {
+            return Err(format!("{key} appears {count} times, want {want_machines}"));
+        }
+    }
+    if !json.contains("\"machines_where_bytecode_2x_skewed\":") {
+        return Err("missing bytecode-2x summary counter".into());
+    }
+    Ok(())
+}
+
+fn exp17() {
+    header(
+        "EXP-17",
+        "bytecode VM vs tree-walking interpreter: language-pipeline throughput",
+    );
+    use std::time::Instant;
+    use the_force::machdep::{ExecutorChoice, RunOptions};
+    let env = |k: &str, d: u64| {
+        std::env::var(k)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(d)
+    };
+    let jobs = env("EXP17_JOBS", 200) as usize;
+    let trips = env("EXP17_TRIPS", 96);
+    let skew_jobs = env("EXP17_SKEW_JOBS", 8) as usize;
+    let nproc = 4;
+
+    // Workload 1 — the EXP-14 pooled-session language job: a minimal
+    // self-scheduled sum whose per-job cost is dominated by dispatch and
+    // statement execution, run on one resident session per executor.
+    let small_src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER R
+      Private INTEGER K
+      End declarations
+      Selfsched DO 100 K = 1, 16
+      Critical L
+      R = R + K
+      End critical
+100   End selfsched DO
+      Join
+"
+    .to_string();
+
+    // Workload 2 — the EXP-16 skewed loop in the language: trip K does
+    // K units of inner work, so statement-execution speed (not construct
+    // cost) dominates.  This is the acceptance workload: the bytecode VM
+    // must reach >= 2x tree-walk jobs/sec on at least five machines.
+    let skew_src = format!(
+        "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER CHK
+      Private INTEGER K, J, T
+      End declarations
+      Selfsched DO 100 K = 1, {trips}
+      T = 0
+      DO 10 J = 1, K
+      T = T + J * J - K
+10    CONTINUE
+      Critical L
+      CHK = CHK + MOD(T, 1000)
+      End critical
+100   End selfsched DO
+      Join
+"
+    );
+
+    println!("jobs={jobs} trips={trips} skew_jobs={skew_jobs} nproc={nproc}\n");
+    println!(
+        "{:<18} {:<13} {:>12} {:>12} {:>8}",
+        "machine", "workload", "tree/s", "bytecode/s", "speedup"
+    );
+
+    // Jobs/sec for one (source, machine, executor) cell: a fresh engine
+    // with a resident pool, one warm-up job (charges compilation, shared
+    // allocation and process creation), then `n` timed jobs.
+    let measure = |src: &str, id: MachineId, n: usize, executor: ExecutorChoice| -> (f64, i64) {
+        let (_expanded, engine) = compile_force_source(src, id).expect("front end");
+        engine.set_pool(Arc::new(ForcePool::new(nproc, engine.machine().stats())));
+        let opts = RunOptions {
+            executor,
+            ..RunOptions::default()
+        };
+        let warm = engine.run_with(nproc, opts).expect("warm-up job");
+        // Deterministic digest of the final shared memory (HashMap order
+        // is random, so fold over sorted names).
+        let mut names: Vec<_> = warm.shared_values.keys().collect();
+        names.sort();
+        let check = names
+            .iter()
+            .flat_map(|n| warm.shared_values[*n].iter())
+            .map(|v| v.as_int(0).unwrap_or(0))
+            .fold(0i64, i64::wrapping_add);
+        let t0 = Instant::now();
+        for _ in 0..n {
+            engine.run_with(nproc, opts).expect("job");
+        }
+        (n as f64 / t0.elapsed().as_secs_f64(), check)
+    };
+
+    struct VmRow {
+        id: MachineId,
+        /// (workload, tree jobs/sec, bytecode jobs/sec, speedup)
+        workloads: Vec<(&'static str, f64, f64, f64)>,
+    }
+    let mut rows: Vec<VmRow> = Vec::new();
+    let mut winners = 0usize;
+    for id in MachineId::all() {
+        let mut workloads = Vec::new();
+        for (wname, src, n) in [
+            ("pooled-small", small_src.as_str(), jobs),
+            ("skewed-loop", skew_src.as_str(), skew_jobs),
+        ] {
+            let (tree, tree_check) = measure(src, id, n, ExecutorChoice::TreeWalk);
+            let (vm, vm_check) = measure(src, id, n, ExecutorChoice::Bytecode);
+            assert_eq!(
+                tree_check,
+                vm_check,
+                "{}: {wname} result diverges between executors",
+                id.name()
+            );
+            let speedup = vm / tree;
+            println!(
+                "{:<18} {:<13} {:>12.1} {:>12.1} {:>7.2}x",
+                id.name(),
+                wname,
+                tree,
+                vm,
+                speedup
+            );
+            if wname == "skewed-loop" && speedup >= 2.0 {
+                winners += 1;
+            }
+            workloads.push((wname, tree, vm, speedup));
+        }
+        rows.push(VmRow { id, workloads });
+    }
+    println!(
+        "\nbytecode reaches >= 2x tree-walk on the skewed loop on {winners} of {} machines",
+        rows.len()
+    );
+
+    // Machine-readable artifact for the acceptance gate.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"jobs\": {jobs},\n  \"trips\": {trips},\n  \"skew_jobs\": {skew_jobs},\n  \"nproc\": {nproc},\n"
+    ));
+    json.push_str(&format!("  \"host_cores\": {},\n", host_cores()));
+    json.push_str(&format!(
+        "  \"machines_where_bytecode_2x_skewed\": {winners},\n"
+    ));
+    json.push_str("  \"machines\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!("    {{ \"machine\": \"{}\",\n", row.id.name()));
+        json.push_str("      \"workloads\": [\n");
+        for (wi, (wname, tree, vm, speedup)) in row.workloads.iter().enumerate() {
+            json.push_str(&format!(
+                "        {{ \"workload\": \"{wname}\", \"tree_jobs_per_sec\": {tree:.1}, \
+                 \"bytecode_jobs_per_sec\": {vm:.1}, \"speedup\": {speedup:.3} }}{}\n",
+                if wi + 1 < row.workloads.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        json.push_str(&format!(
+            "      ] }}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    validate_vm_json(&json).expect("vm JSON validates");
+    std::fs::write("BENCH_vm.json", &json).expect("write BENCH_vm.json");
+    println!("wrote BENCH_vm.json (validated)");
+    println!("(expected shape: compiled execution wins most where statement");
+    println!(" dispatch dominates — the skewed loop — and less on the tiny");
+    println!(" pooled job, whose cost is session dispatch and lock traffic)");
 }

@@ -215,6 +215,7 @@ impl Force {
                 injection: self.injection,
                 trace: self.trace,
                 default_schedule: self.default_schedule,
+                ..RunOptions::default()
             },
             body,
         )

@@ -1,0 +1,1493 @@
+//! Bytecode lowering of the fortranish front end: a flat instruction
+//! stream with *resolved storage slots* plus a small stack VM.
+//!
+//! The tree-walking interpreter in [`crate::engine`] re-resolves every
+//! name against the unit's symbol table on every access and re-walks the
+//! expression tree on every evaluation.  This module compiles each
+//! program unit once — scalar reads become `LoadLocal`/`LoadShared` with
+//! baked-in slots, the seven-node boolean tree the front end builds for
+//! a structured `DO` head fuses into a single `Instr::DoCheck` whose
+//! completion test is delegated to `force-core`'s schedule range rule
+//! ([`ForceRange::in_bounds`], the §4.2 `(incr > 0 ∧ k ≤ last) ∨
+//! (incr < 0 ∧ k ≥ last)` test) — and the VM executes the result.
+//!
+//! Semantics are bit-for-bit those of the tree-walker; the equivalence
+//! oracle (`tests/native_vs_interpreter.rs` and the executor matrix)
+//! holds both executors to identical outputs, `OpStats` and error text.
+//! To that end the compiler is *infallible*: every error the tree-walker
+//! would raise at execution time (unknown variable, scalar subscripted,
+//! machine mismatch, …) compiles to code that raises the same error at
+//! the same execution point — never to a compile-time rejection, which
+//! would change *when* a fault surfaces.  All ZZ* runtime services
+//! delegate to the single service layer in [`crate::engine`], so lock
+//! semantics, stats charging and fault attribution cannot drift.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use force_core::schedule::ForceRange;
+use force_machdep::fault;
+
+use crate::ast::{BinOp, Expr, LValue, Ty, UnOp};
+use crate::engine::{
+    aini_service, check_fork_mnemonic, check_hardware_fe, check_isfull_machine, check_vendor_locks,
+    eval_binop, hep_construct, hep_consume, hep_copy, hep_produce, init_lock_service, isfull_value,
+    link_service, lock_mnemonic, lock_service, num_cmp, shpg_service, spawn_force, strt0_service,
+    voidl_service, ArgVal, Flow, Rt, SharedState,
+};
+use crate::error::FortError;
+use crate::intrinsics;
+use crate::program::{Op, Program, Storage, Symbol, Unit};
+use crate::value::Value;
+
+// ---- instruction set -------------------------------------------------
+
+/// One VM instruction.  String payloads are interned in
+/// [`CompiledProgram::names`]; jump targets are instruction offsets
+/// within the unit.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Instr {
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop a LOGICAL; jump if false.
+    JumpIfFalse(u32),
+    /// Fused structured-DO head: pops `to`, `var`, `step` and jumps past
+    /// the loop body unless the trip continues (§4.2 completion test).
+    DoCheck(u32),
+    ConstInt(i64),
+    ConstReal(f64),
+    ConstLog(bool),
+    /// Push the process id / force size.
+    LoadMe,
+    LoadNp,
+    /// Push a private scalar from its frame slot.
+    LoadLocal(u32),
+    /// Push a shared scalar (block index + word offset within it).
+    LoadShared {
+        block: u16,
+        offset: u32,
+        ty: Ty,
+    },
+    /// Push a dummy-argument scalar; the binding's kind is checked
+    /// dynamically exactly as the tree-walker does.
+    LoadArgScalar {
+        arg: u16,
+        name: u32,
+    },
+    /// Pop, convert to `ty`, store into a private frame slot.
+    StoreLocal {
+        base: u32,
+        ty: Ty,
+    },
+    /// Pop, convert to `ty`, store into shared storage.
+    StoreShared {
+        block: u16,
+        offset: u32,
+        ty: Ty,
+    },
+    /// Pop, store through a dummy argument (dynamic binding checks;
+    /// `declared` is the callee-declared type, converted-through first
+    /// for error parity with the tree-walker).
+    StoreArgScalar {
+        arg: u16,
+        name: u32,
+        declared: Ty,
+    },
+    /// Pop, convert to `ty`, push (conversion-error parity only).
+    Convert(Ty),
+    /// Subscript step for a statically-dimensioned array: pops the index
+    /// value, then the running offset accumulator; bounds-checks
+    /// subscript `k` against `dim` and pushes the advanced accumulator.
+    IdxCheck {
+        k: u8,
+        dim: u32,
+        stride: u32,
+        name: u32,
+    },
+    /// Subscript step for an argument-bound array (dimensions read from
+    /// the binding at run time).
+    IdxCheckArg {
+        arg: u16,
+        k: u8,
+        name: u32,
+    },
+    /// Head of an argument-bound element access: checks the binding is
+    /// an array reference with `nidx` dimensions and pushes the offset
+    /// accumulator seed.
+    ArgElemCheck {
+        arg: u16,
+        nidx: u8,
+        name: u32,
+    },
+    /// Pop the accumulator; push the element of a private array.
+    LoadElemLocal {
+        base: u32,
+    },
+    /// Pop the accumulator, then the value; store into a private array.
+    StoreElemLocal {
+        base: u32,
+        ty: Ty,
+    },
+    LoadElemShared {
+        block: u16,
+        offset: u32,
+        ty: Ty,
+    },
+    StoreElemShared {
+        block: u16,
+        offset: u32,
+        ty: Ty,
+    },
+    /// Pop the accumulator; push the element behind an array argument.
+    LoadElemArg {
+        arg: u16,
+    },
+    StoreElemArg {
+        arg: u16,
+    },
+    Neg,
+    Not,
+    Bin(BinOp),
+    /// Intrinsic function call: pops `argc` values.
+    CallFn {
+        name: u32,
+        argc: u8,
+    },
+    /// Append a literal to the PRINT line being built.
+    PrintStr(u32),
+    /// Pop a value and append its display form to the PRINT line.
+    PrintVal,
+    /// Emit the assembled PRINT line.
+    PrintFlush,
+    Return,
+    Stop,
+    /// Raise a runtime error whose condition was decidable at compile
+    /// time — placed exactly where the tree-walker would raise it.
+    Fail(u32),
+
+    // -- argument binding and user calls --
+    /// Bind a shared scalar/array base by reference.
+    ArgShared {
+        block: u16,
+        offset: u32,
+        ty: Ty,
+        dims: u32,
+    },
+    /// Pop the accumulator; bind one shared array element by reference.
+    ArgSharedElem {
+        block: u16,
+        offset: u32,
+        ty: Ty,
+    },
+    /// Pop the accumulator; rebind an element of an array argument.
+    ArgArgElem {
+        arg: u16,
+    },
+    /// Pop a value; bind it by value (read-only in the callee).
+    ArgValue,
+    /// Forward the caller's binding `arg` unchanged.
+    ArgForward(u16),
+    /// Bind a program-unit name (spawn intrinsics).
+    ArgUnit(u32),
+    /// Call a user unit with the last `argc` bindings.
+    CallUser {
+        unit: u32,
+        argc: u8,
+    },
+
+    // -- ZZ* runtime services (shared service layer in `engine`) --
+    /// Pop the newest binding; it must be shared storage (service
+    /// argument `argn` of mnemonic `name`) — push it as a *place*.
+    SvcPlace {
+        name: u32,
+        argn: u8,
+    },
+    SvcVendorCheck(force_machdep::LockKind),
+    SvcLock {
+        is_lock: bool,
+        var_name: Option<u32>,
+    },
+    SvcInitLock {
+        keep_locked: bool,
+        user_pool: bool,
+    },
+    SvcAini,
+    SvcVoidl,
+    SvcHwCheck,
+    /// Pop the value, then the place: produce into a full/empty cell.
+    SvcHepProduce,
+    /// Pop the place; push the consumed value.
+    SvcHepConsume,
+    SvcHepCopy,
+    SvcHepVoid,
+    SvcStrt0,
+    SvcLink,
+    SvcShpg,
+    SvcForkCheck(u32),
+    /// Create the force: run `unit` on `nproc` VM processes.
+    Fork {
+        unit: u32,
+    },
+    SvcIsFullCheck(u32),
+    /// Pop the place; push its full/empty snapshot.
+    IsFullValue(u32),
+}
+
+/// One compiled unit.
+#[derive(Debug)]
+pub(crate) struct CUnit {
+    pub(crate) name: String,
+    /// Declared dummy-argument count (checked at call time).
+    pub(crate) params: u16,
+    pub(crate) frame_words: u32,
+    /// Typed-zero initialization runs: `(base, words, ty)`.
+    pub(crate) locals_init: Vec<(u32, u32, Ty)>,
+    pub(crate) code: Vec<Instr>,
+    /// Source line of each instruction (diagnostics).
+    pub(crate) lines: Vec<u32>,
+}
+
+/// A whole program, lowered.  Built once per `(source, machine)`
+/// expansion and shared through the preprocessor cache's payload slot.
+#[derive(Debug)]
+pub struct CompiledProgram {
+    /// Units sorted by name (binary-searchable, deterministic layout).
+    pub(crate) units: Vec<CUnit>,
+    /// Shared block names in declaration order; instruction `block`
+    /// fields index this table.
+    pub(crate) blocks: Vec<String>,
+    /// Interned strings (error messages, dynamic-lookup names).
+    pub(crate) names: Vec<String>,
+    /// Interned dimension vectors for array-base argument bindings.
+    pub(crate) dims_tables: Vec<Vec<usize>>,
+}
+
+impl CompiledProgram {
+    /// Index of a unit by name.
+    pub(crate) fn unit_index(&self, name: &str) -> Option<usize> {
+        self.units
+            .binary_search_by(|u| u.name.as_str().cmp(name))
+            .ok()
+    }
+}
+
+// ---- compiler --------------------------------------------------------
+
+struct Compiler<'p> {
+    program: &'p Program,
+    block_ids: HashMap<&'p str, u16>,
+    unit_ids: HashMap<&'p str, u32>,
+    names: Vec<String>,
+    name_ids: HashMap<String, u32>,
+    dims_tables: Vec<Vec<usize>>,
+}
+
+/// Per-unit code emission state.
+struct Emit<'p> {
+    symbols: &'p HashMap<String, Symbol>,
+    code: Vec<Instr>,
+    lines: Vec<u32>,
+}
+
+impl Emit<'_> {
+    fn push(&mut self, i: Instr, line: usize) {
+        self.code.push(i);
+        self.lines.push(line as u32);
+    }
+}
+
+/// Lower a parsed program to bytecode.  Infallible by design: statically
+/// detectable runtime errors become `Instr::Fail` at their execution
+/// point, preserving the tree-walker's fault timing.
+pub fn compile(program: &Program) -> CompiledProgram {
+    let mut c = Compiler {
+        program,
+        block_ids: program
+            .shared_blocks
+            .iter()
+            .enumerate()
+            .map(|(i, (n, _))| (n.as_str(), i as u16))
+            .collect(),
+        unit_ids: HashMap::new(),
+        names: Vec::new(),
+        name_ids: HashMap::new(),
+        dims_tables: Vec::new(),
+    };
+    let mut unit_names: Vec<&str> = program.units.keys().map(|s| s.as_str()).collect();
+    unit_names.sort_unstable();
+    for (i, n) in unit_names.iter().enumerate() {
+        c.unit_ids.insert(n, i as u32);
+    }
+    let units = unit_names
+        .iter()
+        .map(|n| c.compile_unit(&program.units[*n]))
+        .collect();
+    CompiledProgram {
+        units,
+        blocks: program
+            .shared_blocks
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect(),
+        names: c.names,
+        dims_tables: c.dims_tables,
+    }
+}
+
+impl<'p> Compiler<'p> {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&i) = self.name_ids.get(s) {
+            return i;
+        }
+        let i = self.names.len() as u32;
+        self.names.push(s.to_string());
+        self.name_ids.insert(s.to_string(), i);
+        i
+    }
+
+    fn intern_dims(&mut self, dims: &[usize]) -> u32 {
+        if let Some(i) = self.dims_tables.iter().position(|d| d == dims) {
+            return i as u32;
+        }
+        self.dims_tables.push(dims.to_vec());
+        (self.dims_tables.len() - 1) as u32
+    }
+
+    fn compile_unit(&mut self, unit: &'p Unit) -> CUnit {
+        let mut e = Emit {
+            symbols: &unit.symbols,
+            code: Vec::new(),
+            lines: Vec::new(),
+        };
+        // First pass: emit each op, recording where it starts; jump
+        // targets temporarily hold *op* indices.
+        let mut op_starts = Vec::with_capacity(unit.ops.len() + 1);
+        for (pc, op) in unit.ops.iter().enumerate() {
+            op_starts.push(e.code.len() as u32);
+            let line = unit.op_lines[pc];
+            match op {
+                Op::Nop => {}
+                Op::Jump(t) => e.push(Instr::Jump(*t as u32), line),
+                Op::JumpIfFalse(cond, t) => {
+                    match crate::program::match_do_condition(cond) {
+                        Some((var, to, step)) => {
+                            // Tree evaluation order of the condition's
+                            // first error: step, then var, then to.
+                            self.expr(&mut e, step, line);
+                            self.expr(&mut e, var, line);
+                            self.expr(&mut e, to, line);
+                            e.push(Instr::DoCheck(*t as u32), line);
+                        }
+                        None => {
+                            self.expr(&mut e, cond, line);
+                            e.push(Instr::JumpIfFalse(*t as u32), line);
+                        }
+                    }
+                }
+                Op::Assign(lhs, rhs) => {
+                    self.expr(&mut e, rhs, line);
+                    self.store(&mut e, lhs, line);
+                }
+                Op::Print(items) => {
+                    for it in items {
+                        match it {
+                            Expr::Str(s) => {
+                                let id = self.intern(s);
+                                e.push(Instr::PrintStr(id), line);
+                            }
+                            other => {
+                                self.expr(&mut e, other, line);
+                                e.push(Instr::PrintVal, line);
+                            }
+                        }
+                    }
+                    e.push(Instr::PrintFlush, line);
+                }
+                Op::Return => e.push(Instr::Return, line),
+                Op::Stop => e.push(Instr::Stop, line),
+                Op::Call(name, args) => self.call(&mut e, name, args, line),
+            }
+        }
+        op_starts.push(e.code.len() as u32);
+        // Second pass: rewrite op-index jump targets to instruction
+        // offsets.
+        for i in &mut e.code {
+            match i {
+                Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::DoCheck(t) => {
+                    *t = op_starts[*t as usize];
+                }
+                _ => {}
+            }
+        }
+        let mut locals_init = Vec::new();
+        for sym in unit.symbols.values() {
+            if let Storage::Local { base } = sym.storage {
+                if sym.ty != Ty::Integer {
+                    locals_init.push((base as u32, sym.words() as u32, sym.ty));
+                }
+            }
+        }
+        locals_init.sort_unstable_by_key(|&(base, ..)| base);
+        CUnit {
+            name: unit.name.clone(),
+            params: unit.params.len() as u16,
+            frame_words: unit.frame_words as u32,
+            locals_init,
+            code: e.code,
+            lines: e.lines,
+        }
+    }
+
+    fn fail(&mut self, e: &mut Emit<'_>, msg: String, line: usize) {
+        let id = self.intern(&msg);
+        e.push(Instr::Fail(id), line);
+    }
+
+    fn block_id(&mut self, e: &mut Emit<'_>, block: &str, line: usize) -> Option<u16> {
+        match self.block_ids.get(block) {
+            Some(&i) => Some(i),
+            None => {
+                // The tree-walker's `block_base` raises this when the
+                // symbol is touched.
+                self.fail(e, format!("unknown shared block {block}"), line);
+                None
+            }
+        }
+    }
+
+    // -- expressions --
+
+    fn expr(&mut self, e: &mut Emit<'_>, x: &Expr, line: usize) {
+        match x {
+            Expr::Int(n) => e.push(Instr::ConstInt(*n), line),
+            Expr::Real(v) => e.push(Instr::ConstReal(*v), line),
+            Expr::Logical(b) => e.push(Instr::ConstLog(*b), line),
+            Expr::Str(_) => self.fail(
+                e,
+                "character data are only allowed in PRINT lists".into(),
+                line,
+            ),
+            Expr::Var(n) => self.read_scalar(e, n, line),
+            Expr::Index(n, idx) => {
+                let is_array = e.symbols.get(n).is_some_and(|s| !s.dims.is_empty());
+                if is_array {
+                    self.elem_load(e, n, idx, line);
+                } else if e.symbols.contains_key(n) {
+                    self.fail(e, format!("{n} is a scalar but was subscripted"), line);
+                } else if n == "ZZISFL" || n == "ZZHISF" {
+                    let id = self.intern(n);
+                    e.push(Instr::SvcIsFullCheck(id), line);
+                    self.svc_place(e, n, idx, 0, line);
+                    e.push(Instr::IsFullValue(id), line);
+                } else {
+                    for a in idx {
+                        self.expr(e, a, line);
+                    }
+                    let id = self.intern(n);
+                    e.push(
+                        Instr::CallFn {
+                            name: id,
+                            argc: idx.len() as u8,
+                        },
+                        line,
+                    );
+                }
+            }
+            Expr::Un(op, a) => {
+                self.expr(e, a, line);
+                e.push(
+                    match op {
+                        UnOp::Neg => Instr::Neg,
+                        UnOp::Not => Instr::Not,
+                    },
+                    line,
+                );
+            }
+            Expr::Bin(op, a, b) => {
+                // The tree-walker evaluates both operands
+                // unconditionally (no short-circuit) — so does the VM.
+                self.expr(e, a, line);
+                self.expr(e, b, line);
+                e.push(Instr::Bin(*op), line);
+            }
+        }
+    }
+
+    fn read_scalar(&mut self, e: &mut Emit<'_>, n: &str, line: usize) {
+        let Some(sym) = e.symbols.get(n) else {
+            return self.fail(e, format!("unknown variable {n}"), line);
+        };
+        if !sym.dims.is_empty() {
+            return self.fail(e, format!("array {n} used without subscripts"), line);
+        }
+        match &sym.storage {
+            Storage::Local { base } => e.push(Instr::LoadLocal(*base as u32), line),
+            Storage::Shared { block, offset } => {
+                let (off, ty) = (*offset as u32, sym.ty);
+                if let Some(b) = self.block_id(e, block, line) {
+                    e.push(
+                        Instr::LoadShared {
+                            block: b,
+                            offset: off,
+                            ty,
+                        },
+                        line,
+                    );
+                }
+            }
+            Storage::PseudoMe => e.push(Instr::LoadMe, line),
+            Storage::PseudoNp => e.push(Instr::LoadNp, line),
+            Storage::Arg(i) => {
+                let id = self.intern(n);
+                e.push(
+                    Instr::LoadArgScalar {
+                        arg: *i as u16,
+                        name: id,
+                    },
+                    line,
+                );
+            }
+        }
+    }
+
+    /// Emit the accumulator seed + interleaved index-eval/bounds-check
+    /// chain for a statically-dimensioned array.  Returns false if a
+    /// `Fail` was emitted instead (dimension-count mismatch).
+    fn static_elem_chain(
+        &mut self,
+        e: &mut Emit<'_>,
+        n: &str,
+        dims: &[usize],
+        idx: &[Expr],
+        line: usize,
+    ) -> bool {
+        if idx.len() != dims.len() {
+            self.fail(
+                e,
+                format!(
+                    "{n} has {} dimension(s) but {} subscript(s) given",
+                    dims.len(),
+                    idx.len()
+                ),
+                line,
+            );
+            return false;
+        }
+        e.push(Instr::ConstInt(0), line);
+        let name = self.intern(n);
+        let mut stride = 1usize;
+        for (k, (ix, &d)) in idx.iter().zip(dims.iter()).enumerate() {
+            self.expr(e, ix, line);
+            e.push(
+                Instr::IdxCheck {
+                    k: k as u8,
+                    dim: d as u32,
+                    stride: stride as u32,
+                    name,
+                },
+                line,
+            );
+            stride *= d;
+        }
+        true
+    }
+
+    /// Emit the dynamic chain for an argument-bound array.
+    fn arg_elem_chain(&mut self, e: &mut Emit<'_>, arg: usize, n: &str, idx: &[Expr], line: usize) {
+        let name = self.intern(n);
+        e.push(
+            Instr::ArgElemCheck {
+                arg: arg as u16,
+                nidx: idx.len() as u8,
+                name,
+            },
+            line,
+        );
+        for (k, ix) in idx.iter().enumerate() {
+            self.expr(e, ix, line);
+            e.push(
+                Instr::IdxCheckArg {
+                    arg: arg as u16,
+                    k: k as u8,
+                    name,
+                },
+                line,
+            );
+        }
+    }
+
+    /// Element load for an array symbol (declared dims non-empty).
+    fn elem_load(&mut self, e: &mut Emit<'_>, n: &str, idx: &[Expr], line: usize) {
+        let sym = e.symbols[n].clone();
+        if let Storage::Arg(i) = sym.storage {
+            self.arg_elem_chain(e, i, n, idx, line);
+            e.push(Instr::LoadElemArg { arg: i as u16 }, line);
+            return;
+        }
+        if !self.static_elem_chain(e, n, &sym.dims, idx, line) {
+            return;
+        }
+        match &sym.storage {
+            Storage::Local { base } => e.push(Instr::LoadElemLocal { base: *base as u32 }, line),
+            Storage::Shared { block, offset } => {
+                let (off, ty) = (*offset as u32, sym.ty);
+                if let Some(b) = self.block_id(e, block, line) {
+                    e.push(
+                        Instr::LoadElemShared {
+                            block: b,
+                            offset: off,
+                            ty,
+                        },
+                        line,
+                    );
+                }
+            }
+            _ => unreachable!("array storage"),
+        }
+    }
+
+    // -- stores (value already on the stack) --
+
+    fn store(&mut self, e: &mut Emit<'_>, lhs: &LValue, line: usize) {
+        match lhs {
+            LValue::Name(n) => {
+                let Some(sym) = e.symbols.get(n).cloned() else {
+                    return self.fail(e, format!("unknown variable {n}"), line);
+                };
+                if !sym.dims.is_empty() {
+                    return self.fail(e, format!("array {n} assigned without subscripts"), line);
+                }
+                match &sym.storage {
+                    Storage::Local { base } => e.push(
+                        Instr::StoreLocal {
+                            base: *base as u32,
+                            ty: sym.ty,
+                        },
+                        line,
+                    ),
+                    Storage::Shared { block, offset } => {
+                        let (off, ty) = (*offset as u32, sym.ty);
+                        if let Some(b) = self.block_id(e, block, line) {
+                            e.push(
+                                Instr::StoreShared {
+                                    block: b,
+                                    offset: off,
+                                    ty,
+                                },
+                                line,
+                            );
+                        }
+                    }
+                    Storage::PseudoMe | Storage::PseudoNp => {
+                        // The tree-walker converts first, then rejects
+                        // the store — conversion errors win.
+                        e.push(Instr::Convert(sym.ty), line);
+                        self.fail(e, format!("{n} (process environment) is read-only"), line);
+                    }
+                    Storage::Arg(i) => {
+                        let id = self.intern(n);
+                        e.push(
+                            Instr::StoreArgScalar {
+                                arg: *i as u16,
+                                name: id,
+                                declared: sym.ty,
+                            },
+                            line,
+                        );
+                    }
+                }
+            }
+            LValue::Elem(n, idx) => {
+                let Some(sym) = e.symbols.get(n).cloned() else {
+                    return self.fail(e, format!("unknown array {n}"), line);
+                };
+                if let Storage::Arg(i) = sym.storage {
+                    self.arg_elem_chain(e, i, n, idx, line);
+                    e.push(Instr::StoreElemArg { arg: i as u16 }, line);
+                    return;
+                }
+                if sym.dims.is_empty() {
+                    return self.fail(e, format!("{n} is a scalar but was subscripted"), line);
+                }
+                if !self.static_elem_chain(e, n, &sym.dims, idx, line) {
+                    return;
+                }
+                match &sym.storage {
+                    Storage::Local { base } => e.push(
+                        Instr::StoreElemLocal {
+                            base: *base as u32,
+                            ty: sym.ty,
+                        },
+                        line,
+                    ),
+                    Storage::Shared { block, offset } => {
+                        let (off, ty) = (*offset as u32, sym.ty);
+                        if let Some(b) = self.block_id(e, block, line) {
+                            e.push(
+                                Instr::StoreElemShared {
+                                    block: b,
+                                    offset: off,
+                                    ty,
+                                },
+                                line,
+                            );
+                        }
+                    }
+                    _ => unreachable!("array storage"),
+                }
+            }
+        }
+    }
+
+    // -- argument binding --
+
+    fn bind_arg(&mut self, e: &mut Emit<'_>, a: &Expr, line: usize) {
+        match a {
+            Expr::Var(n) => {
+                if self.program.units.contains_key(n) {
+                    let id = self.intern(n);
+                    return e.push(Instr::ArgUnit(id), line);
+                }
+                let Some(sym) = e.symbols.get(n).cloned() else {
+                    return self.fail(e, format!("unknown variable {n}"), line);
+                };
+                match &sym.storage {
+                    Storage::Shared { block, offset } => {
+                        let (off, ty) = (*offset as u32, sym.ty);
+                        let dims = self.intern_dims(&sym.dims);
+                        if let Some(b) = self.block_id(e, block, line) {
+                            e.push(
+                                Instr::ArgShared {
+                                    block: b,
+                                    offset: off,
+                                    ty,
+                                    dims,
+                                },
+                                line,
+                            );
+                        }
+                    }
+                    Storage::Local { base } => {
+                        if sym.dims.is_empty() {
+                            e.push(Instr::LoadLocal(*base as u32), line);
+                            e.push(Instr::ArgValue, line);
+                        } else {
+                            self.fail(
+                                e,
+                                format!("cannot pass private array {n} by reference"),
+                                line,
+                            );
+                        }
+                    }
+                    Storage::PseudoMe => {
+                        e.push(Instr::LoadMe, line);
+                        e.push(Instr::ArgValue, line);
+                    }
+                    Storage::PseudoNp => {
+                        e.push(Instr::LoadNp, line);
+                        e.push(Instr::ArgValue, line);
+                    }
+                    Storage::Arg(i) => e.push(Instr::ArgForward(*i as u16), line),
+                }
+            }
+            Expr::Index(n, idx) => {
+                let is_array = e.symbols.get(n).is_some_and(|s| !s.dims.is_empty());
+                if !is_array {
+                    self.expr(e, a, line);
+                    return e.push(Instr::ArgValue, line);
+                }
+                let sym = e.symbols[n].clone();
+                match &sym.storage {
+                    Storage::Arg(i) => {
+                        self.arg_elem_chain(e, *i, n, idx, line);
+                        e.push(Instr::ArgArgElem { arg: *i as u16 }, line);
+                    }
+                    Storage::Local { base } => {
+                        if self.static_elem_chain(e, n, &sym.dims, idx, line) {
+                            e.push(Instr::LoadElemLocal { base: *base as u32 }, line);
+                            e.push(Instr::ArgValue, line);
+                        }
+                    }
+                    Storage::Shared { block, offset } => {
+                        let (off, ty) = (*offset as u32, sym.ty);
+                        if self.static_elem_chain(e, n, &sym.dims, idx, line) {
+                            if let Some(b) = self.block_id(e, block, line) {
+                                e.push(
+                                    Instr::ArgSharedElem {
+                                        block: b,
+                                        offset: off,
+                                        ty,
+                                    },
+                                    line,
+                                );
+                            }
+                        }
+                    }
+                    _ => unreachable!("array storage"),
+                }
+            }
+            other => {
+                self.expr(e, other, line);
+                e.push(Instr::ArgValue, line);
+            }
+        }
+    }
+
+    /// Bind service argument `i` and require it to be a shared place.
+    fn svc_place(&mut self, e: &mut Emit<'_>, svc: &str, args: &[Expr], i: usize, line: usize) {
+        match args.get(i) {
+            None => self.fail(e, format!("{svc} is missing argument {}", i + 1), line),
+            Some(a) => {
+                self.bind_arg(e, a, line);
+                let id = self.intern(svc);
+                e.push(
+                    Instr::SvcPlace {
+                        name: id,
+                        argn: i as u8,
+                    },
+                    line,
+                );
+            }
+        }
+    }
+
+    // -- calls --
+
+    fn call(&mut self, e: &mut Emit<'_>, name: &str, args: &[Expr], line: usize) {
+        if let Some(&unit) = self.unit_ids.get(name) {
+            for a in args {
+                self.bind_arg(e, a, line);
+            }
+            e.push(
+                Instr::CallUser {
+                    unit,
+                    argc: args.len() as u8,
+                },
+                line,
+            );
+            return;
+        }
+        if let Some((kind, is_lock)) = lock_mnemonic(name) {
+            e.push(Instr::SvcVendorCheck(kind), line);
+            self.svc_place(e, name, args, 0, line);
+            let var_name = match args.first() {
+                Some(Expr::Var(n)) => Some(self.intern(n)),
+                _ => None,
+            };
+            e.push(Instr::SvcLock { is_lock, var_name }, line);
+            return;
+        }
+        match name {
+            "ZZINITL" | "ZZINITK" | "ZZINITU" => {
+                self.svc_place(e, name, args, 0, line);
+                e.push(
+                    Instr::SvcInitLock {
+                        keep_locked: name == "ZZINITK",
+                        user_pool: name == "ZZINITU",
+                    },
+                    line,
+                );
+            }
+            "ZZAINI" => {
+                self.svc_place(e, name, args, 0, line);
+                self.svc_place(e, name, args, 1, line);
+                e.push(Instr::SvcAini, line);
+            }
+            "ZZVOIDL" => {
+                self.svc_place(e, name, args, 0, line);
+                self.svc_place(e, name, args, 1, line);
+                e.push(Instr::SvcVoidl, line);
+            }
+            "ZZHPRD" | "ZZHCON" | "ZZHVD" | "ZZHCPY" => {
+                e.push(Instr::SvcHwCheck, line);
+                self.svc_place(e, name, args, 0, line);
+                match name {
+                    "ZZHPRD" => match args.get(1) {
+                        Some(v) => {
+                            self.expr(e, v, line);
+                            e.push(Instr::SvcHepProduce, line);
+                        }
+                        None => self.fail(e, format!("{name} is missing argument 2"), line),
+                    },
+                    "ZZHCON" | "ZZHCPY" => {
+                        e.push(
+                            if name == "ZZHCON" {
+                                Instr::SvcHepConsume
+                            } else {
+                                Instr::SvcHepCopy
+                            },
+                            line,
+                        );
+                        // The destination resolves *after* the transfer,
+                        // exactly as the tree-walker orders it.
+                        match args.get(1) {
+                            Some(Expr::Var(n)) => self.store(e, &LValue::Name(n.clone()), line),
+                            Some(Expr::Index(n, idx)) => {
+                                self.store(e, &LValue::Elem(n.clone(), idx.clone()), line)
+                            }
+                            Some(_) => self.fail(e, "destination must be a variable".into(), line),
+                            None => self.fail(e, format!("{name} is missing argument 2"), line),
+                        }
+                    }
+                    _ => e.push(Instr::SvcHepVoid, line),
+                }
+            }
+            "ZZSTRT0" => e.push(Instr::SvcStrt0, line),
+            "ZZLINK" => e.push(Instr::SvcLink, line),
+            "ZZSHPG" => e.push(Instr::SvcShpg, line),
+            "ZZFORKJ" | "ZZSFORK" | "ZZSPAWN" => {
+                let id = self.intern(name);
+                e.push(Instr::SvcForkCheck(id), line);
+                match args.first() {
+                    Some(Expr::Var(n)) if self.program.units.contains_key(n) => {
+                        let unit = self.unit_ids[n.as_str()];
+                        e.push(Instr::Fork { unit }, line);
+                    }
+                    _ => self.fail(e, format!("{name} needs a program unit to execute"), line),
+                }
+            }
+            other => self.fail(e, format!("CALL to unknown subroutine `{other}`"), line),
+        }
+    }
+}
+
+// ---- VM --------------------------------------------------------------
+
+/// The §4.2 trip-continuation test for a fused DO head.  All-integer
+/// bounds delegate to the schedule range rule in `force-core`; mixed
+/// types fall back to the coercing comparisons the boolean tree would
+/// perform, in its evaluation order (step sign first).
+fn do_continues(var: Value, to: Value, step: Value, line: usize) -> Result<bool, FortError> {
+    if let (Value::Int(k), Value::Int(last), Value::Int(incr)) = (var, to, step) {
+        if incr != 0 {
+            return Ok(ForceRange {
+                start: k,
+                last,
+                incr,
+            }
+            .in_bounds(k));
+        }
+        return Ok(false);
+    }
+    use std::cmp::Ordering::{Greater, Less};
+    let cs = num_cmp(step, Value::Int(0), line)?;
+    let ck = num_cmp(var, to, line)?;
+    Ok((cs == Greater && ck != Greater) || (cs == Less && ck != Less))
+}
+
+/// One VM process: the bytecode counterpart of the tree-walker's `Proc`.
+pub(crate) struct VmProc<'r, 'e> {
+    rt: &'r Rt<'e>,
+    cp: &'r CompiledProgram,
+    me: i64,
+    np: i64,
+    /// Shared region + per-block bases, resolved on first shared touch
+    /// (preserving the Sequent's designate-at-first-use failure timing)
+    /// and then cached for the process's lifetime.
+    shared: Option<(Arc<SharedState>, Vec<usize>)>,
+}
+
+impl<'r, 'e> VmProc<'r, 'e> {
+    pub(crate) fn new(rt: &'r Rt<'e>, cp: &'r CompiledProgram, me: i64, np: i64) -> Self {
+        VmProc {
+            rt,
+            cp,
+            me,
+            np,
+            shared: None,
+        }
+    }
+
+    fn shared_ref(&mut self, line: usize) -> Result<&(Arc<SharedState>, Vec<usize>), FortError> {
+        if self.shared.is_none() {
+            let state = self.rt.shared(line)?;
+            let mut bases = Vec::with_capacity(self.cp.blocks.len());
+            for b in &self.cp.blocks {
+                bases.push(*state.bases.get(b).ok_or_else(|| {
+                    FortError::runtime(line, format!("unknown shared block {b}"))
+                })?);
+            }
+            self.shared = Some((state, bases));
+        }
+        Ok(self.shared.as_ref().expect("just set"))
+    }
+
+    /// Absolute shared word offset of `(block, offset)`.
+    fn shared_off(&mut self, block: u16, offset: u32, line: usize) -> Result<usize, FortError> {
+        let (_, bases) = self.shared_ref(line)?;
+        Ok(bases[block as usize] + offset as usize)
+    }
+
+    fn load_word(&mut self, off: usize, ty: Ty, line: usize) -> Result<Value, FortError> {
+        let (state, _) = self.shared_ref(line)?;
+        Ok(Value::from_bits(state.region.load_raw(off), ty))
+    }
+
+    fn store_word(&mut self, off: usize, bits: u64, line: usize) -> Result<(), FortError> {
+        let (state, _) = self.shared_ref(line)?;
+        state.region.store_raw(off, bits);
+        Ok(())
+    }
+
+    /// Execute a unit to completion.
+    pub(crate) fn exec(&mut self, unit: usize, args: Vec<ArgVal>) -> Result<Flow, FortError> {
+        let u = &self.cp.units[unit];
+        let mut locals = vec![Value::Int(0); u.frame_words as usize];
+        for &(base, words, ty) in &u.locals_init {
+            for w in 0..words {
+                locals[(base + w) as usize] = Value::zero(ty);
+            }
+        }
+        let mut stack: Vec<Value> = Vec::with_capacity(16);
+        let mut argstack: Vec<ArgVal> = Vec::new();
+        let mut places: Vec<(usize, Ty)> = Vec::new();
+        let mut parts: Vec<String> = Vec::new();
+        let code = &u.code;
+        let mut pc = 0usize;
+        macro_rules! pop {
+            () => {
+                stack.pop().expect("value stack underflow")
+            };
+        }
+        while pc < code.len() {
+            let line = u.lines[pc] as usize;
+            match &code[pc] {
+                Instr::Jump(t) => {
+                    pc = *t as usize;
+                    continue;
+                }
+                Instr::JumpIfFalse(t) => {
+                    if !pop!().as_log(line)? {
+                        pc = *t as usize;
+                        continue;
+                    }
+                }
+                Instr::DoCheck(t) => {
+                    let to = pop!();
+                    let var = pop!();
+                    let step = pop!();
+                    if !do_continues(var, to, step, line)? {
+                        pc = *t as usize;
+                        continue;
+                    }
+                }
+                Instr::ConstInt(n) => stack.push(Value::Int(*n)),
+                Instr::ConstReal(x) => stack.push(Value::Real(*x)),
+                Instr::ConstLog(b) => stack.push(Value::Log(*b)),
+                Instr::LoadMe => stack.push(Value::Int(self.me)),
+                Instr::LoadNp => stack.push(Value::Int(self.np)),
+                Instr::LoadLocal(slot) => stack.push(locals[*slot as usize]),
+                Instr::LoadShared { block, offset, ty } => {
+                    let off = self.shared_off(*block, *offset, line)?;
+                    let v = self.load_word(off, *ty, line)?;
+                    stack.push(v);
+                }
+                Instr::LoadArgScalar { arg, name } => match &args[*arg as usize] {
+                    ArgVal::Value(v) => stack.push(*v),
+                    ArgVal::Shared { offset, ty, dims } => {
+                        if !dims.is_empty() {
+                            return Err(FortError::runtime(
+                                line,
+                                format!(
+                                    "array argument {} used without subscripts",
+                                    self.cp.names[*name as usize]
+                                ),
+                            ));
+                        }
+                        let (offset, ty) = (*offset, *ty);
+                        let v = self.load_word(offset, ty, line)?;
+                        stack.push(v);
+                    }
+                    ArgVal::Unit(u) => {
+                        return Err(FortError::runtime(
+                            line,
+                            format!("unit name {u} used as a value"),
+                        ))
+                    }
+                },
+                Instr::StoreLocal { base, ty } => {
+                    locals[*base as usize] = pop!().convert_to(*ty, line)?;
+                }
+                Instr::StoreShared { block, offset, ty } => {
+                    let v = pop!().convert_to(*ty, line)?;
+                    let off = self.shared_off(*block, *offset, line)?;
+                    self.store_word(off, v.to_bits(), line)?;
+                }
+                Instr::StoreArgScalar {
+                    arg,
+                    name,
+                    declared,
+                } => {
+                    let value = pop!();
+                    // Error parity: the tree-walker converts to the
+                    // callee-declared type before dispatching on the
+                    // binding (the result is then recomputed from the
+                    // binding's own type).
+                    value.convert_to(*declared, line)?;
+                    let n = || self.cp.names[*name as usize].clone();
+                    match &args[*arg as usize] {
+                        ArgVal::Shared { offset, ty, dims } => {
+                            if !dims.is_empty() {
+                                return Err(FortError::runtime(
+                                    line,
+                                    format!("array argument {} assigned without subscripts", n()),
+                                ));
+                            }
+                            let v = value.convert_to(*ty, line)?;
+                            let offset = *offset;
+                            self.store_word(offset, v.to_bits(), line)?;
+                        }
+                        ArgVal::Value(_) => {
+                            return Err(FortError::runtime(
+                                line,
+                                format!("argument {} was passed by value and is read-only", n()),
+                            ))
+                        }
+                        ArgVal::Unit(_) => {
+                            return Err(FortError::runtime(
+                                line,
+                                format!("cannot assign to unit name {}", n()),
+                            ))
+                        }
+                    }
+                }
+                Instr::Convert(ty) => {
+                    let v = pop!().convert_to(*ty, line)?;
+                    stack.push(v);
+                }
+                Instr::IdxCheck {
+                    k,
+                    dim,
+                    stride,
+                    name,
+                } => {
+                    let i = pop!().as_int(line)?;
+                    let acc = pop!().as_int(line)?;
+                    if i < 1 || i as u64 > *dim as u64 {
+                        return Err(FortError::runtime(
+                            line,
+                            format!(
+                                "subscript {} of {} is {i}, outside 1..{dim}",
+                                *k as usize + 1,
+                                self.cp.names[*name as usize]
+                            ),
+                        ));
+                    }
+                    stack.push(Value::Int(acc + (i - 1) * *stride as i64));
+                }
+                Instr::IdxCheckArg { arg, k, name } => {
+                    let i = pop!().as_int(line)?;
+                    let acc = pop!().as_int(line)?;
+                    let dims = match &args[*arg as usize] {
+                        ArgVal::Shared { dims, .. } => dims,
+                        _ => unreachable!("checked by ArgElemCheck"),
+                    };
+                    let d = dims[*k as usize];
+                    if i < 1 || i as usize > d {
+                        return Err(FortError::runtime(
+                            line,
+                            format!(
+                                "subscript {} of {} is {i}, outside 1..{d}",
+                                *k as usize + 1,
+                                self.cp.names[*name as usize]
+                            ),
+                        ));
+                    }
+                    let stride: usize = dims[..*k as usize].iter().product();
+                    stack.push(Value::Int(acc + (i - 1) * stride as i64));
+                }
+                Instr::ArgElemCheck { arg, nidx, name } => {
+                    let n = || self.cp.names[*name as usize].clone();
+                    match &args[*arg as usize] {
+                        ArgVal::Shared { dims, .. } => {
+                            if dims.is_empty() {
+                                return Err(FortError::runtime(
+                                    line,
+                                    format!("scalar argument {} was subscripted", n()),
+                                ));
+                            }
+                            if *nidx as usize != dims.len() {
+                                return Err(FortError::runtime(
+                                    line,
+                                    format!(
+                                        "{} has {} dimension(s) but {} subscript(s) given",
+                                        n(),
+                                        dims.len(),
+                                        nidx
+                                    ),
+                                ));
+                            }
+                        }
+                        _ => {
+                            return Err(FortError::runtime(
+                                line,
+                                format!("argument {} is not an array reference", n()),
+                            ))
+                        }
+                    }
+                    stack.push(Value::Int(0));
+                }
+                Instr::LoadElemLocal { base } => {
+                    let acc = pop!().as_int(line)? as usize;
+                    stack.push(locals[*base as usize + acc]);
+                }
+                Instr::StoreElemLocal { base, ty } => {
+                    let acc = pop!().as_int(line)? as usize;
+                    let v = pop!().convert_to(*ty, line)?;
+                    locals[*base as usize + acc] = v;
+                }
+                Instr::LoadElemShared { block, offset, ty } => {
+                    let acc = pop!().as_int(line)? as usize;
+                    let off = self.shared_off(*block, *offset, line)? + acc;
+                    let v = self.load_word(off, *ty, line)?;
+                    stack.push(v);
+                }
+                Instr::StoreElemShared { block, offset, ty } => {
+                    let acc = pop!().as_int(line)? as usize;
+                    let v = pop!().convert_to(*ty, line)?;
+                    let off = self.shared_off(*block, *offset, line)? + acc;
+                    self.store_word(off, v.to_bits(), line)?;
+                }
+                Instr::LoadElemArg { arg } => {
+                    let acc = pop!().as_int(line)? as usize;
+                    let (offset, ty) = match &args[*arg as usize] {
+                        ArgVal::Shared { offset, ty, .. } => (*offset, *ty),
+                        _ => unreachable!("checked by ArgElemCheck"),
+                    };
+                    let v = self.load_word(offset + acc, ty, line)?;
+                    stack.push(v);
+                }
+                Instr::StoreElemArg { arg } => {
+                    let acc = pop!().as_int(line)? as usize;
+                    let v = pop!();
+                    let (offset, ty) = match &args[*arg as usize] {
+                        ArgVal::Shared { offset, ty, .. } => (*offset, *ty),
+                        _ => unreachable!("checked by ArgElemCheck"),
+                    };
+                    let v = v.convert_to(ty, line)?;
+                    self.store_word(offset + acc, v.to_bits(), line)?;
+                }
+                Instr::Neg => {
+                    let v = match pop!() {
+                        Value::Int(n) => Value::Int(-n),
+                        Value::Real(x) => Value::Real(-x),
+                        Value::Log(_) => {
+                            return Err(FortError::runtime(line, "cannot negate a LOGICAL"))
+                        }
+                    };
+                    stack.push(v);
+                }
+                Instr::Not => {
+                    let b = pop!().as_log(line)?;
+                    stack.push(Value::Log(!b));
+                }
+                Instr::Bin(op) => {
+                    let b = pop!();
+                    let a = pop!();
+                    stack.push(eval_binop(*op, a, b, line)?);
+                }
+                Instr::CallFn { name, argc } => {
+                    let split = stack.len() - *argc as usize;
+                    let vals: Vec<Value> = stack.split_off(split);
+                    let v = intrinsics::eval_function(
+                        &self.cp.names[*name as usize],
+                        &vals,
+                        line,
+                        self.me,
+                        self.np,
+                    )?;
+                    stack.push(v);
+                }
+                Instr::PrintStr(s) => parts.push(self.cp.names[*s as usize].clone()),
+                Instr::PrintVal => {
+                    let v = pop!();
+                    parts.push(v.display());
+                }
+                Instr::PrintFlush => {
+                    self.rt
+                        .prints
+                        .lock()
+                        .push(std::mem::take(&mut parts).join(" "));
+                }
+                Instr::Return => return Ok(Flow::Normal),
+                Instr::Stop => return Ok(Flow::Stop),
+                Instr::Fail(msg) => {
+                    return Err(FortError::runtime(
+                        line,
+                        self.cp.names[*msg as usize].clone(),
+                    ))
+                }
+
+                Instr::ArgShared {
+                    block,
+                    offset,
+                    ty,
+                    dims,
+                } => {
+                    let off = self.shared_off(*block, *offset, line)?;
+                    argstack.push(ArgVal::Shared {
+                        offset: off,
+                        ty: *ty,
+                        dims: self.cp.dims_tables[*dims as usize].clone(),
+                    });
+                }
+                Instr::ArgSharedElem { block, offset, ty } => {
+                    let acc = pop!().as_int(line)? as usize;
+                    let off = self.shared_off(*block, *offset, line)? + acc;
+                    argstack.push(ArgVal::Shared {
+                        offset: off,
+                        ty: *ty,
+                        dims: Vec::new(),
+                    });
+                }
+                Instr::ArgArgElem { arg } => {
+                    let acc = pop!().as_int(line)? as usize;
+                    let (offset, ty) = match &args[*arg as usize] {
+                        ArgVal::Shared { offset, ty, .. } => (*offset, *ty),
+                        _ => unreachable!("checked by ArgElemCheck"),
+                    };
+                    argstack.push(ArgVal::Shared {
+                        offset: offset + acc,
+                        ty,
+                        dims: Vec::new(),
+                    });
+                }
+                Instr::ArgValue => {
+                    let v = pop!();
+                    argstack.push(ArgVal::Value(v));
+                }
+                Instr::ArgForward(i) => argstack.push(args[*i as usize].clone()),
+                Instr::ArgUnit(n) => {
+                    argstack.push(ArgVal::Unit(self.cp.names[*n as usize].clone()))
+                }
+                Instr::CallUser { unit, argc } => {
+                    let split = argstack.len() - *argc as usize;
+                    let bound: Vec<ArgVal> = argstack.split_off(split);
+                    let callee = &self.cp.units[*unit as usize];
+                    if callee.params as usize != bound.len() {
+                        return Err(FortError::runtime(
+                            line,
+                            format!(
+                                "{} expects {} argument(s), got {}",
+                                callee.name,
+                                callee.params,
+                                bound.len()
+                            ),
+                        ));
+                    }
+                    match self.exec(*unit as usize, bound)? {
+                        Flow::Stop => return Ok(Flow::Stop),
+                        Flow::Normal => {}
+                    }
+                }
+
+                Instr::SvcPlace { name, argn } => match argstack.pop().expect("service binding") {
+                    ArgVal::Shared { offset, ty, .. } => places.push((offset, ty)),
+                    _ => {
+                        return Err(FortError::runtime(
+                            line,
+                            format!(
+                                "{} argument {} must be a shared variable",
+                                self.cp.names[*name as usize],
+                                *argn as usize + 1
+                            ),
+                        ))
+                    }
+                },
+                Instr::SvcVendorCheck(kind) => {
+                    check_vendor_locks(self.rt.engine.machine(), *kind, line)?;
+                }
+                Instr::SvcLock { is_lock, var_name } => {
+                    let (offset, _) = places.pop().expect("service place");
+                    let name = var_name.map(|i| self.cp.names[i as usize].as_str());
+                    lock_service(self.rt, offset, *is_lock, name, line)?;
+                }
+                Instr::SvcInitLock {
+                    keep_locked,
+                    user_pool,
+                } => {
+                    let (offset, _) = places.pop().expect("service place");
+                    init_lock_service(self.rt, offset, *keep_locked, *user_pool);
+                }
+                Instr::SvcAini => {
+                    let (f, _) = places.pop().expect("service place");
+                    let (e, _) = places.pop().expect("service place");
+                    aini_service(self.rt, e, f);
+                }
+                Instr::SvcVoidl => {
+                    let (f, _) = places.pop().expect("service place");
+                    let (e, _) = places.pop().expect("service place");
+                    voidl_service(self.rt, e, f, line)?;
+                }
+                Instr::SvcHwCheck => {
+                    check_hardware_fe(self.rt.engine.machine(), line)?;
+                }
+                Instr::SvcHepProduce => {
+                    let value = pop!();
+                    let (offset, ty) = places.pop().expect("service place");
+                    let tag = self.rt.tag_handle(offset);
+                    self.shared_ref(line)?;
+                    let (state, _) = self.shared.as_ref().expect("just resolved");
+                    let _c = fault::enter(hep_construct("ZZHPRD"));
+                    let v = value.convert_to(ty, line)?;
+                    hep_produce(state, &tag, offset, v.to_bits());
+                }
+                Instr::SvcHepConsume | Instr::SvcHepCopy => {
+                    let copy = matches!(&code[pc], Instr::SvcHepCopy);
+                    let (offset, ty) = places.pop().expect("service place");
+                    let tag = self.rt.tag_handle(offset);
+                    self.shared_ref(line)?;
+                    let (state, _) = self.shared.as_ref().expect("just resolved");
+                    let _c = fault::enter(hep_construct(if copy { "ZZHCPY" } else { "ZZHCON" }));
+                    let v = if copy {
+                        hep_copy(state, &tag, offset, ty)
+                    } else {
+                        hep_consume(state, &tag, offset, ty)
+                    };
+                    stack.push(v);
+                }
+                Instr::SvcHepVoid => {
+                    let (offset, _) = places.pop().expect("service place");
+                    let tag = self.rt.tag_handle(offset);
+                    self.shared_ref(line)?;
+                    let _c = fault::enter(hep_construct("ZZHVD"));
+                    tag.void();
+                }
+                Instr::SvcStrt0 => strt0_service(self.rt, line)?,
+                Instr::SvcLink => link_service(self.rt, line)?,
+                Instr::SvcShpg => shpg_service(self.rt, line)?,
+                Instr::SvcForkCheck(n) => {
+                    check_fork_mnemonic(
+                        self.rt.engine.machine(),
+                        &self.cp.names[*n as usize],
+                        line,
+                    )?;
+                }
+                Instr::Fork { unit } => {
+                    let np = self.rt.nproc;
+                    let rt = self.rt;
+                    let cp = self.cp;
+                    let target = *unit as usize;
+                    spawn_force(rt, line, &|pid| {
+                        let mut p = VmProc::new(rt, cp, pid as i64, np as i64);
+                        p.exec(target, Vec::new()).map(|_| ())
+                    })?;
+                }
+                Instr::SvcIsFullCheck(n) => {
+                    check_isfull_machine(
+                        self.rt.engine.machine(),
+                        &self.cp.names[*n as usize],
+                        line,
+                    )?;
+                }
+                Instr::IsFullValue(n) => {
+                    let (offset, _) = places.pop().expect("service place");
+                    let v = isfull_value(self.rt, &self.cp.names[*n as usize], offset, line)?;
+                    stack.push(v);
+                }
+            }
+            pc += 1;
+        }
+        Ok(Flow::Normal)
+    }
+}

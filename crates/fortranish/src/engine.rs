@@ -17,18 +17,20 @@
 //! is the paper's portability claim in executable form.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use force_machdep::fault::{self, Construct};
 use force_machdep::trace;
 use force_machdep::Mutex;
 use force_machdep::{
-    spawn_force_plane, FaultPlane, ForcePool, FullEmptyState, LockHandle, LockKind, LockState,
-    Machine, ProcessModel, ProfileReport, RunOptions, SharedRegion, SharingModelId, StatsSnapshot,
+    spawn_force_plane, ExecutorChoice, FaultPlane, ForcePool, FullEmptyState, LockHandle, LockKind,
+    LockState, Machine, ProcessModel, ProfileReport, RunOptions, SharedRegion, SharingModelId,
+    StatsSnapshot,
 };
 use force_prep::{ExpandedProgram, VarClass};
 
 use crate::ast::{Expr, LValue, Ty, UnOp};
+use crate::bytecode::{self, CompiledProgram, VmProc};
 use crate::error::{FortError, FortErrorKind};
 use crate::intrinsics;
 use crate::program::{Op, Program, Storage, Symbol, Unit};
@@ -46,7 +48,10 @@ use crate::value::Value;
 /// `&Engine` can be watchdog-configured and run from several callers;
 /// runs on one session serialize.
 pub struct Engine {
-    program: Program,
+    /// The compiled program: AST form plus its bytecode lowering.
+    /// Shared (via the expansion cache's payload slot) with every other
+    /// engine loaded from the same `(source, machine)` expansion.
+    bundle: Arc<CompiledBundle>,
     machine: Arc<Machine>,
     env_cells: Vec<String>,
     /// Force shared/async variables: name → (type, words).
@@ -76,6 +81,19 @@ struct Session {
     tags: Mutex<HashMap<usize, Arc<FullEmptyState>>>,
     /// The fault plane, reused across runs of the same process count.
     plane: Mutex<Option<Arc<FaultPlane>>>,
+}
+
+/// A program in both executable forms, built once per expansion.
+///
+/// `preprocess_cached` hands out the same `ExpandedProgram` by `Arc` on
+/// every hit, and the bundle rides in its payload slot keyed by the
+/// cache's *(source hash, machine)* — so a pooled session (or any
+/// repeated [`Engine::from_expanded`] of a cached expansion) skips both
+/// the front-end parse and the bytecode compilation and goes straight
+/// to execution.
+pub(crate) struct CompiledBundle {
+    pub(crate) program: Program,
+    pub(crate) compiled: CompiledProgram,
 }
 
 /// The observable result of one run.
@@ -130,20 +148,31 @@ impl Engine {
                 }
             }
         }
-        let program = Program::compile(&exp.code, &shared_names)?;
-        if program.program_unit.is_none() {
-            return Err(FortError::general(FortErrorKind::Structure(
-                "expanded code has no driver PROGRAM unit".into(),
-            )));
-        }
-        if !program.units.contains_key(&exp.main_unit) {
-            return Err(FortError::general(FortErrorKind::Structure(format!(
-                "main unit {} not found",
-                exp.main_unit
-            ))));
-        }
+        // Parse + bytecode-compile once per expansion: the bundle lives
+        // in the expansion's payload slot, so every engine loaded from
+        // the same cached `ExpandedProgram` reuses it.
+        let bundle = match exp.payload.get::<CompiledBundle>() {
+            Some(b) => b,
+            None => {
+                let program = Program::compile(&exp.code, &shared_names)?;
+                if program.program_unit.is_none() {
+                    return Err(FortError::general(FortErrorKind::Structure(
+                        "expanded code has no driver PROGRAM unit".into(),
+                    )));
+                }
+                if !program.units.contains_key(&exp.main_unit) {
+                    return Err(FortError::general(FortErrorKind::Structure(format!(
+                        "main unit {} not found",
+                        exp.main_unit
+                    ))));
+                }
+                let compiled = bytecode::compile(&program);
+                exp.payload
+                    .attach(Arc::new(CompiledBundle { program, compiled }))
+            }
+        };
         Ok(Engine {
-            program,
+            bundle,
             machine,
             env_cells: exp.env_cells.clone(),
             shared_vars,
@@ -184,7 +213,16 @@ impl Engine {
 
     /// The compiled program.
     pub fn program(&self) -> &Program {
-        &self.program
+        &self.bundle.program
+    }
+
+    /// Choose the executor for subsequent [`run`](Self::run) calls
+    /// (session default; [`run_with`](Self::run_with) overrides per
+    /// run).  [`ExecutorChoice::Auto`] — the default — consults the
+    /// `FORCE_EXECUTOR` environment variable and otherwise uses the
+    /// bytecode VM.
+    pub fn set_executor(&self, executor: ExecutorChoice) {
+        self.defaults.lock().executor = executor;
     }
 
     /// The machine personality.
@@ -218,17 +256,31 @@ impl Engine {
             linker: Mutex::new(Vec::new()),
         };
         let driver_name = self
+            .bundle
             .program
             .program_unit
             .as_deref()
             .expect("checked in load");
-        let driver = self.program.unit(driver_name).expect("driver unit");
-        let proc = Proc {
-            rt: &rt,
-            me: -1,
-            np: nproc as i64,
-        };
-        proc.exec(driver, Vec::new())?;
+        match resolve_executor(options.executor) {
+            ExecutorChoice::TreeWalk => {
+                let driver = self.bundle.program.unit(driver_name).expect("driver unit");
+                let proc = Proc {
+                    rt: &rt,
+                    me: -1,
+                    np: nproc as i64,
+                };
+                proc.exec(driver, Vec::new())?;
+            }
+            _ => {
+                let driver = self
+                    .bundle
+                    .compiled
+                    .unit_index(driver_name)
+                    .expect("driver unit");
+                let mut proc = VmProc::new(&rt, &self.bundle.compiled, -1, nproc as i64);
+                proc.exec(driver, Vec::new())?;
+            }
+        }
 
         // Collect observables.
         let after = self.machine.stats().snapshot();
@@ -335,23 +387,23 @@ impl Engine {
 }
 
 /// Shared storage once allocated: the region plus per-block base offsets.
-struct SharedState {
-    region: SharedRegion,
-    bases: HashMap<String, usize>,
+pub(crate) struct SharedState {
+    pub(crate) region: SharedRegion,
+    pub(crate) bases: HashMap<String, usize>,
 }
 
 /// Per-run runtime state shared by all processes.  The long-lived
 /// tables (shared region, locks, tags) live on the engine's [`Session`];
 /// this carries only the run-scoped pieces.
-struct Rt<'e> {
-    engine: &'e Engine,
-    nproc: usize,
+pub(crate) struct Rt<'e> {
+    pub(crate) engine: &'e Engine,
+    pub(crate) nproc: usize,
     /// This run's fault-containment options.
-    options: RunOptions,
+    pub(crate) options: RunOptions,
     /// Resident pool to dispatch this run's force onto, if any.
-    pool: Option<Arc<ForcePool>>,
-    prints: Mutex<Vec<String>>,
-    linker: Mutex<Vec<String>>,
+    pub(crate) pool: Option<Arc<ForcePool>>,
+    pub(crate) prints: Mutex<Vec<String>>,
+    pub(crate) linker: Mutex<Vec<String>>,
 }
 
 impl Rt<'_> {
@@ -359,7 +411,7 @@ impl Rt<'_> {
     /// allocated it (zeroed by the run prologue), otherwise allocated
     /// through the machine's sharing model.  On the Sequent this fails
     /// until the startup/link protocol has run — faithfully.
-    fn shared(&self, line: usize) -> Result<Arc<SharedState>, FortError> {
+    pub(crate) fn shared(&self, line: usize) -> Result<Arc<SharedState>, FortError> {
         let mut guard = self.engine.session.shared.lock();
         if let Some(s) = guard.as_ref() {
             return Ok(Arc::clone(s));
@@ -367,7 +419,7 @@ impl Rt<'_> {
         let machine = &self.engine.machine;
         let blocks: Vec<force_machdep::BlockRequest> = self
             .engine
-            .program
+            .program()
             .shared_blocks
             .iter()
             .map(|(n, w)| force_machdep::BlockRequest::new(n.clone(), *w))
@@ -379,7 +431,7 @@ impl Rt<'_> {
             )
         })?;
         let mut bases = HashMap::new();
-        for (n, _) in &self.engine.program.shared_blocks {
+        for (n, _) in &self.engine.program().shared_blocks {
             let (base, _) = layout.block(n).expect("block laid out");
             bases.insert(n.clone(), base);
         }
@@ -389,7 +441,7 @@ impl Rt<'_> {
         Ok(state)
     }
 
-    fn lock_handle(&self, offset: usize, line: usize) -> Result<LockHandle, FortError> {
+    pub(crate) fn lock_handle(&self, offset: usize, line: usize) -> Result<LockHandle, FortError> {
         self.engine
             .session
             .locks
@@ -399,13 +451,416 @@ impl Rt<'_> {
             .ok_or_else(|| FortError::runtime(line, "lock variable used before initialization"))
     }
 
-    fn tag_handle(&self, offset: usize) -> Arc<FullEmptyState> {
+    pub(crate) fn tag_handle(&self, offset: usize) -> Arc<FullEmptyState> {
         let mut tags = self.engine.session.tags.lock();
         Arc::clone(tags.entry(offset).or_insert_with(|| {
             Arc::new(FullEmptyState::new_empty(Arc::clone(
                 self.engine.machine.stats(),
             )))
         }))
+    }
+}
+
+// ---- executor selection ----------------------------------------------
+
+/// `FORCE_EXECUTOR` environment override (the escape hatch back to the
+/// tree-walker), read once per process.
+fn env_executor() -> ExecutorChoice {
+    static ENV: OnceLock<ExecutorChoice> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("FORCE_EXECUTOR").ok().as_deref() {
+        Some(s)
+            if s.eq_ignore_ascii_case("tree")
+                || s.eq_ignore_ascii_case("treewalk")
+                || s.eq_ignore_ascii_case("tree-walk")
+                || s.eq_ignore_ascii_case("interpreter")
+                || s.eq_ignore_ascii_case("walker") =>
+        {
+            ExecutorChoice::TreeWalk
+        }
+        _ => ExecutorChoice::Bytecode,
+    })
+}
+
+/// Resolve `Auto` to a concrete executor.
+fn resolve_executor(choice: ExecutorChoice) -> ExecutorChoice {
+    match choice {
+        ExecutorChoice::Auto => env_executor(),
+        concrete => concrete,
+    }
+}
+
+// ---- runtime services, shared by both executors ----------------------
+//
+// The tree-walking interpreter and the bytecode VM both execute the ZZ*
+// runtime mnemonics through these functions, so the two executors cannot
+// drift: machine-personality checks, lock and full/empty semantics,
+// OpStats charging and fault-plane behavior are one implementation.
+// Check *ordering* is part of the contract — a machine-personality
+// mismatch is reported before arguments are bound, binding errors before
+// arity errors — because the equivalence oracle compares error text.
+
+/// Map a lock/unlock mnemonic to its vendor lock kind and direction.
+pub(crate) fn lock_mnemonic(name: &str) -> Option<(LockKind, bool)> {
+    Some(match name {
+        "ZZTSLCK" => (LockKind::Spin, true),
+        "ZZTSUNL" => (LockKind::Spin, false),
+        "ZZOSLCK" => (LockKind::Syscall, true),
+        "ZZOSUNL" => (LockKind::Syscall, false),
+        "ZZCBLCK" => (LockKind::Combined, true),
+        "ZZCBUNL" => (LockKind::Combined, false),
+        "ZZFELCK" => (LockKind::FullEmpty, true),
+        "ZZFEUNL" => (LockKind::FullEmpty, false),
+        _ => return None,
+    })
+}
+
+/// A lock mnemonic must match the executing machine's vendor locks.
+pub(crate) fn check_vendor_locks(
+    machine: &Machine,
+    kind: LockKind,
+    line: usize,
+) -> Result<(), FortError> {
+    if machine.spec().vendor_locks != kind {
+        return Err(FortError::at(
+            line,
+            FortErrorKind::MachineMismatch {
+                expected: kind.name().into(),
+                found: machine.spec().vendor_locks.name().into(),
+            },
+        ));
+    }
+    Ok(())
+}
+
+/// Acquire or release an initialized lock.  With tracing armed, an
+/// acquire is attributed to the lock *variable's* name (BARWIN/BARWOT,
+/// LOOPn, user critical names).  Hold time is not recorded here: the
+/// expanded barrier and loop protocols pass lock ownership between
+/// processes, so a lock→unlock pairing on one pid would mis-state it.
+/// `named_lock_id` is runtime-armed — it must be consulted per call,
+/// never precomputed at compile time.
+pub(crate) fn lock_service(
+    rt: &Rt<'_>,
+    offset: usize,
+    is_lock: bool,
+    var_name: Option<&str>,
+    line: usize,
+) -> Result<(), FortError> {
+    let handle = rt.lock_handle(offset, line)?;
+    if is_lock {
+        match var_name.and_then(trace::named_lock_id) {
+            None => handle.lock(),
+            Some(id) => {
+                let t0 = trace::now_ns().unwrap_or(0);
+                handle.lock();
+                let now = trace::now_ns().unwrap_or(t0);
+                trace::named_wait(id, now.saturating_sub(t0));
+            }
+        }
+    } else {
+        handle.unlock();
+    }
+    Ok(())
+}
+
+/// `ZZINITL`/`ZZINITK`/`ZZINITU`: create a lock at a shared offset.
+/// Implementation locks (barrier, loop, Pcase) are held across whole
+/// construct episodes, so they come from the port's dedicated reserve;
+/// only user locks (`ZZINITU`) draw on the machine's possibly scarce
+/// pool.  `ZZINITK` creates the lock already held.
+pub(crate) fn init_lock_service(rt: &Rt<'_>, offset: usize, keep_locked: bool, user_pool: bool) {
+    let machine = &rt.engine.machine;
+    let state = if keep_locked {
+        LockState::Locked
+    } else {
+        LockState::Unlocked
+    };
+    let lock = if user_pool {
+        machine.make_lock(state)
+    } else {
+        machine.make_dedicated_lock(state)
+    };
+    rt.engine.session.locks.lock().insert(offset, lock);
+}
+
+/// `ZZAINI`: async-variable init, E locked (empty), F unlocked.  These
+/// locks *encode state* — E stays locked for as long as the variable is
+/// empty — so they must never alias a pooled lock: dedicated reserve.
+pub(crate) fn aini_service(rt: &Rt<'_>, e: usize, f: usize) {
+    let machine = &rt.engine.machine;
+    let mut locks = rt.engine.session.locks.lock();
+    locks.insert(e, machine.make_dedicated_lock(LockState::Locked));
+    locks.insert(f, machine.make_dedicated_lock(LockState::Unlocked));
+}
+
+/// `ZZVOIDL`: void an async variable through its two-lock encoding.
+/// Spins until the cell is observably full or empty, honoring a fault
+/// plane's cancellation while parked.
+pub(crate) fn voidl_service(
+    rt: &Rt<'_>,
+    e_off: usize,
+    f_off: usize,
+    line: usize,
+) -> Result<(), FortError> {
+    let e = rt.lock_handle(e_off, line)?;
+    let f = rt.lock_handle(f_off, line)?;
+    loop {
+        if e.try_lock() {
+            // was full: unlock F to reach the empty state
+            f.unlock();
+            return Ok(());
+        }
+        if f.try_lock() {
+            // was empty: restore
+            f.unlock();
+            return Ok(());
+        }
+        fault::check_cancel();
+        std::hint::spin_loop();
+    }
+}
+
+/// The `ZZH*` mnemonics exist only on hardware full/empty machines.
+pub(crate) fn check_hardware_fe(machine: &Machine, line: usize) -> Result<(), FortError> {
+    if !machine.spec().hardware_fullempty {
+        return Err(FortError::at(
+            line,
+            FortErrorKind::MachineMismatch {
+                expected: "hardware full/empty".into(),
+                found: machine.spec().vendor_locks.name().into(),
+            },
+        ));
+    }
+    Ok(())
+}
+
+/// The fault-plane construct a `ZZH*` mnemonic executes under.
+pub(crate) fn hep_construct(name: &str) -> Construct {
+    match name {
+        "ZZHPRD" => Construct::Produce,
+        "ZZHCON" => Construct::Consume,
+        "ZZHCPY" => Construct::Copy,
+        _ => Construct::Void,
+    }
+}
+
+/// `ZZHPRD` body: wait-for-empty, store, set full.
+pub(crate) fn hep_produce(state: &SharedState, tag: &FullEmptyState, offset: usize, bits: u64) {
+    tag.acquire_empty();
+    state.region.store_release(offset, bits);
+    tag.release_full();
+}
+
+/// `ZZHCON` body: wait-for-full, load, set empty.
+pub(crate) fn hep_consume(
+    state: &SharedState,
+    tag: &FullEmptyState,
+    offset: usize,
+    ty: Ty,
+) -> Value {
+    tag.acquire_full();
+    let v = Value::from_bits(state.region.load_acquire(offset), ty);
+    tag.release_empty();
+    v
+}
+
+/// `ZZHCPY` body: wait-for-full, load, leave full.
+pub(crate) fn hep_copy(state: &SharedState, tag: &FullEmptyState, offset: usize, ty: Ty) -> Value {
+    tag.acquire_full();
+    let v = Value::from_bits(state.region.load_acquire(offset), ty);
+    tag.release_full();
+    v
+}
+
+/// `ZZSTRT0`: the Sequent startup pass — every unit's startup routine
+/// reports the shared blocks to the link registry.  Re-running an
+/// already-linked program skips the first pass (the registry survives on
+/// the machine instance).
+pub(crate) fn strt0_service(rt: &Rt<'_>, line: usize) -> Result<(), FortError> {
+    let machine = &rt.engine.machine;
+    let registry = machine.startup_registry().ok_or_else(|| {
+        FortError::at(
+            line,
+            FortErrorKind::MachineMismatch {
+                expected: "link-time sharing".into(),
+                found: machine.sharing_model().id().name().into(),
+            },
+        )
+    })?;
+    if registry.is_finalized() {
+        return Ok(());
+    }
+    let blocks: Vec<(String, usize)> = rt.engine.program().shared_blocks.to_vec();
+    let mut names: Vec<&String> = rt.engine.program().units.keys().collect();
+    names.sort();
+    for unit in names {
+        registry.register_module(unit, &blocks);
+    }
+    Ok(())
+}
+
+/// `ZZLINK`: finalize the Sequent link registry into linker commands.
+pub(crate) fn link_service(rt: &Rt<'_>, line: usize) -> Result<(), FortError> {
+    let machine = &rt.engine.machine;
+    let registry = machine.startup_registry().ok_or_else(|| {
+        FortError::at(
+            line,
+            FortErrorKind::MachineMismatch {
+                expected: "link-time sharing".into(),
+                found: machine.sharing_model().id().name().into(),
+            },
+        )
+    })?;
+    let cmds = registry.finalize();
+    *rt.linker.lock() = cmds;
+    Ok(())
+}
+
+/// `ZZSHPG`: designate run-time shared pages.
+pub(crate) fn shpg_service(rt: &Rt<'_>, line: usize) -> Result<(), FortError> {
+    let machine = &rt.engine.machine;
+    let id = machine.sharing_model().id();
+    if !matches!(
+        id,
+        SharingModelId::RunTimePaged | SharingModelId::PageAligned
+    ) {
+        return Err(FortError::at(
+            line,
+            FortErrorKind::MachineMismatch {
+                expected: "run-time shared pages".into(),
+                found: id.name().into(),
+            },
+        ));
+    }
+    rt.shared(line)?;
+    Ok(())
+}
+
+/// A process-creation mnemonic must match the machine's process model.
+pub(crate) fn check_fork_mnemonic(
+    machine: &Machine,
+    name: &str,
+    line: usize,
+) -> Result<(), FortError> {
+    let expected = match machine.spec().process_model {
+        ProcessModel::ForkJoinCopy => "ZZFORKJ",
+        ProcessModel::SharedDataFork => "ZZSFORK",
+        ProcessModel::SpawnByCall => "ZZSPAWN",
+    };
+    if name != expected {
+        return Err(FortError::at(
+            line,
+            FortErrorKind::MachineMismatch {
+                expected: format!("{} process creation", machine.spec().process_model.name()),
+                found: format!("driver compiled for `{name}`"),
+            },
+        ));
+    }
+    Ok(())
+}
+
+/// Create the force: run `body(pid)` on `rt.nproc` processes under the
+/// session's fault plane, reusing a resident plane (and the resident
+/// pool, if one is attached and large enough).  An interpreter runtime
+/// error in one process must not leave its peers parked in a barrier or
+/// async wait: the first error trips the fault plane (cancelling the
+/// rest of the force) and is reported with its own line number.
+pub(crate) fn spawn_force(
+    rt: &Rt<'_>,
+    line: usize,
+    body: &(dyn Fn(usize) -> Result<(), FortError> + Sync),
+) -> Result<(), FortError> {
+    let machine = &rt.engine.machine;
+    let np = rt.nproc;
+    // Reuse the session's fault plane when the process count matches
+    // (re-armed with this run's options); otherwise build one and make
+    // it resident.
+    let plane = {
+        let mut slot = rt.engine.session.plane.lock();
+        match slot.as_ref() {
+            Some(p) if p.nproc() == np => {
+                p.reset_for_job(rt.options);
+                Arc::clone(p)
+            }
+            _ => {
+                let p = FaultPlane::new(np, Arc::clone(machine.stats()), rt.options);
+                *slot = Some(Arc::clone(&p));
+                p
+            }
+        }
+    };
+    let first_err: Mutex<Option<FortError>> = Mutex::new(None);
+    let run_one = |pid: usize| {
+        // With tracing armed, the whole process body is attributed to
+        // the interpreter construct; lock parks and named-lock waits
+        // nest inside it.
+        let _c = fault::enter(Construct::Interpreter);
+        if let Err(e) = body(pid) {
+            let msg = e.to_string();
+            {
+                let mut slot = first_err.lock();
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+            }
+            fault::trip_current(Construct::Interpreter, msg);
+        }
+    };
+    let spawned = match rt.pool.as_ref().filter(|pool| np <= pool.size()) {
+        Some(pool) => pool.run_plane(&plane, run_one),
+        None => spawn_force_plane(&plane, run_one),
+    };
+    if let Some(e) = first_err.lock().take() {
+        return Err(e);
+    }
+    spawned.map_err(|f| {
+        FortError::runtime(
+            line,
+            format!(
+                "process {} faulted in {}: {}",
+                f.pid, f.construct, f.payload
+            ),
+        )
+    })?;
+    Ok(())
+}
+
+/// `ZZISFL`/`ZZHISF` must match the machine's full/empty implementation.
+pub(crate) fn check_isfull_machine(
+    machine: &Machine,
+    name: &str,
+    line: usize,
+) -> Result<(), FortError> {
+    if (name == "ZZHISF") != machine.spec().hardware_fullempty {
+        return Err(FortError::at(
+            line,
+            FortErrorKind::MachineMismatch {
+                expected: if name == "ZZHISF" {
+                    "hardware full/empty".into()
+                } else {
+                    "two-lock full/empty emulation".into()
+                },
+                found: machine.spec().vendor_locks.name().into(),
+            },
+        ));
+    }
+    Ok(())
+}
+
+/// The full/empty snapshot behind `ZZISFL`/`ZZHISF` — the state may
+/// change immediately after, exactly as on the original machines.
+pub(crate) fn isfull_value(
+    rt: &Rt<'_>,
+    name: &str,
+    offset: usize,
+    line: usize,
+) -> Result<Value, FortError> {
+    if name == "ZZHISF" {
+        Ok(Value::Log(rt.tag_handle(offset).is_full()))
+    } else {
+        // Two-lock encoding: full = E unlocked.
+        let e = rt.lock_handle(offset, line)?;
+        Ok(Value::Log(!e.is_locked()))
     }
 }
 
@@ -418,7 +873,7 @@ struct Proc<'r, 'e> {
 
 /// Actual argument binding.
 #[derive(Clone)]
-enum ArgVal {
+pub(crate) enum ArgVal {
     /// Reference to shared storage (possibly an array base).
     Shared {
         offset: usize,
@@ -453,7 +908,7 @@ impl<'u> Frame<'u> {
 }
 
 /// Result of running a unit.
-enum Flow {
+pub(crate) enum Flow {
     Normal,
     Stop,
 }
@@ -511,12 +966,12 @@ impl Proc<'_, '_> {
         args: &[Expr],
         line: usize,
     ) -> Result<Flow, FortError> {
-        if self.rt.engine.program.units.contains_key(name) {
+        if self.rt.engine.program().units.contains_key(name) {
             let mut bound = Vec::with_capacity(args.len());
             for a in args {
                 bound.push(self.bind_arg(frame, a, line)?);
             }
-            let unit = self.rt.engine.program.unit(name).expect("checked");
+            let unit = self.rt.engine.program().unit(name).expect("checked");
             if unit.params.len() != bound.len() {
                 return Err(FortError::runtime(
                     line,
@@ -541,7 +996,7 @@ impl Proc<'_, '_> {
     ) -> Result<ArgVal, FortError> {
         match arg {
             Expr::Var(n) => {
-                if self.rt.engine.program.units.contains_key(n) {
+                if self.rt.engine.program().units.contains_key(n) {
                     return Ok(ArgVal::Unit(n.clone()));
                 }
                 match frame.unit.symbols.get(n) {
@@ -607,145 +1062,52 @@ impl Proc<'_, '_> {
         line: usize,
     ) -> Result<Flow, FortError> {
         let machine = &self.rt.engine.machine;
-        let lock_kind = |mnemonic: &str| -> Option<(LockKind, bool)> {
-            Some(match mnemonic {
-                "ZZTSLCK" => (LockKind::Spin, true),
-                "ZZTSUNL" => (LockKind::Spin, false),
-                "ZZOSLCK" => (LockKind::Syscall, true),
-                "ZZOSUNL" => (LockKind::Syscall, false),
-                "ZZCBLCK" => (LockKind::Combined, true),
-                "ZZCBUNL" => (LockKind::Combined, false),
-                "ZZFELCK" => (LockKind::FullEmpty, true),
-                "ZZFEUNL" => (LockKind::FullEmpty, false),
-                _ => return None,
-            })
-        };
-        if let Some((kind, is_lock)) = lock_kind(name) {
-            if machine.spec().vendor_locks != kind {
-                return Err(FortError::at(
-                    line,
-                    FortErrorKind::MachineMismatch {
-                        expected: kind.name().into(),
-                        found: machine.spec().vendor_locks.name().into(),
-                    },
-                ));
-            }
+        if let Some((kind, is_lock)) = lock_mnemonic(name) {
+            check_vendor_locks(machine, kind, line)?;
             let offset = self.shared_offset_arg(frame, args, 0, name, line)?;
-            let handle = self.rt.lock_handle(offset, line)?;
-            if is_lock {
-                // With tracing armed, attribute the wait to the lock
-                // *variable's* name (BARWIN/BARWOT, LOOPn, user critical
-                // names).  Hold time is not recorded here: the expanded
-                // barrier and loop protocols pass lock ownership between
-                // processes, so a lock→unlock pairing on one pid would
-                // mis-state it.
-                let named = match args.first() {
-                    Some(Expr::Var(n)) => trace::named_lock_id(n),
-                    _ => None,
-                };
-                match named {
-                    None => handle.lock(),
-                    Some(id) => {
-                        let t0 = trace::now_ns().unwrap_or(0);
-                        handle.lock();
-                        let now = trace::now_ns().unwrap_or(t0);
-                        trace::named_wait(id, now.saturating_sub(t0));
-                    }
-                }
-            } else {
-                handle.unlock();
-            }
+            let var_name = match args.first() {
+                Some(Expr::Var(n)) => Some(n.as_str()),
+                _ => None,
+            };
+            lock_service(self.rt, offset, is_lock, var_name, line)?;
             return Ok(Flow::Normal);
         }
         match name {
             "ZZINITL" | "ZZINITK" | "ZZINITU" => {
                 let offset = self.shared_offset_arg(frame, args, 0, name, line)?;
-                let state = if name == "ZZINITK" {
-                    LockState::Locked
-                } else {
-                    LockState::Unlocked
-                };
-                // Implementation locks (barrier, loop, Pcase) are held
-                // across whole construct episodes, so they come from the
-                // port's dedicated reserve; only user locks (ZZINITU)
-                // draw on the machine's possibly scarce pool.
-                let lock = if name == "ZZINITU" {
-                    machine.make_lock(state)
-                } else {
-                    machine.make_dedicated_lock(state)
-                };
-                self.rt.engine.session.locks.lock().insert(offset, lock);
+                init_lock_service(self.rt, offset, name == "ZZINITK", name == "ZZINITU");
                 Ok(Flow::Normal)
             }
             "ZZAINI" => {
-                // Async-variable init: E locked (empty), F unlocked.
-                // These locks *encode state* — E stays locked for as long
-                // as the variable is empty — so they must never alias a
-                // pooled lock: dedicated reserve.
                 let e = self.shared_offset_arg(frame, args, 0, name, line)?;
                 let f = self.shared_offset_arg(frame, args, 1, name, line)?;
-                let mut locks = self.rt.engine.session.locks.lock();
-                locks.insert(e, machine.make_dedicated_lock(LockState::Locked));
-                locks.insert(f, machine.make_dedicated_lock(LockState::Unlocked));
+                aini_service(self.rt, e, f);
                 Ok(Flow::Normal)
             }
             "ZZVOIDL" => {
                 let e_off = self.shared_offset_arg(frame, args, 0, name, line)?;
                 let f_off = self.shared_offset_arg(frame, args, 1, name, line)?;
-                let e = self.rt.lock_handle(e_off, line)?;
-                let f = self.rt.lock_handle(f_off, line)?;
-                loop {
-                    if e.try_lock() {
-                        // was full: unlock F to reach the empty state
-                        f.unlock();
-                        return Ok(Flow::Normal);
-                    }
-                    if f.try_lock() {
-                        // was empty: restore
-                        f.unlock();
-                        return Ok(Flow::Normal);
-                    }
-                    fault::check_cancel();
-                    std::hint::spin_loop();
-                }
+                voidl_service(self.rt, e_off, f_off, line)?;
+                Ok(Flow::Normal)
             }
             "ZZHPRD" | "ZZHCON" | "ZZHVD" | "ZZHCPY" => {
-                if !machine.spec().hardware_fullempty {
-                    return Err(FortError::at(
-                        line,
-                        FortErrorKind::MachineMismatch {
-                            expected: "hardware full/empty".into(),
-                            found: machine.spec().vendor_locks.name().into(),
-                        },
-                    ));
-                }
+                check_hardware_fe(machine, line)?;
                 let (offset, ty) = self.shared_place_arg(frame, args, 0, name, line)?;
                 let tag = self.rt.tag_handle(offset);
                 let state = self.rt.shared(line)?;
-                let _c = fault::enter(match name {
-                    "ZZHPRD" => Construct::Produce,
-                    "ZZHCON" => Construct::Consume,
-                    "ZZHCPY" => Construct::Copy,
-                    _ => Construct::Void,
-                });
+                let _c = fault::enter(hep_construct(name));
                 match name {
                     "ZZHPRD" => {
                         let v = self.eval(frame, &args[1], line)?.convert_to(ty, line)?;
-                        tag.acquire_empty();
-                        state.region.store_release(offset, v.to_bits());
-                        tag.release_full();
+                        hep_produce(&state, &tag, offset, v.to_bits());
                     }
                     "ZZHCON" => {
-                        tag.acquire_full();
-                        let v = Value::from_bits(state.region.load_acquire(offset), ty);
-                        tag.release_empty();
+                        let v = hep_consume(&state, &tag, offset, ty);
                         let dest = lvalue_of(&args[1], line)?;
                         self.assign(frame, &dest, v, line)?;
                     }
                     "ZZHCPY" => {
-                        tag.acquire_full();
-                        let v = Value::from_bits(state.region.load_acquire(offset), ty);
-                        tag.release_full();
+                        let v = hep_copy(&state, &tag, offset, ty);
                         let dest = lvalue_of(&args[1], line)?;
                         self.assign(frame, &dest, v, line)?;
                     }
@@ -755,80 +1117,23 @@ impl Proc<'_, '_> {
                 Ok(Flow::Normal)
             }
             "ZZSTRT0" => {
-                let registry = machine.startup_registry().ok_or_else(|| {
-                    FortError::at(
-                        line,
-                        FortErrorKind::MachineMismatch {
-                            expected: "link-time sharing".into(),
-                            found: machine.sharing_model().id().name().into(),
-                        },
-                    )
-                })?;
-                // Re-running an already-linked program skips the first
-                // pass (the registry survives on the machine instance).
-                if registry.is_finalized() {
-                    return Ok(Flow::Normal);
-                }
-                // Every unit's startup routine reports the shared blocks.
-                let blocks: Vec<(String, usize)> = self.rt.engine.program.shared_blocks.to_vec();
-                let mut names: Vec<&String> = self.rt.engine.program.units.keys().collect();
-                names.sort();
-                for unit in names {
-                    registry.register_module(unit, &blocks);
-                }
+                strt0_service(self.rt, line)?;
                 Ok(Flow::Normal)
             }
             "ZZLINK" => {
-                let registry = machine.startup_registry().ok_or_else(|| {
-                    FortError::at(
-                        line,
-                        FortErrorKind::MachineMismatch {
-                            expected: "link-time sharing".into(),
-                            found: machine.sharing_model().id().name().into(),
-                        },
-                    )
-                })?;
-                let cmds = registry.finalize();
-                *self.rt.linker.lock() = cmds;
+                link_service(self.rt, line)?;
                 Ok(Flow::Normal)
             }
             "ZZSHPG" => {
-                let id = machine.sharing_model().id();
-                if !matches!(
-                    id,
-                    SharingModelId::RunTimePaged | SharingModelId::PageAligned
-                ) {
-                    return Err(FortError::at(
-                        line,
-                        FortErrorKind::MachineMismatch {
-                            expected: "run-time shared pages".into(),
-                            found: id.name().into(),
-                        },
-                    ));
-                }
-                self.rt.shared(line)?;
+                shpg_service(self.rt, line)?;
                 Ok(Flow::Normal)
             }
             "ZZFORKJ" | "ZZSFORK" | "ZZSPAWN" => {
-                let expected = match machine.spec().process_model {
-                    ProcessModel::ForkJoinCopy => "ZZFORKJ",
-                    ProcessModel::SharedDataFork => "ZZSFORK",
-                    ProcessModel::SpawnByCall => "ZZSPAWN",
-                };
-                if name != expected {
-                    return Err(FortError::at(
-                        line,
-                        FortErrorKind::MachineMismatch {
-                            expected: format!(
-                                "{} process creation",
-                                machine.spec().process_model.name()
-                            ),
-                            found: format!("driver compiled for `{name}`"),
-                        },
-                    ));
-                }
+                check_fork_mnemonic(machine, name, line)?;
                 let unit_name = match args.first() {
-                    Some(Expr::Var(n)) if self.rt.engine.program.units.contains_key(n) => n.clone(),
+                    Some(Expr::Var(n)) if self.rt.engine.program().units.contains_key(n) => {
+                        n.clone()
+                    }
                     _ => {
                         return Err(FortError::runtime(
                             line,
@@ -836,67 +1141,15 @@ impl Proc<'_, '_> {
                         ))
                     }
                 };
-                let unit = self.rt.engine.program.unit(&unit_name).expect("checked");
+                let unit = self.rt.engine.program().unit(&unit_name).expect("checked");
                 let np = self.rt.nproc;
-                // Reuse the session's fault plane when the process count
-                // matches (re-armed with this run's options); otherwise
-                // build one and make it resident.
-                let plane = {
-                    let mut slot = self.rt.engine.session.plane.lock();
-                    match slot.as_ref() {
-                        Some(p) if p.nproc() == np => {
-                            p.reset_for_job(self.rt.options);
-                            Arc::clone(p)
-                        }
-                        _ => {
-                            let p =
-                                FaultPlane::new(np, Arc::clone(machine.stats()), self.rt.options);
-                            *slot = Some(Arc::clone(&p));
-                            p
-                        }
-                    }
-                };
-                // An interpreter runtime error in one process must not
-                // leave its peers parked in a barrier or async wait: the
-                // first error trips the fault plane (cancelling the rest
-                // of the force) and is reported with its own line number.
-                let first_err: Mutex<Option<FortError>> = Mutex::new(None);
-                let run_one = |pid: usize| {
-                    // With tracing armed, the whole process body is
-                    // attributed to the interpreter construct; lock
-                    // parks and named-lock waits nest inside it.
-                    let _c = fault::enter(Construct::Interpreter);
+                spawn_force(self.rt, line, &|pid| {
                     let p = Proc {
                         rt: self.rt,
                         me: pid as i64,
                         np: np as i64,
                     };
-                    if let Err(e) = p.exec(unit, Vec::new()) {
-                        let msg = e.to_string();
-                        {
-                            let mut slot = first_err.lock();
-                            if slot.is_none() {
-                                *slot = Some(e);
-                            }
-                        }
-                        fault::trip_current(Construct::Interpreter, msg);
-                    }
-                };
-                let spawned = match self.rt.pool.as_ref().filter(|pool| np <= pool.size()) {
-                    Some(pool) => pool.run_plane(&plane, run_one),
-                    None => spawn_force_plane(&plane, run_one),
-                };
-                if let Some(e) = first_err.lock().take() {
-                    return Err(e);
-                }
-                spawned.map_err(|f| {
-                    FortError::runtime(
-                        line,
-                        format!(
-                            "process {} faulted in {}: {}",
-                            f.pid, f.construct, f.payload
-                        ),
-                    )
+                    p.exec(unit, Vec::new()).map(|_| ())
                 })?;
                 Ok(Flow::Normal)
             }
@@ -1023,28 +1276,9 @@ impl Proc<'_, '_> {
         args: &[Expr],
         line: usize,
     ) -> Result<Value, FortError> {
-        let machine = &self.rt.engine.machine;
-        if (name == "ZZHISF") != machine.spec().hardware_fullempty {
-            return Err(FortError::at(
-                line,
-                FortErrorKind::MachineMismatch {
-                    expected: if name == "ZZHISF" {
-                        "hardware full/empty".into()
-                    } else {
-                        "two-lock full/empty emulation".into()
-                    },
-                    found: machine.spec().vendor_locks.name().into(),
-                },
-            ));
-        }
+        check_isfull_machine(&self.rt.engine.machine, name, line)?;
         let (offset, _ty) = self.shared_place_arg(frame, args, 0, name, line)?;
-        if name == "ZZHISF" {
-            Ok(Value::Log(self.rt.tag_handle(offset).is_full()))
-        } else {
-            // Two-lock encoding: full = E unlocked.
-            let e = self.rt.lock_handle(offset, line)?;
-            Ok(Value::Log(!e.is_locked()))
-        }
+        isfull_value(self.rt, name, offset, line)
     }
 
     fn read_scalar(&self, frame: &Frame<'_>, name: &str, line: usize) -> Result<Value, FortError> {
@@ -1274,7 +1508,12 @@ fn lvalue_of(e: &Expr, line: usize) -> Result<LValue, FortError> {
 }
 
 /// Numeric/logical binary operation with Fortran coercions.
-fn eval_binop(op: crate::ast::BinOp, a: Value, b: Value, line: usize) -> Result<Value, FortError> {
+pub(crate) fn eval_binop(
+    op: crate::ast::BinOp,
+    a: Value,
+    b: Value,
+    line: usize,
+) -> Result<Value, FortError> {
     use crate::ast::BinOp::*;
     match op {
         And => Ok(Value::Log(a.as_log(line)? && b.as_log(line)?)),
@@ -1297,9 +1536,22 @@ fn eval_binop(op: crate::ast::BinOp, a: Value, b: Value, line: usize) -> Result<
                 }
                 Pow => {
                     if y >= 0 {
-                        Ok(Value::Int(x.pow(y.min(63) as u32)))
+                        // Fortran: INTEGER ** INTEGER is an INTEGER.
+                        // Overflow is a runtime error, not a silent wrap
+                        // (and the exponent is not clamped).
+                        let r = match x {
+                            0 => Some(i64::from(y == 0)),
+                            1 => Some(1),
+                            -1 => Some(if y % 2 == 0 { 1 } else { -1 }),
+                            _ => u32::try_from(y).ok().and_then(|e| x.checked_pow(e)),
+                        };
+                        r.map(Value::Int).ok_or_else(|| {
+                            FortError::runtime(line, format!("integer overflow in {x} ** {y}"))
+                        })
                     } else {
-                        Ok(Value::Real((x as f64).powi(y as i32)))
+                        Ok(Value::Real(
+                            (x as f64).powi(y.max(i64::from(i32::MIN)) as i32),
+                        ))
                     }
                 }
                 _ => unreachable!(),
@@ -1324,15 +1576,7 @@ fn eval_binop(op: crate::ast::BinOp, a: Value, b: Value, line: usize) -> Result<
             }
         },
         Eq | Ne | Lt | Le | Gt | Ge => {
-            let r = match (a, b) {
-                (Value::Int(x), Value::Int(y)) => x.cmp(&y),
-                _ => {
-                    let x = a.as_real(line)?;
-                    let y = b.as_real(line)?;
-                    x.partial_cmp(&y)
-                        .ok_or_else(|| FortError::runtime(line, "comparison with NaN"))?
-                }
-            };
+            let r = num_cmp(a, b, line)?;
             use std::cmp::Ordering::*;
             Ok(Value::Log(match op {
                 Eq => r == Equal,
@@ -1343,6 +1587,20 @@ fn eval_binop(op: crate::ast::BinOp, a: Value, b: Value, line: usize) -> Result<
                 Ge => r != Less,
                 _ => unreachable!(),
             }))
+        }
+    }
+}
+
+/// Numeric comparison with Fortran coercions (the relational-operator
+/// core of [`eval_binop`], shared with the VM's fused DO-loop check).
+pub(crate) fn num_cmp(a: Value, b: Value, line: usize) -> Result<std::cmp::Ordering, FortError> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(x.cmp(&y)),
+        _ => {
+            let x = a.as_real(line)?;
+            let y = b.as_real(line)?;
+            x.partial_cmp(&y)
+                .ok_or_else(|| FortError::runtime(line, "comparison with NaN"))
         }
     }
 }
@@ -1622,5 +1880,70 @@ mod tests {
         let engine = Engine::from_expanded(&exp, Machine::new(MachineId::Flex32)).unwrap();
         let err = engine.run(1).unwrap_err();
         assert!(err.to_string().contains("outside 1..5"), "{err}");
+    }
+
+    /// Regression: `INTEGER ** INTEGER` is an INTEGER.  The old
+    /// interpreter clamped the exponent to 63 and used unchecked
+    /// `i64::pow`, silently wrapping (release) or panicking (debug) on
+    /// overflow instead of raising a Fortran runtime error.
+    #[test]
+    fn integer_power_stays_integer_on_both_executors() {
+        use crate::ast::BinOp;
+        let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER N
+      Shared REAL H
+      End declarations
+      Barrier
+      N = 2 ** 3
+      H = 2 ** (-1)
+      End barrier
+      Join
+";
+        let exp = preprocess(src, MachineId::EncoreMultimax).unwrap();
+        let engine = Engine::from_expanded(&exp, Machine::new(MachineId::EncoreMultimax)).unwrap();
+        for executor in [ExecutorChoice::Bytecode, ExecutorChoice::TreeWalk] {
+            let out = engine
+                .run_with(
+                    2,
+                    RunOptions {
+                        executor,
+                        ..RunOptions::default()
+                    },
+                )
+                .unwrap();
+            // Exactly Int(8): not Real(8.0), not a wrapped value.
+            assert_eq!(out.shared_scalar("N"), Some(Value::Int(8)), "{executor:?}");
+            // A negative exponent still takes the real path.
+            assert_eq!(
+                out.shared_scalar("H"),
+                Some(Value::Real(0.5)),
+                "{executor:?}"
+            );
+        }
+
+        // Overflow is a checked runtime error, not a clamp or a wrap.
+        for (x, y) in [(3, 63), (2, 64), (10, 19), (i64::MAX, 2)] {
+            let err = eval_binop(BinOp::Pow, Value::Int(x), Value::Int(y), 4).unwrap_err();
+            assert!(
+                err.to_string().contains("integer overflow"),
+                "{x} ** {y}: {err}"
+            );
+        }
+        // Bases whose powers never overflow accept huge exponents.
+        for (x, y, want) in [
+            (0, 0, 1),
+            (0, i64::MAX, 0),
+            (1, i64::MAX, 1),
+            (-1, i64::MAX, -1),
+            (-1, i64::MAX - 1, 1),
+            (2, 62, 1 << 62),
+        ] {
+            assert_eq!(
+                eval_binop(BinOp::Pow, Value::Int(x), Value::Int(y), 1).unwrap(),
+                Value::Int(want),
+                "{x} ** {y}"
+            );
+        }
     }
 }

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod ast;
+pub mod bytecode;
 pub mod engine;
 pub mod error;
 pub mod intrinsics;

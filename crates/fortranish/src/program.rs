@@ -663,6 +663,43 @@ fn emit_stmt(
 }
 
 /// `(step > 0 .AND. var <= to) .OR. (step < 0 .AND. var >= to)`
+/// Recognize the exact condition shape emitted by [`do_condition`]:
+/// `(STEP > 0 .AND. VAR <= TO) .OR. (STEP < 0 .AND. VAR >= TO)`.
+///
+/// The bytecode compiler uses this to fuse a structured DO-loop head
+/// into a single trip-continuation instruction (which delegates the
+/// completion test to `force-core`'s schedule range rule) instead of
+/// re-evaluating the seven-node boolean tree — with `TO` and `STEP`
+/// evaluated once per check rather than twice.  Returns
+/// `(var, to, step)` on a match.
+pub(crate) fn match_do_condition(e: &Expr) -> Option<(&Expr, &Expr, &Expr)> {
+    use BinOp::{And, Ge, Gt, Le, Lt, Or};
+    let is_zero = |e: &Expr| matches!(e, Expr::Int(0));
+    let Expr::Bin(Or, up, down) = e else {
+        return None;
+    };
+    let Expr::Bin(And, gt, le) = &**up else {
+        return None;
+    };
+    let Expr::Bin(And, lt, ge) = &**down else {
+        return None;
+    };
+    let Expr::Bin(Gt, s1, z1) = &**gt else {
+        return None;
+    };
+    let Expr::Bin(Le, v1, t1) = &**le else {
+        return None;
+    };
+    let Expr::Bin(Lt, s2, z2) = &**lt else {
+        return None;
+    };
+    let Expr::Bin(Ge, v2, t2) = &**ge else {
+        return None;
+    };
+    (is_zero(z1) && is_zero(z2) && s1 == s2 && v1 == v2 && t1 == t2)
+        .then_some((&**v1, &**t1, &**s1))
+}
+
 fn do_condition(var: &str, to: &Expr, step: &Expr) -> Expr {
     let v = || Box::new(Expr::Var(var.to_string()));
     let t = || Box::new(to.clone());

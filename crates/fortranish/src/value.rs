@@ -34,10 +34,30 @@ impl Value {
     }
 
     /// Coerce to integer (Fortran truncation for reals).
+    ///
+    /// NaN, infinities and reals whose truncation does not fit in an
+    /// `i64` are runtime errors, not an arbitrary saturated/wrapped
+    /// integer (which is what an `as` cast would silently produce).
     pub fn as_int(&self, line: usize) -> Result<i64, FortError> {
         match self {
             Value::Int(n) => Ok(*n),
-            Value::Real(x) => Ok(*x as i64),
+            Value::Real(x) => {
+                let t = x.trunc();
+                // 2^63 is exactly representable in f64; i64::MAX is not,
+                // so the inclusive upper bound is `t < 2^63`.
+                if t.is_finite()
+                    && (-9_223_372_036_854_775_808.0..9_223_372_036_854_775_808.0).contains(&t)
+                {
+                    Ok(t as i64)
+                } else {
+                    Err(FortError::at(
+                        line,
+                        FortErrorKind::Runtime(format!(
+                            "REAL value {x} has no INTEGER representation"
+                        )),
+                    ))
+                }
+            }
             Value::Log(_) => Err(FortError::at(
                 line,
                 FortErrorKind::Runtime("LOGICAL used where a number is required".into()),
@@ -119,9 +139,28 @@ mod tests {
     #[test]
     fn coercions() {
         assert_eq!(Value::Real(2.9).as_int(1).unwrap(), 2);
+        assert_eq!(Value::Real(-2.9).as_int(1).unwrap(), -2);
         assert_eq!(Value::Int(-3).as_real(1).unwrap(), -3.0);
         assert!(Value::Log(true).as_int(1).is_err());
         assert!(Value::Int(1).as_log(1).is_err());
+    }
+
+    #[test]
+    fn non_finite_and_out_of_range_reals_do_not_truncate_silently() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1e300, -1e300] {
+            let err = Value::Real(bad).as_int(7).unwrap_err();
+            assert_eq!(err.line, Some(7));
+            assert!(
+                err.to_string().contains("no INTEGER representation"),
+                "{err}"
+            );
+        }
+        // The largest magnitudes that do fit still convert exactly.
+        assert_eq!(
+            Value::Real(-9_223_372_036_854_775_808.0).as_int(1).unwrap(),
+            i64::MIN
+        );
+        assert!(Value::Real(9_223_372_036_854_775_808.0).as_int(1).is_err());
     }
 
     #[test]

@@ -197,6 +197,24 @@ impl FaultInjection {
     }
 }
 
+/// Which executor a language front end uses for compiled program units.
+///
+/// The machine-dependent layer defines the knob (it lives in the shared
+/// [`RunOptions`]) but attaches no behavior to it; the `force-fortran`
+/// engine reads it to pick between its bytecode VM and the original
+/// tree-walking interpreter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExecutorChoice {
+    /// Consult the `FORCE_EXECUTOR` environment variable (`tree` /
+    /// `bytecode`); when unset, use the bytecode VM.
+    #[default]
+    Auto,
+    /// The compiled bytecode VM (the default execution path).
+    Bytecode,
+    /// The AST tree-walking interpreter (the reference semantics).
+    TreeWalk,
+}
+
 /// Per-force fault-plane configuration.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FaultConfig {
@@ -213,6 +231,9 @@ pub struct FaultConfig {
     /// carry an explicit per-loop override.  Defaults to the paper's §4.2
     /// selfscheduling (`Selfsched { chunk: 1 }`).
     pub default_schedule: SchedulePolicy,
+    /// Executor used by the language front end for this run (ignored by
+    /// the native API).
+    pub executor: ExecutorChoice,
 }
 
 /// Per-run options for a reusable execution session: the deadlock

@@ -43,7 +43,9 @@ pub mod workq;
 
 pub use cost::{CostModel, CycleAccount};
 pub use env::ForceEnvironment;
-pub use fault::{Construct, FaultConfig, FaultInjection, FaultPlane, ProcessFault, RunOptions};
+pub use fault::{
+    Construct, ExecutorChoice, FaultConfig, FaultInjection, FaultPlane, ProcessFault, RunOptions,
+};
 pub use fullempty::{FullEmptyState, HepLock};
 pub use lock::{with_lock, LockHandle, LockKind, LockState, RawLock};
 pub use machine::{Machine, MachineId, MachineSpec};

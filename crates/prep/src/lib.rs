@@ -36,5 +36,5 @@ pub mod sedpass;
 
 pub use pipeline::{
     clear_expansion_cache, expansion_cache_len, expansion_cache_stats, pass_counts, preprocess,
-    preprocess_cached, DeclInfo, ExpandedProgram, PassCounts, PrepError, VarClass,
+    preprocess_cached, CompiledPayload, DeclInfo, ExpandedProgram, PassCounts, PrepError, VarClass,
 };

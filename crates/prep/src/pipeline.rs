@@ -105,6 +105,63 @@ impl From<M4Error> for PrepError {
     }
 }
 
+/// An opaque, set-once slot for a downstream compiler's artifact.
+///
+/// The expansion cache ([`preprocess_cached`]) is keyed by *(source
+/// hash, machine)* and hands out the same resident
+/// [`ExpandedProgram`] by `Arc` on every hit; anything attached here
+/// rides along, so a back end that compiles the expanded code (the
+/// `force-fortran` bytecode compiler) gets compiled-unit caching under
+/// the same key without the preprocessor depending on it.  The slot is
+/// type-erased — the preprocessor neither knows nor cares what is
+/// stored — and write-once: concurrent initializers race benignly (the
+/// first stored value wins; both are valid for identical expansions).
+#[derive(Default)]
+pub struct CompiledPayload {
+    slot: OnceLock<Arc<dyn std::any::Any + Send + Sync>>,
+}
+
+impl CompiledPayload {
+    /// The stored artifact, if one of type `T` has been attached.
+    pub fn get<T: Send + Sync + 'static>(&self) -> Option<Arc<T>> {
+        self.slot
+            .get()
+            .cloned()
+            .and_then(|a| a.downcast::<T>().ok())
+    }
+
+    /// Attach an artifact if the slot is still empty, then return the
+    /// resident one (ours, or a racing winner's — interchangeable for a
+    /// deterministic compiler).  Returns `value` itself if the resident
+    /// artifact has a different type (a programming error, but one that
+    /// must not turn into a wrong-program execution).
+    pub fn attach<T: Send + Sync + 'static>(&self, value: Arc<T>) -> Arc<T> {
+        let _ = self
+            .slot
+            .set(Arc::clone(&value) as Arc<dyn std::any::Any + Send + Sync>);
+        self.get().unwrap_or(value)
+    }
+}
+
+impl Clone for CompiledPayload {
+    fn clone(&self) -> Self {
+        let slot = OnceLock::new();
+        if let Some(v) = self.slot.get() {
+            let _ = slot.set(Arc::clone(v));
+        }
+        CompiledPayload { slot }
+    }
+}
+
+impl std::fmt::Debug for CompiledPayload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self.slot.get() {
+            Some(_) => "CompiledPayload(set)",
+            None => "CompiledPayload(empty)",
+        })
+    }
+}
+
 /// The result of preprocessing a Force program for one machine.
 #[derive(Debug, Clone)]
 pub struct ExpandedProgram {
@@ -134,6 +191,9 @@ pub struct ExpandedProgram {
     pub async_vars: Vec<String>,
     /// Externally compiled Force subroutines (`Externf`).
     pub externf: Vec<String>,
+    /// Set-once slot where a back end caches its compiled form of
+    /// [`code`](Self::code); see [`CompiledPayload`].
+    pub payload: CompiledPayload,
 }
 
 impl ExpandedProgram {
@@ -294,6 +354,7 @@ pub fn preprocess(source: &str, machine: MachineId) -> Result<ExpandedProgram, P
         decls,
         async_vars,
         externf,
+        payload: CompiledPayload::default(),
     })
 }
 

@@ -8,8 +8,33 @@
 #![cfg(feature = "ext")]
 
 use proptest::prelude::*;
-use the_force::machdep::MachineId;
+use the_force::compile_force_source;
+use the_force::machdep::{ExecutorChoice, MachineId, RunOptions};
 use the_force::run_force_source;
+
+/// Run `src` once per executor and return the integer value of shared
+/// scalar `name` from each: (tree-walker, bytecode VM).  Each run gets a
+/// fresh engine and machine so no state leaks between executors.
+fn both_executors(src: &str, id: MachineId, name: &str) -> (i64, i64) {
+    let mut results = [0i64; 2];
+    for (slot, executor) in [ExecutorChoice::TreeWalk, ExecutorChoice::Bytecode]
+        .into_iter()
+        .enumerate()
+    {
+        let (_expanded, engine) = compile_force_source(src, id).unwrap();
+        let out = engine
+            .run_with(
+                1,
+                RunOptions {
+                    executor,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        results[slot] = out.shared_scalar(name).unwrap().as_int(0).unwrap();
+    }
+    (results[0], results[1])
+}
 
 /// A tiny expression AST with its own Rust evaluator and Fortran
 /// pretty-printer.
@@ -130,6 +155,11 @@ proptest! {
         let out = run_force_source(&src, MachineId::Hep, 1).unwrap();
         let got = out.shared_scalar("R").unwrap().as_int(0).unwrap();
         prop_assert_eq!(got, expected, "expr: {}", e.fortran());
+
+        // Both executors must agree with the reference (and each other).
+        let (tree, vm) = both_executors(&src, MachineId::Hep, "R");
+        prop_assert_eq!(tree, expected, "tree-walker, expr: {}", e.fortran());
+        prop_assert_eq!(vm, expected, "bytecode VM, expr: {}", e.fortran());
     }
 
     #[test]
@@ -165,6 +195,9 @@ proptest! {
             out.shared_scalar("MASK").unwrap().as_int(0).unwrap(),
             expected
         );
+        let (tree, vm) = both_executors(&src, MachineId::Flex32, "MASK");
+        prop_assert_eq!(tree, expected, "tree-walker");
+        prop_assert_eq!(vm, expected, "bytecode VM");
     }
 
     #[test]
@@ -192,5 +225,8 @@ proptest! {
         );
         let out = run_force_source(&src, MachineId::Hep, 1).unwrap();
         prop_assert_eq!(out.shared_scalar("S").unwrap().as_int(0).unwrap(), expected);
+        let (tree, vm) = both_executors(&src, MachineId::Hep, "S");
+        prop_assert_eq!(tree, expected, "tree-walker");
+        prop_assert_eq!(vm, expected, "bytecode VM");
     }
 }

@@ -5,8 +5,9 @@
 
 use std::sync::atomic::{AtomicI64, Ordering};
 
-use the_force::fortran::Value;
-use the_force::machdep::{Machine, MachineId};
+use the_force::compile_force_source;
+use the_force::fortran::{RunOutput, Value};
+use the_force::machdep::{ExecutorChoice, Machine, MachineId};
 use the_force::prelude::*;
 use the_force::run_force_source;
 
@@ -173,6 +174,317 @@ fn barrier_section_equivalence() {
             out.shared_scalar("TIMES"),
             Some(Value::Int(7)),
             "interpreted nproc={nproc}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Executor matrix: the tree-walking interpreter and the bytecode VM are two
+// executors for the *same* language, so every corpus program must produce
+// identical observable output — prints, shared memory, linker passes, op
+// counters and fault attribution — on every machine personality.
+// ---------------------------------------------------------------------------
+
+/// Op counters whose value depends on thread timing (how often a lock was
+/// seen held, how many spin retries happened, who stole work).  Everything
+/// else — acquisitions, releases, barrier episodes, allocation, process
+/// creation, fault bookkeeping — must match exactly between executors.
+const TIMING_DEPENDENT_COUNTERS: &[&str] = &[
+    "lock_contended",
+    "syscalls",
+    "parks",
+    "spin_retries",
+    "steals",
+    "steal_attempts_failed",
+    "cancellations_observed",
+];
+
+fn run_under(
+    src: &str,
+    id: MachineId,
+    nproc: usize,
+    executor: ExecutorChoice,
+) -> Result<RunOutput, String> {
+    // A fresh Machine per run: startup state (e.g. the Sequent ZZSTRT0
+    // registry) lives on the machine instance and must not leak between
+    // the two executors being compared.
+    let (_expanded, engine) = compile_force_source(src, id)
+        .unwrap_or_else(|e| panic!("{}: front end rejected program: {e}", id.name()));
+    engine
+        .run_with(
+            nproc,
+            RunOptions {
+                executor,
+                ..RunOptions::default()
+            },
+        )
+        .map_err(|e| e.to_string())
+}
+
+fn assert_same_run(label: &str, tree: &RunOutput, vm: &RunOutput) {
+    let sorted = |v: &[String]| {
+        let mut v = v.to_vec();
+        v.sort();
+        v
+    };
+    assert_eq!(
+        sorted(&tree.prints),
+        sorted(&vm.prints),
+        "{label}: prints diverge"
+    );
+    assert_eq!(
+        tree.shared_values, vm.shared_values,
+        "{label}: final shared memory diverges"
+    );
+    assert_eq!(
+        tree.linker_commands, vm.linker_commands,
+        "{label}: linker passes diverge"
+    );
+    for ((name, t), (vname, v)) in tree.stats.fields().iter().zip(vm.stats.fields().iter()) {
+        assert_eq!(name, vname);
+        if TIMING_DEPENDENT_COUNTERS.contains(name) {
+            continue;
+        }
+        assert_eq!(t, v, "{label}: op counter {name} diverges");
+    }
+}
+
+/// Deterministic language-feature programs: (name, nproc, source).  Each is
+/// run under both executors on all six machines.
+fn corpus() -> Vec<(&'static str, usize, String)> {
+    vec![
+        (
+            "selfsched-critical-sum",
+            3,
+            "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER TOTAL
+      Private INTEGER K
+      End declarations
+      Selfsched DO 100 K = 1, 60
+      Critical LCK
+      TOTAL = TOTAL + K
+      End critical
+100   End selfsched DO
+      Join
+"
+            .to_string(),
+        ),
+        (
+            "presched-array-prints",
+            3,
+            "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER SQ(12)
+      Private INTEGER K
+      End declarations
+      Presched DO 10 K = 1, 12
+      SQ(K) = K * K
+      PRINT *, K, SQ(K)
+10    End presched DO
+      Join
+"
+            .to_string(),
+        ),
+        (
+            "barrier-intrinsics-reals",
+            3,
+            "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER IMOD, IMIN
+      Shared REAL RT
+      Private INTEGER R
+      End declarations
+      DO 20 R = 1, 3
+      Barrier
+      IMOD = IMOD + MOD(17, 5)
+      IMIN = MIN(3, MAX(1, 2), 9)
+      RT = RT + SQRT(2.25) + ABS(-0.5)
+      End barrier
+20    CONTINUE
+      Join
+"
+            .to_string(),
+        ),
+        (
+            "produce-consume-stream",
+            3,
+            "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER SUM
+      Async INTEGER CHAN
+      Private INTEGER K, T
+      End declarations
+      IF (ME .EQ. 0) THEN
+      DO 10 K = 1, 20
+      Produce CHAN = K
+10    CONTINUE
+      END IF
+      IF (ME .EQ. 1) THEN
+      DO 20 K = 1, 20
+      Consume CHAN into T
+      Critical SLCK
+      SUM = SUM + T
+      End critical
+20    CONTINUE
+      END IF
+      Join
+"
+            .to_string(),
+        ),
+        (
+            "selfsched-pcase",
+            3,
+            "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER A, B, C
+      End declarations
+      Selfsched Pcase
+      Usect
+      A = A + 1
+      Csect (2 .GT. 1)
+      B = B + 1
+      Csect (2 .LT. 1)
+      C = C + 1
+      End pcase
+      Join
+"
+            .to_string(),
+        ),
+        (
+            "forcesub-arguments",
+            2,
+            "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER OUT(8)
+      Externf FILL
+      Private INTEGER K
+      End declarations
+      CALL FILL(OUT, 8)
+      Join
+      Forcesub FILL(A, N) of NP ident ME
+      Private INTEGER J
+      INTEGER A(8), N
+      End declarations
+      Presched DO 10 J = 1, N
+      A(J) = J * J
+10    End presched DO
+      Join
+"
+            .to_string(),
+        ),
+        (
+            "goto-and-arith",
+            3,
+            "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER N
+      Private INTEGER K
+      End declarations
+      K = 0
+50    K = K + 1
+      IF (K .LT. 5) GO TO 50
+      Critical LCK
+      N = N + K * (2 ** 3)
+      End critical
+      Join
+"
+            .to_string(),
+        ),
+    ]
+}
+
+#[test]
+fn executor_matrix_every_program_on_every_machine() {
+    for (name, nproc, src) in corpus() {
+        for id in MachineId::all() {
+            let label = format!("{name} on {}", id.name());
+            let tree = run_under(&src, id, nproc, ExecutorChoice::TreeWalk)
+                .unwrap_or_else(|e| panic!("{label}: tree-walker failed: {e}"));
+            let vm = run_under(&src, id, nproc, ExecutorChoice::Bytecode)
+                .unwrap_or_else(|e| panic!("{label}: bytecode VM failed: {e}"));
+            assert_same_run(&label, &tree, &vm);
+        }
+    }
+}
+
+#[test]
+fn executor_fault_attribution_is_identical() {
+    // Exactly one trip of the self-scheduled loop subscripts out of
+    // bounds; both executors must attribute the fault to the same line
+    // with the same message.  nproc=1 pins the faulting pid so the whole
+    // error string (including the fault-plane attribution) is comparable.
+    let src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER A(20)
+      Private INTEGER K
+      End declarations
+      Selfsched DO 10 K = 1, 20
+      A(K) = K
+      IF (K .EQ. 13) A(1300) = K
+10    End selfsched DO
+      Join
+";
+    for id in MachineId::all() {
+        let tree = run_under(src, id, 1, ExecutorChoice::TreeWalk)
+            .expect_err("tree-walker must report the out-of-bounds store");
+        let vm = run_under(src, id, 1, ExecutorChoice::Bytecode)
+            .expect_err("bytecode VM must report the out-of-bounds store");
+        assert_eq!(tree, vm, "{}: fault strings diverge", id.name());
+        assert!(
+            tree.contains("subscript") && tree.contains("line "),
+            "{}: fault lost its location or cause: {tree}",
+            id.name()
+        );
+
+        // With a real force any process may claim trip 13, but only that
+        // trip faults, so the reported error is still deterministic.
+        let tree = run_under(src, id, 3, ExecutorChoice::TreeWalk).expect_err("tree err");
+        let vm = run_under(src, id, 3, ExecutorChoice::Bytecode).expect_err("vm err");
+        assert_eq!(tree, vm, "{}: nproc=3 fault strings diverge", id.name());
+    }
+}
+
+#[test]
+fn injected_panics_fault_identically_under_every_schedule_policy() {
+    // A native-side DOALL with fault injection armed: under every
+    // work-distribution policy the fault plane must catch the panic and
+    // attribute it to the doall construct rather than hanging or leaking
+    // the panic through `try_execute_with`.
+    let policies = [
+        SchedulePolicy::Cyclic,
+        SchedulePolicy::Block,
+        SchedulePolicy::Selfsched { chunk: 1 },
+        SchedulePolicy::Guided { min_chunk: 1 },
+        SchedulePolicy::Steal,
+    ];
+    for policy in policies {
+        let force = Force::with_machine(3, Machine::new(MachineId::EncoreMultimax));
+        let hits = AtomicI64::new(0);
+        let err = force
+            .try_execute_with(
+                RunOptions {
+                    injection: Some(FaultInjection {
+                        seed: 7,
+                        panic_per_mille: 1000,
+                        delay_per_mille: 0,
+                        spurious_per_mille: 0,
+                    }),
+                    default_schedule: policy,
+                    ..RunOptions::default()
+                },
+                |p| {
+                    p.doall(ForceRange::to(1, 64), |i| {
+                        hits.fetch_add(i, Ordering::Relaxed);
+                    });
+                },
+            )
+            .expect_err("per-mille 1000 always fires");
+        assert_eq!(err.construct, "doall", "{policy:?}");
+        assert!(
+            err.payload.starts_with("injected fault at doall"),
+            "{policy:?}: unexpected payload {}",
+            err.payload
         );
     }
 }

@@ -529,3 +529,108 @@ fn interpreter_do_loops_match_reference_iteration() {
         );
     }
 }
+
+#[test]
+fn random_expressions_agree_across_executors() {
+    // Dependency-free port of tests/interpreter_arith.rs extended to the
+    // executor matrix: every random integer expression must evaluate to
+    // the Rust reference value under BOTH the tree-walking interpreter
+    // and the bytecode VM.
+    use the_force::compile_force_source;
+    use the_force::machdep::{ExecutorChoice, RunOptions};
+
+    // Build a random Fortran expression over V1..V4 and evaluate it with
+    // checked reference arithmetic (None = division by zero or overflow;
+    // such cases are skipped, as in the proptest original).
+    fn gen(rng: &mut XorShift64, depth: usize, vars: &[i64; 4]) -> (String, Option<i64>) {
+        if depth == 0 || rng.next_index(3) == 0 {
+            if rng.next_bool() {
+                let n = rng.next_i64_in(-9, 9);
+                let s = if n < 0 {
+                    format!("({n})")
+                } else {
+                    n.to_string()
+                };
+                return (s, Some(n));
+            }
+            let i = rng.next_index(4);
+            return (format!("V{}", i + 1), Some(vars[i]));
+        }
+        let (a, av) = gen(rng, depth - 1, vars);
+        let op = rng.next_index(9);
+        if op == 7 {
+            return (format!("(-{a})"), av.and_then(i64::checked_neg));
+        }
+        if op == 8 {
+            return (format!("ABS({a})"), av.and_then(i64::checked_abs));
+        }
+        let (b, bv) = gen(rng, depth - 1, vars);
+        let v = match (av, bv) {
+            (Some(x), Some(y)) => match op {
+                0 => x.checked_add(y),
+                1 => x.checked_sub(y),
+                2 => x.checked_mul(y),
+                3 => (y != 0).then(|| x.checked_div(y)).flatten(),
+                4 => (y != 0).then(|| x.checked_rem(y)).flatten(),
+                5 => Some(x.min(y)),
+                _ => Some(x.max(y)),
+            },
+            _ => None,
+        };
+        let s = match op {
+            0 => format!("({a} + {b})"),
+            1 => format!("({a} - {b})"),
+            2 => format!("({a} * {b})"),
+            3 => format!("({a} / {b})"),
+            4 => format!("MOD({a}, {b})"),
+            5 => format!("MIN({a}, {b})"),
+            _ => format!("MAX({a}, {b})"),
+        };
+        (s, v)
+    }
+
+    let mut rng = XorShift64::new(17);
+    let mut compared = 0;
+    for _ in 0..120 {
+        let vars = [
+            rng.next_i64_in(-9, 9),
+            rng.next_i64_in(-9, 9),
+            rng.next_i64_in(-9, 9),
+            rng.next_i64_in(-9, 9),
+        ];
+        let (e, v) = gen(&mut rng, 3, &vars);
+        let Some(expected) = v else { continue };
+        let src = format!(
+            "      Force FMAIN of NP ident ME\n\
+             \x20     Shared INTEGER R\n\
+             \x20     Private INTEGER V1, V2, V3, V4\n\
+             \x20     End declarations\n\
+             \x20     V1 = {}\n\
+             \x20     V2 = {}\n\
+             \x20     V3 = {}\n\
+             \x20     V4 = {}\n\
+             \x20     R = {e}\n\
+             \x20     Join\n",
+            vars[0], vars[1], vars[2], vars[3],
+        );
+        for executor in [ExecutorChoice::TreeWalk, ExecutorChoice::Bytecode] {
+            let (_expanded, engine) = compile_force_source(&src, MachineId::Cray2).unwrap();
+            let out = engine
+                .run_with(
+                    1,
+                    RunOptions {
+                        executor,
+                        ..RunOptions::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(
+                out.shared_scalar("R").unwrap().as_int(0).unwrap(),
+                expected,
+                "{executor:?}: expr {e} with V = {vars:?}"
+            );
+        }
+        compared += 1;
+    }
+    assert!(compared > 40, "only {compared} comparable cases generated");
+}
