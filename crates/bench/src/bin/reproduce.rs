@@ -79,6 +79,9 @@ fn main() {
     if run("exp17") {
         exp17();
     }
+    if run("exp18") {
+        exp18();
+    }
 }
 
 fn host_cores() -> usize {
@@ -1523,4 +1526,349 @@ fn exp17() {
     println!("(expected shape: compiled execution wins most where statement");
     println!(" dispatch dominates — the skewed loop — and less on the tiny");
     println!(" pooled job, whose cost is session dispatch and lock traffic)");
+}
+
+// ---------------------------------------------------------------- EXP-18
+
+/// Structural check of `BENCH_serve.json`: balanced braces outside
+/// strings, one block per machine personality, per-machine steady and
+/// burst sections, and the no-collapse marker (`"watchdog_trips": 0`)
+/// on every machine.  Hand-rolled like the EXP-16/EXP-17 validators —
+/// the harness has no JSON dependency.
+fn validate_serve_json(json: &str) -> Result<(), String> {
+    let mut depth = 0i64;
+    let (mut in_str, mut esc) = (false, false);
+    for c in json.chars() {
+        if in_str {
+            if esc {
+                esc = false;
+            } else if c == '\\' {
+                esc = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return Err("closing brace below depth zero".into());
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_str {
+        return Err(format!("document ends at depth {depth} (in_str={in_str})"));
+    }
+    let want = MachineId::all().len();
+    let machines = json.matches("\"machine\":").count();
+    if machines != want {
+        return Err(format!("{machines} machine blocks, want {want}"));
+    }
+    for key in [
+        "\"steady\":",
+        "\"burst\":",
+        "\"jobs_per_sec\":",
+        "\"p50_ns\":",
+        "\"p99_ns\":",
+        "\"peak_backlog\":",
+        "\"shed\":",
+        "\"deadline_exceeded\":",
+    ] {
+        let count = json.matches(key).count();
+        if count < want {
+            return Err(format!("{key} appears {count} times, want >= {want}"));
+        }
+    }
+    let calm = json.matches("\"watchdog_trips\": 0").count();
+    if calm != want {
+        return Err(format!(
+            "\"watchdog_trips\": 0 appears {calm} times, want {want} (a machine collapsed)"
+        ));
+    }
+    Ok(())
+}
+
+fn exp18() {
+    header(
+        "EXP-18",
+        "force-as-a-service: open-loop serving, overload shed/deadline-kill",
+    );
+    use std::time::{Duration, Instant};
+    use the_force::machdep::{
+        ForceServer, JobSpec, Priority, RunOptions, ServerConfig, StatsSnapshot, Submit,
+    };
+    let env = |k: &str, d: u64| {
+        std::env::var(k)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(d)
+    };
+    let jobs = env("EXP18_JOBS", 240) as usize;
+    let burst = env("EXP18_BURST", 160) as usize;
+    let watermark = env("EXP18_WATERMARK", 24) as usize;
+    let nproc = 4usize;
+
+    let lang_src = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER N
+      End declarations
+      Critical L
+      N = N + 1
+      End critical
+      Join
+";
+
+    println!("jobs={jobs} burst={burst} watermark={watermark} nproc={nproc}\n");
+    println!(
+        "{:<18} {:>9} {:>10} {:>10} | {:>6} {:>5} {:>5} {:>5} {:>5}",
+        "machine", "steady/s", "p50", "p99", "done", "shed", "dl", "rej", "peak"
+    );
+
+    struct ServeRow {
+        id: MachineId,
+        steady_rate: f64,
+        p50_ns: u64,
+        p99_ns: u64,
+        steady_completed: u64,
+        steady_retries: u64,
+        b_admitted: u64,
+        b_completed: u64,
+        b_shed: u64,
+        b_deadline: u64,
+        b_rejected: u64,
+        b_peak: usize,
+        watchdog: u64,
+    }
+    let mut rows: Vec<ServeRow> = Vec::new();
+
+    for id in MachineId::all() {
+        let machine = Machine::new(id);
+        let base: StatsSnapshot = machine.stats().snapshot();
+        let pool = Arc::new(ForcePool::new(nproc, machine.stats()));
+        let force =
+            Arc::new(Force::with_machine(nproc, Arc::clone(&machine)).with_pool(Arc::clone(&pool)));
+        let (_expanded, engine) = compile_force_source(lang_src, id).expect("front end");
+        let engine = Arc::new(engine);
+        engine.set_pool(Arc::clone(&pool));
+        let sink = Arc::new(AtomicU64::new(0));
+
+        // Calibrate the per-job service time closed-loop; the open-loop
+        // arrival rates below are relative to it, so the harness applies
+        // the same *relative* load on every host.
+        const CAL: usize = 12;
+        let t0 = Instant::now();
+        for _ in 0..CAL {
+            let s = Arc::clone(&sink);
+            force
+                .try_run(move |p| {
+                    p.barrier();
+                    s.fetch_add(busy_work(64), Ordering::Relaxed);
+                    p.barrier();
+                })
+                .expect("calibration job");
+            engine.run(nproc).expect("calibration job");
+        }
+        let svc = (t0.elapsed() / (2 * CAL as u32)).max(Duration::from_micros(20));
+
+        // Steady phase: open-loop arrivals at half the measured service
+        // rate, alternating native and language jobs.  Nothing may be
+        // shed or killed here.
+        let server = ForceServer::new(
+            ServerConfig {
+                tenant_queue_capacity: jobs.max(64),
+                shed_watermark: jobs.max(64) * 2,
+                retry_base: Duration::from_micros(200),
+                ..ServerConfig::default()
+            },
+            machine.stats(),
+        );
+        let arrival = svc * 2;
+        let mut handles = Vec::with_capacity(jobs);
+        let t0 = Instant::now();
+        let mut next_at = t0;
+        for j in 0..jobs {
+            let (spec, runner) = if j % 2 == 0 {
+                let s = Arc::clone(&sink);
+                (
+                    JobSpec::for_tenant("native"),
+                    force.serve_runner(RunOptions::default(), move |p| {
+                        p.barrier();
+                        s.fetch_add(busy_work(64), Ordering::Relaxed);
+                        p.barrier();
+                    }),
+                )
+            } else {
+                (
+                    JobSpec::for_tenant("lang"),
+                    engine.serve_runner(nproc, RunOptions::default(), |_| ()),
+                )
+            };
+            match server.submit(spec, runner) {
+                Submit::Admitted(h) => handles.push(h),
+                Submit::Rejected { reason } => panic!("steady phase rejected a job: {reason}"),
+            }
+            next_at += arrival;
+            let now = Instant::now();
+            if next_at > now {
+                std::thread::sleep(next_at - now);
+            }
+        }
+        for h in &handles {
+            assert!(h.wait().is_success(), "steady job failed on {}", id.name());
+        }
+        let steady_elapsed = t0.elapsed();
+        let steady = server.server_report();
+        assert_eq!(steady.shed, 0, "{}: steady phase shed work", id.name());
+        assert_eq!(steady.deadline_exceeded, 0);
+        let steady_rate = steady.completed as f64 / steady_elapsed.as_secs_f64();
+        server.shutdown();
+
+        // Burst phase: arrivals at 4x the service rate — overload by
+        // construction.  The server must hold the backlog near the
+        // watermark by shedding and deadline-killing, never collapse.
+        let server = ForceServer::new(
+            ServerConfig {
+                tenant_queue_capacity: watermark * 4,
+                shed_watermark: watermark,
+                retry_base: Duration::from_micros(200),
+                ..ServerConfig::default()
+            },
+            machine.stats(),
+        );
+        let arrival = svc / 4;
+        let deadline = svc * 8;
+        let mut handles = Vec::with_capacity(burst);
+        let mut next_at = Instant::now();
+        for j in 0..burst {
+            let s = Arc::clone(&sink);
+            let runner = force.serve_runner(RunOptions::default(), move |p| {
+                p.barrier();
+                s.fetch_add(busy_work(64), Ordering::Relaxed);
+                p.barrier();
+            });
+            let mut spec = JobSpec::for_tenant("burst").with_priority(if j % 8 == 0 {
+                Priority::High
+            } else {
+                Priority::Normal
+            });
+            if j % 4 == 0 {
+                spec = spec.with_deadline(deadline);
+            }
+            match server.submit(spec, runner) {
+                Submit::Admitted(h) => handles.push(h),
+                Submit::Rejected { .. } => {}
+            }
+            next_at += arrival;
+            let now = Instant::now();
+            if next_at > now {
+                std::thread::sleep(next_at - now);
+            }
+        }
+        // Every admitted job reaches a terminal outcome.
+        for h in &handles {
+            let _ = h.wait();
+        }
+        // The server stays responsive through the overload: a fresh
+        // high-priority job completes promptly afterwards.
+        let s = Arc::clone(&sink);
+        let probe = server.submit(
+            JobSpec::for_tenant("probe").with_priority(Priority::High),
+            force.serve_runner(RunOptions::default(), move |p| {
+                p.barrier();
+                s.fetch_add(busy_work(64), Ordering::Relaxed);
+                p.barrier();
+            }),
+        );
+        match probe {
+            Submit::Admitted(h) => assert!(h.wait().is_success(), "post-burst probe failed"),
+            Submit::Rejected { reason } => panic!("post-burst probe rejected: {reason}"),
+        }
+        let b = server.server_report();
+        assert!(
+            b.shed + b.deadline_exceeded > 0,
+            "{}: 4x overload was absorbed without shedding or deadline kills",
+            id.name()
+        );
+        assert!(
+            b.peak_backlog <= watermark + 64,
+            "{}: queue depth {} not bounded near watermark {}",
+            id.name(),
+            b.peak_backlog,
+            watermark
+        );
+        server.shutdown();
+
+        let delta = machine.stats().snapshot().delta(&base);
+        assert_eq!(delta.watchdog_trips, 0, "{}: watchdog tripped", id.name());
+
+        println!(
+            "{:<18} {:>9.1} {:>10} {:>10} | {:>6} {:>5} {:>5} {:>5} {:>5}",
+            id.name(),
+            steady_rate,
+            fmt_dur(Duration::from_nanos(steady.latency.percentile(0.50))),
+            fmt_dur(Duration::from_nanos(steady.latency.percentile(0.99))),
+            b.completed,
+            b.shed,
+            b.deadline_exceeded,
+            b.rejected,
+            b.peak_backlog
+        );
+        rows.push(ServeRow {
+            id,
+            steady_rate,
+            p50_ns: steady.latency.percentile(0.50),
+            p99_ns: steady.latency.percentile(0.99),
+            steady_completed: steady.completed,
+            steady_retries: steady.retries,
+            b_admitted: b.admitted,
+            b_completed: b.completed,
+            b_shed: b.shed,
+            b_deadline: b.deadline_exceeded,
+            b_rejected: b.rejected,
+            b_peak: b.peak_backlog,
+            watchdog: delta.watchdog_trips,
+        });
+    }
+
+    // Machine-readable artifact for the acceptance gate.
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"jobs\": {jobs},\n  \"burst\": {burst},\n  \"watermark\": {watermark},\n  \"nproc\": {nproc},\n"
+    ));
+    json.push_str(&format!("  \"host_cores\": {},\n", host_cores()));
+    json.push_str("  \"machines\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!("    {{ \"machine\": \"{}\",\n", r.id.name()));
+        json.push_str(&format!(
+            "      \"steady\": {{ \"jobs_per_sec\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"completed\": {}, \"retries\": {} }},\n",
+            r.steady_rate, r.p50_ns, r.p99_ns, r.steady_completed, r.steady_retries
+        ));
+        json.push_str(&format!(
+            "      \"burst\": {{ \"admitted\": {}, \"completed\": {}, \"shed\": {}, \
+             \"deadline_exceeded\": {}, \"rejected\": {}, \"peak_backlog\": {}, \
+             \"watchdog_trips\": {} }} }}{}\n",
+            r.b_admitted,
+            r.b_completed,
+            r.b_shed,
+            r.b_deadline,
+            r.b_rejected,
+            r.b_peak,
+            r.watchdog,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    validate_serve_json(&json).expect("serve JSON validates");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json (validated)");
+    println!("(expected shape: steady-phase latency tracks the calibrated service");
+    println!(" time on every personality; the 4x burst is absorbed by shedding and");
+    println!(" deadline kills with the backlog pinned near the watermark, and the");
+    println!(" post-burst probe proves the server never wedged)");
 }

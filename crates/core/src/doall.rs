@@ -460,7 +460,7 @@ mod tests {
             });
         });
         assert_eq!(executed.load(Ordering::SeqCst), 16);
-        let stats = force.last_job_stats();
+        let stats = force.last_job_stats().expect("clean run has stats");
         assert!(
             (7..=8).contains(&stats.steals),
             "peer must have drained the stalled process's deque: {} steals",

@@ -20,13 +20,14 @@
 //! successive executes reuse the pool's worker threads too — no per-run
 //! process creation at all.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use force_machdep::{
     spawn_force_plane, FaultConfig, FaultInjection, FaultPlane, ForceEnvironment, ForcePool,
-    Machine, MachineId, Mutex, ProcessFault, ProfileReport, RunOptions, SchedulePolicy,
-    StatsSnapshot, TraceConfig,
+    JobError, JobRunner, JobYield, Machine, MachineId, Mutex, ProcessFault, ProfileReport,
+    RunOptions, SchedulePolicy, StatsSnapshot, TraceConfig,
 };
 
 use crate::barrier::TwoLockBarrier;
@@ -61,8 +62,14 @@ pub struct Force {
     /// Serializes runs on this session: the resident state is per-run
     /// exclusive, so overlapping executes take turns.
     run_lock: Mutex<()>,
-    /// Operation counts of the most recent run (per-job delta).
-    last_job_stats: Mutex<StatsSnapshot>,
+    /// Operation counts of the most recent run (per-job delta); `None`
+    /// until a run completes cleanly, and reset to `None` by a faulted
+    /// run so a caller can never mistake a dead job's partial counts (or
+    /// a previous job's counts) for results.
+    last_job_stats: Mutex<Option<StatsSnapshot>>,
+    /// Whether the most recent run faulted; gates
+    /// [`last_job_profile`](Force::last_job_profile) the same way.
+    last_run_faulted: AtomicBool,
 }
 
 impl Force {
@@ -102,7 +109,8 @@ impl Force {
             barrier,
             registry: Arc::new(CollectiveRegistry::new()),
             run_lock: Mutex::new(()),
-            last_job_stats: Mutex::new(StatsSnapshot::default()),
+            last_job_stats: Mutex::new(None),
+            last_run_faulted: AtomicBool::new(false),
         }
     }
 
@@ -255,7 +263,16 @@ impl Force {
             Some(pool) => pool.run_plane(&self.plane, run_body),
             None => spawn_force_plane(&self.plane, run_body),
         };
-        *self.last_job_stats.lock() = self.machine.stats().snapshot().delta(&before);
+        // A faulted run leaves no per-job results: its delta covers only
+        // the operations that happened to land before the teardown, and
+        // surfacing it (or worse, leaving the previous job's delta in
+        // place) would hand callers another job's numbers as this job's.
+        *self.last_job_stats.lock() = match &result {
+            Ok(_) => Some(self.machine.stats().snapshot().delta(&before)),
+            Err(_) => None,
+        };
+        self.last_run_faulted
+            .store(result.is_err(), Ordering::Release);
         result
     }
 
@@ -272,8 +289,11 @@ impl Force {
 
     /// Primitive-operation counts of the most recent run — the per-job
     /// delta, not the machine's cumulative totals (which, on a resident
-    /// session or shared pool, span every job since creation).
-    pub fn last_job_stats(&self) -> StatsSnapshot {
+    /// session or shared pool, span every job since creation).  `None`
+    /// before the first run and after a run that faulted: a torn-down
+    /// job has no meaningful per-job counts, and returning the previous
+    /// job's delta would be a cross-job leak.
+    pub fn last_job_stats(&self) -> Option<StatsSnapshot> {
         *self.last_job_stats.lock()
     }
 
@@ -289,9 +309,58 @@ impl Force {
     /// plain-data report.  It takes the session's run lock (the sink is
     /// only readable at job quiescence), so call it between runs, never
     /// from inside a job body.
+    ///
+    /// Also `None` after a run that faulted: a torn-down job's sink
+    /// holds a partial, mid-flight event stream, not a profile of
+    /// completed work.
     pub fn last_job_profile(&self) -> Option<ProfileReport> {
         let _run = self.run_lock.lock();
+        if self.last_run_faulted.load(Ordering::Acquire) {
+            return None;
+        }
         self.plane.profile_report()
+    }
+
+    /// The session's resident fault plane.  The serving layer binds this
+    /// to a job context ([`force_machdep::serve::JobCx::bind_plane`]) so
+    /// deadline watchers can cancel a running job through the plane's
+    /// trip token.
+    pub fn fault_plane(&self) -> &Arc<FaultPlane> {
+        &self.plane
+    }
+
+    /// Package a native force program as a [`JobRunner`] for a
+    /// [`ForceServer`](force_machdep::serve::ForceServer): each attempt
+    /// binds this session's fault plane to the job (so deadlines can
+    /// cancel it), runs `body` under `options` via
+    /// [`try_execute_with`](Self::try_execute_with), and reports the
+    /// run's trace profile (if any) back to the server's per-tenant
+    /// rollup.
+    ///
+    /// Per-process results are discarded — a served job returns data by
+    /// writing through what `body` captures.  When `options` carries
+    /// fault injection, each retry re-derives the injection seed from
+    /// the attempt number, so a retried job re-rolls the injection
+    /// stream instead of deterministically replaying the same injected
+    /// fault (which would make retries useless by construction).
+    pub fn serve_runner<F>(self: &Arc<Self>, options: RunOptions, body: F) -> JobRunner
+    where
+        F: Fn(&Player) + Send + Sync + 'static,
+    {
+        let force = Arc::clone(self);
+        Box::new(move |cx| {
+            cx.bind_plane(force.fault_plane());
+            let mut opts = options;
+            if let Some(inj) = opts.injection.as_mut() {
+                inj.seed ^= u64::from(cx.attempt()).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            }
+            match force.try_execute_with(opts, |p| body(p)) {
+                Ok(_) => Ok(JobYield {
+                    profile: force.last_job_profile(),
+                }),
+                Err(fault) => Err(JobError::Fault(fault)),
+            }
+        })
     }
 
     /// Like [`execute`](Self::execute) but discarding per-process results.
@@ -496,18 +565,81 @@ mod tests {
     #[test]
     fn last_job_stats_reports_per_job_deltas() {
         let force = Force::new(2);
+        assert!(
+            force.last_job_stats().is_none(),
+            "no stats before the first run"
+        );
         force.run(|p| {
             for _ in 0..3 {
                 p.barrier();
             }
         });
-        assert_eq!(force.last_job_stats().barrier_episodes, 3);
+        assert_eq!(force.last_job_stats().unwrap().barrier_episodes, 3);
         force.run(|p| p.barrier());
         assert_eq!(
-            force.last_job_stats().barrier_episodes,
+            force.last_job_stats().unwrap().barrier_episodes,
             1,
             "per-job delta, not cumulative"
         );
+    }
+
+    /// The stale-result hazard: after a faulted run, `last_job_stats`
+    /// and `last_job_profile` must return `None` — not the *previous*
+    /// job's results — on both dispatch paths.
+    fn assert_no_stale_results_after_fault(force: &Force) {
+        // Run 1: clean, traced — leaves real results behind.
+        force
+            .try_execute_with(
+                RunOptions {
+                    trace: Some(force_machdep::TraceConfig::default()),
+                    ..RunOptions::default()
+                },
+                |p| p.barrier(),
+            )
+            .expect("clean run");
+        assert_eq!(force.last_job_stats().unwrap().barrier_episodes, 1);
+        assert!(force.last_job_profile().is_some());
+        // Run 2: faults mid-flight.  Reading job 2's results must not
+        // surface job 1's.
+        let err = force
+            .try_execute_with(
+                RunOptions {
+                    trace: Some(force_machdep::TraceConfig::default()),
+                    ..RunOptions::default()
+                },
+                |p| {
+                    if p.pid() == 0 {
+                        panic!("casualty");
+                    }
+                    p.barrier();
+                },
+            )
+            .expect_err("the panic must fault the force");
+        assert_eq!(err.pid, 0);
+        assert!(
+            force.last_job_stats().is_none(),
+            "faulted run must clear last_job_stats"
+        );
+        assert!(
+            force.last_job_profile().is_none(),
+            "faulted run must clear last_job_profile"
+        );
+        // Run 3: clean again — results come back.
+        force.try_run(|p| p.barrier()).expect("clean run");
+        assert_eq!(force.last_job_stats().unwrap().barrier_episodes, 1);
+    }
+
+    #[test]
+    fn faulted_run_clears_results_scoped_path() {
+        assert_no_stale_results_after_fault(&Force::new(2));
+    }
+
+    #[test]
+    fn faulted_run_clears_results_pooled_path() {
+        let machine = Machine::new(MachineId::Flex32);
+        let pool = Arc::new(ForcePool::new(2, machine.stats()));
+        let force = Force::with_machine(2, machine).with_pool(pool);
+        assert_no_stale_results_after_fault(&force);
     }
 
     #[test]

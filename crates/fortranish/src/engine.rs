@@ -17,15 +17,16 @@
 //! is the paper's portability claim in executable form.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use force_machdep::fault::{self, Construct};
+use force_machdep::fault::{self, Construct, INJECTED_FAULT_MARKER};
 use force_machdep::trace;
 use force_machdep::Mutex;
 use force_machdep::{
-    spawn_force_plane, ExecutorChoice, FaultPlane, ForcePool, FullEmptyState, LockHandle, LockKind,
-    LockState, Machine, ProcessModel, ProfileReport, RunOptions, SharedRegion, SharingModelId,
-    StatsSnapshot,
+    spawn_force_plane, ExecutorChoice, FaultPlane, ForcePool, FullEmptyState, JobError, JobRunner,
+    JobYield, LockHandle, LockKind, LockState, Machine, ProcessFault, ProcessModel, ProfileReport,
+    RunOptions, SharedRegion, SharingModelId, StatsSnapshot,
 };
 use force_prep::{ExpandedProgram, VarClass};
 
@@ -66,6 +67,10 @@ pub struct Engine {
     session: Session,
     /// Serializes runs: the resident state is exclusive to one run.
     run_lock: Mutex<()>,
+    /// Whether the most recent run faulted; gates
+    /// [`last_job_profile`](Engine::last_job_profile) so a dead run's
+    /// partial sink is never surfaced as a profile.
+    last_run_faulted: AtomicBool,
 }
 
 /// The engine's resident state: allocated on first use, reset in place
@@ -185,6 +190,7 @@ impl Engine {
                 plane: Mutex::new(None),
             },
             run_lock: Mutex::new(()),
+            last_run_faulted: AtomicBool::new(false),
         })
     }
 
@@ -261,7 +267,7 @@ impl Engine {
             .program_unit
             .as_deref()
             .expect("checked in load");
-        match resolve_executor(options.executor) {
+        let exec_result = match resolve_executor(options.executor) {
             ExecutorChoice::TreeWalk => {
                 let driver = self.bundle.program.unit(driver_name).expect("driver unit");
                 let proc = Proc {
@@ -269,7 +275,7 @@ impl Engine {
                     me: -1,
                     np: nproc as i64,
                 };
-                proc.exec(driver, Vec::new())?;
+                proc.exec(driver, Vec::new()).map(|_| ())
             }
             _ => {
                 let driver = self
@@ -278,9 +284,15 @@ impl Engine {
                     .unit_index(driver_name)
                     .expect("driver unit");
                 let mut proc = VmProc::new(&rt, &self.bundle.compiled, -1, nproc as i64);
-                proc.exec(driver, Vec::new())?;
+                proc.exec(driver, Vec::new()).map(|_| ())
             }
-        }
+        };
+        // A faulted run leaves no results behind: the flag below makes
+        // `last_job_profile` answer `None` instead of surfacing the dead
+        // run's partial event sink (or a previous run's data).
+        self.last_run_faulted
+            .store(exec_result.is_err(), Ordering::Release);
+        exec_result?;
 
         // Collect observables.
         let after = self.machine.stats().snapshot();
@@ -354,16 +366,96 @@ impl Engine {
     }
 
     /// Construct-level profile of the most recent run (see
-    /// [`RunOutput::profile`]); `None` when that run did not trace.
+    /// [`RunOutput::profile`]); `None` when that run did not trace — or
+    /// when it faulted, since a torn-down run's sink holds a partial
+    /// event stream, not a profile of completed work.
     /// Summarized lazily from the resident sink under the run lock —
     /// call it between runs, never from inside a running program.
     pub fn last_job_profile(&self) -> Option<ProfileReport> {
         let _run = self.run_lock.lock();
+        if self.last_run_faulted.load(Ordering::Acquire) {
+            return None;
+        }
         self.session
             .plane
             .lock()
             .as_ref()
             .and_then(|p| p.profile_report())
+    }
+
+    /// The session's resident fault plane for a force of `nproc`
+    /// processes, creating (or resizing) it if needed.  The serving
+    /// layer binds this to a job context before a run so a deadline
+    /// watcher can cancel the run through the plane's trip token even
+    /// though the engine only forks its force mid-program.
+    pub fn fault_plane(&self, nproc: usize) -> Arc<FaultPlane> {
+        assert!(nproc > 0, "a force needs at least one process");
+        let mut slot = self.session.plane.lock();
+        match slot.as_ref() {
+            Some(p) if p.nproc() == nproc => Arc::clone(p),
+            _ => {
+                let p = FaultPlane::new(
+                    nproc,
+                    Arc::clone(self.machine.stats()),
+                    *self.defaults.lock(),
+                );
+                *slot = Some(Arc::clone(&p));
+                p
+            }
+        }
+    }
+
+    /// Package this engine's program as a [`JobRunner`] for a
+    /// [`ForceServer`](force_machdep::serve::ForceServer): each attempt
+    /// binds the session's fault plane (so deadlines can cancel the
+    /// run), executes via [`run_with`](Self::run_with), and maps the
+    /// result onto the server's retry taxonomy — an error carrying the
+    /// injection marker becomes a transient [`JobError::Fault`], while
+    /// every genuine `FortError` (type errors, overflow, runtime faults)
+    /// becomes [`JobError::Deterministic`] and is never retried.
+    ///
+    /// `on_output` observes each successful run's [`RunOutput`] (prints,
+    /// shared values, stats); pass a closure capturing a slot, or `|_|
+    /// ()` to discard.  When `options` carries fault injection, each
+    /// retry re-derives the injection seed from the attempt number so a
+    /// retried job does not deterministically replay the same injected
+    /// fault.
+    pub fn serve_runner<F>(
+        self: &Arc<Self>,
+        nproc: usize,
+        options: RunOptions,
+        mut on_output: F,
+    ) -> JobRunner
+    where
+        F: FnMut(RunOutput) + Send + 'static,
+    {
+        let engine = Arc::clone(self);
+        Box::new(move |cx| {
+            cx.bind_plane(&engine.fault_plane(nproc));
+            let mut opts = options;
+            if let Some(inj) = opts.injection.as_mut() {
+                inj.seed ^= u64::from(cx.attempt()).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            }
+            match engine.run_with(nproc, opts) {
+                Ok(output) => {
+                    let profile = output.profile.clone();
+                    on_output(output);
+                    Ok(JobYield { profile })
+                }
+                Err(e) => {
+                    let msg = e.to_string();
+                    if msg.contains(INJECTED_FAULT_MARKER) {
+                        Err(JobError::Fault(ProcessFault {
+                            pid: 0,
+                            construct: "interpreter",
+                            payload: msg,
+                        }))
+                    } else {
+                        Err(JobError::Deterministic(msg))
+                    }
+                }
+            }
+        })
     }
 
     /// Reset the resident session state in place for a new run: zero the

@@ -842,6 +842,12 @@ fn roll(want_spurious: bool) -> Injected {
     rolled.unwrap_or(Injected::Nothing)
 }
 
+/// Payload prefix carried by every injection-layer panic.  This marker is
+/// the stable contract by which upper layers (the job server's retry
+/// classifier, tests) distinguish injected/transient faults from genuine
+/// program bugs — a deterministic error never carries it.
+pub const INJECTED_FAULT_MARKER: &str = "injected fault at";
+
 /// Fault-injection point at a construct boundary: may sleep a few
 /// microseconds or unwind with an injected fault, per the plane's
 /// [`FaultInjection`] configuration.  A no-op outside a force or without
@@ -851,7 +857,7 @@ pub fn inject(point: Construct) {
         Injected::Nothing => {}
         Injected::Delay(micros) => std::thread::sleep(Duration::from_micros(micros)),
         Injected::Panic(pid) => std::panic::resume_unwind(Box::new(format!(
-            "injected fault at {} (pid {pid})",
+            "{INJECTED_FAULT_MARKER} {} (pid {pid})",
             point.name()
         ))),
     }

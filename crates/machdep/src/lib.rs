@@ -34,6 +34,7 @@ pub mod machine;
 pub mod pool;
 pub mod portable;
 pub mod process;
+pub mod serve;
 pub mod sharedmem;
 pub mod spin;
 pub mod stats;
@@ -52,6 +53,10 @@ pub use machine::{Machine, MachineId, MachineSpec};
 pub use pool::ForcePool;
 pub use portable::{Backoff, CachePadded, Condvar, Mutex, XorShift64};
 pub use process::{spawn_force, spawn_force_plane, ChildPrivateInit, ProcessModel};
+pub use serve::{
+    ForceServer, JobCx, JobError, JobHandle, JobOutcome, JobRunner, JobSpec, JobYield, Priority,
+    RejectReason, ServerConfig, ServerReport, Submit, TenantRollup,
+};
 pub use sharedmem::{
     BlockRequest, SharedLayout, SharedRegion, SharingError, SharingModel, SharingModelId,
 };

@@ -84,6 +84,52 @@ impl Backoff {
     pub fn is_completed(&self) -> bool {
         self.step.get() > YIELD_LIMIT
     }
+
+    /// The jittered retry delay for `attempt` (0-based): `base << attempt`
+    /// capped at `base << JITTER_SHIFT_CAP`, then scaled by a uniformly
+    /// random factor in `[0.5, 1.0)` drawn from `rng`.
+    ///
+    /// The jitter decorrelates retries from concurrent submitters that
+    /// faulted at the same instant, while the seeded [`XorShift64`] keeps
+    /// the whole schedule reproducible — the same seed and attempt
+    /// sequence always yields the same delays.  Sleeping is left to
+    /// [`Backoff::sleep_jittered`] so tests can inspect the schedule
+    /// without waiting it out.
+    pub fn jittered_delay(
+        base: std::time::Duration,
+        attempt: u32,
+        rng: &mut XorShift64,
+    ) -> std::time::Duration {
+        /// Exponential growth stops doubling past this attempt so a long
+        /// retry chain cannot overflow or sleep unboundedly (base × 2¹⁰).
+        const JITTER_SHIFT_CAP: u32 = 10;
+        let shift = attempt.min(JITTER_SHIFT_CAP);
+        let ceiling = base.saturating_mul(1u32 << shift);
+        // Scale by 1/2 + r/2 with r uniform in [0, 1), using integer
+        // nanoseconds to stay exact and platform-independent.
+        let nanos = ceiling.as_nanos().min(u64::MAX as u128) as u64;
+        let half = nanos / 2;
+        let jitter = if half == 0 {
+            0
+        } else {
+            rng.next_below(half.saturating_add(1))
+        };
+        std::time::Duration::from_nanos(half.saturating_add(jitter))
+    }
+
+    /// Sleep for [`Backoff::jittered_delay`]`(base, attempt, rng)` and
+    /// return the duration actually requested.
+    pub fn sleep_jittered(
+        base: std::time::Duration,
+        attempt: u32,
+        rng: &mut XorShift64,
+    ) -> std::time::Duration {
+        let d = Self::jittered_delay(base, attempt, rng);
+        if !d.is_zero() {
+            thread::sleep(d);
+        }
+        d
+    }
 }
 
 impl Default for Backoff {
@@ -494,6 +540,64 @@ mod tests {
         .join();
         pair.1.notify_all();
         assert_eq!(waiter.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn jittered_delay_is_deterministic_per_seed() {
+        use std::time::Duration;
+        let base = Duration::from_millis(1);
+        let mut a = XorShift64::new(99);
+        let mut b = XorShift64::new(99);
+        for attempt in 0..6 {
+            assert_eq!(
+                Backoff::jittered_delay(base, attempt, &mut a),
+                Backoff::jittered_delay(base, attempt, &mut b),
+                "same seed must reproduce the same retry schedule"
+            );
+        }
+        // A different seed decorrelates at least one attempt.
+        let mut c = XorShift64::new(100);
+        let mut d = XorShift64::new(99);
+        let differs = (0..6).any(|attempt| {
+            Backoff::jittered_delay(base, attempt, &mut c)
+                != Backoff::jittered_delay(base, attempt, &mut d)
+        });
+        assert!(differs, "distinct seeds should produce distinct jitter");
+    }
+
+    #[test]
+    fn jittered_delay_bounds_and_growth() {
+        use std::time::Duration;
+        let base = Duration::from_millis(2);
+        let mut rng = XorShift64::new(7);
+        for attempt in 0..12 {
+            let ceiling = base.saturating_mul(1u32 << attempt.min(10));
+            let d = Backoff::jittered_delay(base, attempt, &mut rng);
+            assert!(d >= ceiling / 2, "jitter below half the ceiling: {d:?}");
+            assert!(d <= ceiling, "jitter above the ceiling: {d:?}");
+        }
+        // The exponential cap holds: attempt 30 is no larger than the
+        // attempt-10 ceiling.
+        let d = Backoff::jittered_delay(base, 30, &mut rng);
+        assert!(d <= base * (1u32 << 10));
+        // A zero base never sleeps.
+        assert_eq!(
+            Backoff::jittered_delay(Duration::ZERO, 3, &mut rng),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn sleep_jittered_sleeps_at_least_the_requested_delay() {
+        use std::time::{Duration, Instant};
+        let mut rng = XorShift64::new(11);
+        let start = Instant::now();
+        let requested = Backoff::sleep_jittered(Duration::from_millis(2), 1, &mut rng);
+        assert!(
+            requested >= Duration::from_millis(2),
+            "attempt 1 of 2ms base"
+        );
+        assert!(start.elapsed() >= requested);
     }
 
     #[test]

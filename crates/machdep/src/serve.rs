@@ -1,0 +1,1407 @@
+//! Force-as-a-service: a fault-contained multi-tenant job server.
+//!
+//! The paper's model assumes one program owns the machine.  This module
+//! supplies the opposite deployment: a [`ForceServer`] accepts many
+//! concurrent jobs — native closures and `.force` source alike, packaged
+//! as [`JobRunner`]s by the `core`/`fortranish` facades — and feeds them
+//! to resident sessions on one shared worker pool.  The robustness spine
+//! lives here, above the fault plane:
+//!
+//! * **Admission control** — bounded per-tenant queues; a full queue or a
+//!   draining server answers [`Submit::Rejected`] immediately instead of
+//!   growing without bound.
+//! * **Deadlines** — each running job may be shadowed by a watcher thread
+//!   that, once the deadline passes, trips the job's bound [`FaultPlane`]
+//!   so every blocked process unwinds at its next cancellable wait.  The
+//!   watcher *keeps* the trip asserted until the dispatcher disarms it,
+//!   because a session resets its plane at run start and a single trip
+//!   could be erased by that reset.
+//! * **Retry with jittered backoff** — a job killed by a fault carrying
+//!   [`INJECTED_FAULT_MARKER`] (the injection layer's stable payload
+//!   prefix) is transient by contract and is re-run up to
+//!   [`JobSpec::max_retries`] times, sleeping a deterministic
+//!   [`Backoff::jittered_delay`] between attempts.  Deterministic errors
+//!   ([`JobError::Deterministic`] — e.g. a `FortError`) are never
+//!   retried.
+//! * **Priority-aware dequeue and load shedding** — `High` before
+//!   `Normal` before `Low`; when total backlog exceeds the configured
+//!   watermark, the newest low-priority jobs are dropped with
+//!   [`JobOutcome::Shed`] so accepted high-priority work keeps its
+//!   latency.
+//! * **Graceful drain** — [`ForceServer::shutdown`] stops admission,
+//!   runs every already-admitted job to an outcome, then joins the
+//!   dispatcher.
+//!
+//! Jobs inherit per-job isolation from the layers below for free: the
+//! session facades reset the fault plane (`FaultPlane::reset_for_job`),
+//! report per-job operation counts (`StatsSnapshot::delta`), and reset
+//! trace sinks between runs.  The server rolls those per-job results up
+//! into per-tenant aggregates ([`TenantRollup`]) and counts its own five
+//! decisions in the machine's [`OpStats`] (`jobs_admitted`,
+//! `jobs_rejected`, `jobs_shed`, `jobs_deadline_exceeded`,
+//! `job_retries`).
+//!
+//! Jobs are executed by a single dispatcher thread.  That is not a
+//! bottleneck but a reflection of the substrate: `ForcePool`'s mailbox
+//! already serializes jobs (the pool runs one force at a time), so a
+//! second dispatcher could only queue behind the first inside the pool.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::fault::{FaultPlane, ProcessFault, INJECTED_FAULT_MARKER};
+use crate::portable::{Backoff, Condvar, Mutex, XorShift64};
+use crate::stats::{OpStats, StatsSnapshot};
+use crate::trace::{HistogramSnapshot, ProfileReport};
+
+/// Construct name attributed to deadline trips (shows up in
+/// `ProcessFault::construct` for deadline-killed jobs).
+pub const DEADLINE_CONSTRUCT: &str = "deadline";
+
+/// Dequeue priority of a submitted job.  Order is dequeue order: `High`
+/// drains before `Normal`, `Normal` before `Low`; shedding under
+/// saturation victimizes the opposite end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Dequeued first; never load-shed.
+    High,
+    /// The default.
+    Normal,
+    /// Dequeued last, shed first under saturation.
+    Low,
+}
+
+impl Priority {
+    /// Number of priority classes (queue array size).
+    pub const CLASSES: usize = 3;
+
+    fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// Per-job submission parameters.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The tenant this job is accounted (and queue-bounded) under.
+    pub tenant: String,
+    /// Dequeue priority.
+    pub priority: Priority,
+    /// Deadline measured from submission; `None` means unbounded.  An
+    /// expired queued job never runs; an expired running job has its
+    /// fault plane tripped and is torn down at its next blocking wait.
+    pub deadline: Option<Duration>,
+    /// Maximum number of re-runs after *transient* faults (deterministic
+    /// errors are never retried regardless of this value).
+    pub max_retries: u32,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            tenant: "default".into(),
+            priority: Priority::Normal,
+            deadline: None,
+            max_retries: 2,
+        }
+    }
+}
+
+impl JobSpec {
+    /// A default spec accounted under `tenant`.
+    pub fn for_tenant(tenant: impl Into<String>) -> JobSpec {
+        JobSpec {
+            tenant: tenant.into(),
+            ..JobSpec::default()
+        }
+    }
+
+    /// Set the dequeue priority.
+    pub fn with_priority(mut self, priority: Priority) -> JobSpec {
+        self.priority = priority;
+        self
+    }
+
+    /// Set the deadline (measured from submission).
+    pub fn with_deadline(mut self, deadline: Duration) -> JobSpec {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the transient-fault retry budget.
+    pub fn with_max_retries(mut self, max_retries: u32) -> JobSpec {
+        self.max_retries = max_retries;
+        self
+    }
+}
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum queued (not yet dispatched) jobs per tenant; the
+    /// admission bound behind [`RejectReason::QueueFull`].
+    pub tenant_queue_capacity: usize,
+    /// Total-backlog threshold above which the dispatcher sheds the
+    /// newest `Low` (then `Normal`) jobs before dequeuing.
+    pub shed_watermark: usize,
+    /// Base delay of the retry backoff; attempt `n` sleeps a jittered
+    /// value in `[base·2ⁿ/2, base·2ⁿ]` (see [`Backoff::jittered_delay`]).
+    pub retry_base: Duration,
+    /// Seed for the retry jitter (the whole retry schedule is
+    /// deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            tenant_queue_capacity: 64,
+            shed_watermark: 128,
+            retry_base: Duration::from_micros(500),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Why a submission was refused at admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The tenant's queue is at capacity — backpressure; resubmit later.
+    QueueFull {
+        /// The tenant whose queue is full.
+        tenant: String,
+        /// The configured per-tenant capacity.
+        capacity: usize,
+    },
+    /// The server is draining; no new work is admitted.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { tenant, capacity } => {
+                write!(f, "tenant `{tenant}` queue full (capacity {capacity})")
+            }
+            RejectReason::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+/// Admission verdict for one submission.
+#[derive(Debug)]
+pub enum Submit {
+    /// The job was queued; the handle observes its outcome.
+    Admitted(JobHandle),
+    /// The job was refused and will never run.
+    Rejected {
+        /// Why admission refused it.
+        reason: RejectReason,
+    },
+}
+
+impl Submit {
+    /// The handle, if admitted.
+    pub fn admitted(self) -> Option<JobHandle> {
+        match self {
+            Submit::Admitted(h) => Some(h),
+            Submit::Rejected { .. } => None,
+        }
+    }
+
+    /// The handle, panicking on rejection (test/bench convenience).
+    pub fn expect_admitted(self) -> JobHandle {
+        match self {
+            Submit::Admitted(h) => h,
+            Submit::Rejected { reason } => panic!("job rejected: {reason}"),
+        }
+    }
+}
+
+/// How a job attempt failed.  The variant decides retryability: only
+/// [`JobError::Fault`]s whose payload carries the injection marker are
+/// transient; everything else is deterministic and is never retried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// A contained process fault (panic, injected fault, watchdog or
+    /// deadline trip) surfaced by the fault plane.
+    Fault(ProcessFault),
+    /// A deterministic front-end or runtime error (e.g. a `FortError`):
+    /// rerunning the same program would fail identically, so the server
+    /// never spends retries on it.
+    Deterministic(String),
+}
+
+impl JobError {
+    /// Whether the retry policy may re-run the job after this error.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, JobError::Fault(f) if f.payload.contains(INJECTED_FAULT_MARKER))
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Fault(fault) => write!(f, "{fault}"),
+            JobError::Deterministic(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// What a successful job attempt hands back to the server.
+#[derive(Debug, Default)]
+pub struct JobYield {
+    /// The job's trace profile, when it ran with tracing; rolled into
+    /// the tenant's aggregate.
+    pub profile: Option<ProfileReport>,
+}
+
+/// The executable body of a job: called once per attempt with the
+/// per-attempt [`JobCx`].  Facades build these around
+/// `Force::try_execute_with` / `Engine::run_with`; the contract is that
+/// the runner binds its session's fault plane via [`JobCx::bind_plane`]
+/// *before* starting the run, so deadline trips reach the job.
+pub type JobRunner = Box<dyn FnMut(&JobCx) -> Result<JobYield, JobError> + Send>;
+
+/// Terminal state of a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The job ran to completion (possibly after transparent retries).
+    Completed {
+        /// How many retries it took (0 = first attempt succeeded).
+        retries: u32,
+    },
+    /// The job failed and the retry policy gave up (deterministic error,
+    /// retry budget exhausted, or no backoff slot left before the
+    /// deadline).
+    Faulted {
+        /// The final attempt's error.
+        error: JobError,
+        /// Retries consumed before giving up.
+        retries: u32,
+    },
+    /// The deadline passed before the job produced a result.
+    DeadlineExceeded {
+        /// `false` if it expired while still queued; `true` if it was
+        /// torn down (or raced the deadline) while running.
+        ran: bool,
+    },
+    /// Dropped by load shedding before it ran.
+    Shed,
+}
+
+impl JobOutcome {
+    /// Whether the job produced its result.
+    pub fn is_success(&self) -> bool {
+        matches!(self, JobOutcome::Completed { .. })
+    }
+}
+
+/// Shared state between a [`JobHandle`], the dispatcher, and the
+/// deadline watcher.
+struct JobShared {
+    id: u64,
+    tenant: String,
+    /// Set by the deadline watcher the moment the deadline passes; read
+    /// by the dispatcher to classify the attempt and by runners that
+    /// want to cooperate without a fault plane.
+    deadline_fired: AtomicBool,
+    /// The fault plane of the session currently running this job,
+    /// registered by the runner via [`JobCx::bind_plane`]; the deadline
+    /// watcher trips it to tear the job down.
+    plane: Mutex<Option<Arc<FaultPlane>>>,
+    outcome: Mutex<Option<JobOutcome>>,
+    done: Condvar,
+}
+
+/// Per-attempt context handed to a [`JobRunner`].
+pub struct JobCx {
+    shared: Arc<JobShared>,
+    attempt: u32,
+}
+
+impl JobCx {
+    /// Register the fault plane executing this attempt so the deadline
+    /// watcher can cancel it.  Must be called before the run starts;
+    /// rebinding on each attempt is fine.
+    pub fn bind_plane(&self, plane: &Arc<FaultPlane>) {
+        *self.shared.plane.lock() = Some(Arc::clone(plane));
+    }
+
+    /// Whether this job's deadline has already passed.
+    pub fn deadline_fired(&self) -> bool {
+        self.shared.deadline_fired.load(Ordering::Acquire)
+    }
+
+    /// 0-based attempt number (0 = first run, 1 = first retry, …).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Server-assigned job id (unique per server).
+    pub fn job_id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// The submitting tenant.
+    pub fn tenant(&self) -> &str {
+        &self.shared.tenant
+    }
+}
+
+/// Waits for (and reads) one admitted job's outcome.
+pub struct JobHandle {
+    shared: Arc<JobShared>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.shared.id)
+            .field("tenant", &self.shared.tenant)
+            .field("outcome", &self.try_outcome())
+            .finish()
+    }
+}
+
+impl JobHandle {
+    /// Server-assigned job id.
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Block until the job reaches a terminal state.
+    pub fn wait(&self) -> JobOutcome {
+        let mut slot = self.shared.outcome.lock();
+        while slot.is_none() {
+            self.shared.done.wait(&mut slot);
+        }
+        slot.clone().expect("outcome set")
+    }
+
+    /// The outcome if the job already finished, without blocking.
+    pub fn try_outcome(&self) -> Option<JobOutcome> {
+        self.shared.outcome.lock().clone()
+    }
+}
+
+/// Per-tenant aggregate of everything the server did on the tenant's
+/// behalf.  `ops` and `latency` fold in *all* attempts (a retried
+/// attempt consumed real machine operations and real wall time).
+#[derive(Debug, Clone, Default)]
+pub struct TenantRollup {
+    /// Jobs accepted at admission.
+    pub admitted: u64,
+    /// Jobs refused at admission.
+    pub rejected: u64,
+    /// Jobs that completed.
+    pub completed: u64,
+    /// Jobs that ended in [`JobOutcome::Faulted`].
+    pub faulted: u64,
+    /// Jobs dropped by load shedding.
+    pub shed: u64,
+    /// Jobs that missed their deadline (queued or running).
+    pub deadline_exceeded: u64,
+    /// Transient-fault retries spent across all jobs.
+    pub retries: u64,
+    /// Machine operations consumed by this tenant's attempts
+    /// (per-attempt `StatsSnapshot::delta`s, merged).
+    pub ops: StatsSnapshot,
+    /// Submit→terminal latency of every job (nanoseconds), including
+    /// queueing, retries, and backoff sleeps.
+    pub latency: HistogramSnapshot,
+    /// Jobs that ran with tracing enabled.
+    pub traced_jobs: u64,
+    /// The most recent traced job's profile.
+    pub profile: Option<ProfileReport>,
+}
+
+/// Whole-server aggregate: per-tenant rollups summed, plus queue-depth
+/// telemetry.
+#[derive(Debug, Clone, Default)]
+pub struct ServerReport {
+    /// Jobs accepted at admission (all tenants).
+    pub admitted: u64,
+    /// Jobs refused at admission.
+    pub rejected: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs ended in [`JobOutcome::Faulted`].
+    pub faulted: u64,
+    /// Jobs dropped by load shedding.
+    pub shed: u64,
+    /// Jobs that missed their deadline.
+    pub deadline_exceeded: u64,
+    /// Transient-fault retries spent.
+    pub retries: u64,
+    /// Submit→terminal latency across all tenants.
+    pub latency: HistogramSnapshot,
+    /// Highest instantaneous backlog ever observed (bounded by
+    /// `tenants × tenant_queue_capacity` by construction).
+    pub peak_backlog: usize,
+    /// Per-tenant rollups, sorted by tenant name.
+    pub tenants: Vec<(String, TenantRollup)>,
+}
+
+/// One queued job awaiting dispatch.
+struct QueuedJob {
+    shared: Arc<JobShared>,
+    runner: JobRunner,
+    spec: JobSpec,
+    submitted: Instant,
+    deadline_at: Option<Instant>,
+}
+
+/// Queue state guarded by one mutex.
+struct ServeState {
+    /// One FIFO per priority class, indexed by `Priority::index`.
+    queues: [VecDeque<QueuedJob>; Priority::CLASSES],
+    per_tenant_depth: HashMap<String, usize>,
+    backlog: usize,
+    peak_backlog: usize,
+    shutting_down: bool,
+}
+
+struct Inner {
+    config: ServerConfig,
+    stats: Arc<OpStats>,
+    state: Mutex<ServeState>,
+    /// Signals the dispatcher: new work or shutdown.
+    work: Condvar,
+    next_id: AtomicU64,
+    rollups: Mutex<HashMap<String, TenantRollup>>,
+}
+
+impl Inner {
+    /// Record a terminal outcome: tenant rollup, server counters, and
+    /// the waiter's wake-up.  Never called with `state` held.
+    fn complete(
+        &self,
+        shared: Arc<JobShared>,
+        outcome: JobOutcome,
+        submitted: Instant,
+        ops: StatsSnapshot,
+        profile: Option<ProfileReport>,
+    ) {
+        let elapsed = submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        {
+            let mut rollups = self.rollups.lock();
+            let r = rollups.entry(shared.tenant.clone()).or_default();
+            r.latency.record(elapsed);
+            r.ops.merge(&ops);
+            match &outcome {
+                JobOutcome::Completed { retries } => {
+                    r.completed += 1;
+                    r.retries += u64::from(*retries);
+                    if let Some(p) = profile {
+                        r.traced_jobs += 1;
+                        r.profile = Some(p);
+                    }
+                }
+                JobOutcome::Faulted { retries, .. } => {
+                    r.faulted += 1;
+                    r.retries += u64::from(*retries);
+                }
+                JobOutcome::DeadlineExceeded { .. } => {
+                    r.deadline_exceeded += 1;
+                    OpStats::count(&self.stats.jobs_deadline_exceeded);
+                }
+                JobOutcome::Shed => {
+                    r.shed += 1;
+                    OpStats::count(&self.stats.jobs_shed);
+                }
+            }
+        }
+        *shared.outcome.lock() = Some(outcome);
+        shared.done.notify_all();
+    }
+
+    fn bump_rollup(&self, tenant: &str, f: impl FnOnce(&mut TenantRollup)) {
+        let mut rollups = self.rollups.lock();
+        f(rollups.entry(tenant.to_owned()).or_default());
+    }
+}
+
+/// A deadline watcher shadowing one running attempt.  After the deadline
+/// passes it marks the job and then *keeps* tripping the bound plane
+/// (throttled) until disarmed: the session resets its plane when the run
+/// starts, and a one-shot trip landing just before that reset would be
+/// erased, letting the job run unbounded.
+struct DeadlineWatcher {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: JoinHandle<()>,
+}
+
+impl DeadlineWatcher {
+    /// How often the post-deadline loop re-asserts the trip.
+    const REASSERT_EVERY: Duration = Duration::from_micros(500);
+
+    fn arm(shared: Arc<JobShared>, at: Instant) -> DeadlineWatcher {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop2 = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name(format!("force-deadline-{}", shared.id))
+            .spawn(move || Self::watch(shared, at, stop2))
+            .expect("spawn deadline watcher");
+        DeadlineWatcher { stop, handle }
+    }
+
+    fn watch(shared: Arc<JobShared>, at: Instant, stop: Arc<(Mutex<bool>, Condvar)>) {
+        let (lock, cv) = &*stop;
+        {
+            let mut stopped = lock.lock();
+            loop {
+                if *stopped {
+                    return;
+                }
+                let now = Instant::now();
+                if now >= at {
+                    break;
+                }
+                cv.wait_for(&mut stopped, at - now);
+            }
+        }
+        shared.deadline_fired.store(true, Ordering::Release);
+        loop {
+            if let Some(plane) = shared.plane.lock().clone() {
+                if !plane.is_tripped() {
+                    plane.trip(
+                        ProcessFault {
+                            pid: 0,
+                            construct: DEADLINE_CONSTRUCT,
+                            payload: format!("job {} deadline exceeded", shared.id),
+                        },
+                        None,
+                    );
+                }
+            }
+            let mut stopped = lock.lock();
+            if *stopped {
+                return;
+            }
+            cv.wait_for(&mut stopped, Self::REASSERT_EVERY);
+        }
+    }
+
+    /// Stop and join the watcher.  After this returns, no further trips
+    /// are issued, so the next job on the same session cannot inherit a
+    /// late deadline trip (the session's `reset_for_job` clears any trip
+    /// already landed).
+    fn disarm(self) {
+        *self.stop.0.lock() = true;
+        self.stop.1.notify_all();
+        let _ = self.handle.join();
+    }
+}
+
+/// The multi-tenant job server.  See the module docs for semantics.
+pub struct ForceServer {
+    inner: Arc<Inner>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ForceServer {
+    /// Start a server counting its decisions into `stats` (normally the
+    /// machine's counter set, so server activity shows up next to lock
+    /// and barrier traffic).
+    pub fn new(config: ServerConfig, stats: &Arc<OpStats>) -> ForceServer {
+        let inner = Arc::new(Inner {
+            config,
+            stats: Arc::clone(stats),
+            state: Mutex::new(ServeState {
+                queues: std::array::from_fn(|_| VecDeque::new()),
+                per_tenant_depth: HashMap::new(),
+                backlog: 0,
+                peak_backlog: 0,
+                shutting_down: false,
+            }),
+            work: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            rollups: Mutex::new(HashMap::new()),
+        });
+        let dispatcher_inner = Arc::clone(&inner);
+        let handle = thread::Builder::new()
+            .name("force-serve-dispatch".into())
+            .spawn(move || dispatch_loop(dispatcher_inner))
+            .expect("spawn dispatcher");
+        ForceServer {
+            inner,
+            dispatcher: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// Submit one job.  Returns immediately with the admission verdict;
+    /// an admitted job's outcome is observed through the handle.
+    pub fn submit(&self, spec: JobSpec, runner: JobRunner) -> Submit {
+        let reason = {
+            let mut st = self.inner.state.lock();
+            if st.shutting_down {
+                Some(RejectReason::ShuttingDown)
+            } else {
+                let capacity = self.inner.config.tenant_queue_capacity;
+                let depth = st.per_tenant_depth.entry(spec.tenant.clone()).or_insert(0);
+                if *depth >= capacity {
+                    Some(RejectReason::QueueFull {
+                        tenant: spec.tenant.clone(),
+                        capacity,
+                    })
+                } else {
+                    *depth += 1;
+                    None
+                }
+            }
+        };
+        if let Some(reason) = reason {
+            OpStats::count(&self.inner.stats.jobs_rejected);
+            self.inner.bump_rollup(&spec.tenant, |r| r.rejected += 1);
+            return Submit::Rejected { reason };
+        }
+
+        let shared = Arc::new(JobShared {
+            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+            tenant: spec.tenant.clone(),
+            deadline_fired: AtomicBool::new(false),
+            plane: Mutex::new(None),
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        let submitted = Instant::now();
+        let job = QueuedJob {
+            shared: Arc::clone(&shared),
+            runner,
+            deadline_at: spec.deadline.map(|d| submitted + d),
+            submitted,
+            spec,
+        };
+        {
+            let mut st = self.inner.state.lock();
+            st.backlog += 1;
+            st.peak_backlog = st.peak_backlog.max(st.backlog);
+            let idx = job.spec.priority.index();
+            let tenant = job.spec.tenant.clone();
+            st.queues[idx].push_back(job);
+            drop(st);
+            OpStats::count(&self.inner.stats.jobs_admitted);
+            self.inner.bump_rollup(&tenant, |r| r.admitted += 1);
+        }
+        self.inner.work.notify_all();
+        Submit::Admitted(JobHandle { shared })
+    }
+
+    /// Jobs currently queued (admitted, not yet dispatched).
+    pub fn backlog(&self) -> usize {
+        self.inner.state.lock().backlog
+    }
+
+    /// Highest backlog ever observed.
+    pub fn peak_backlog(&self) -> usize {
+        self.inner.state.lock().peak_backlog
+    }
+
+    /// Snapshot one tenant's rollup, if the tenant has ever been seen.
+    pub fn tenant_report(&self, tenant: &str) -> Option<TenantRollup> {
+        self.inner.rollups.lock().get(tenant).cloned()
+    }
+
+    /// Snapshot the whole server: summed tenant rollups plus queue
+    /// telemetry.
+    pub fn server_report(&self) -> ServerReport {
+        let mut report = ServerReport::default();
+        {
+            let rollups = self.inner.rollups.lock();
+            let mut tenants: Vec<(String, TenantRollup)> = rollups
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            tenants.sort_by(|a, b| a.0.cmp(&b.0));
+            for (_, r) in &tenants {
+                report.admitted += r.admitted;
+                report.rejected += r.rejected;
+                report.completed += r.completed;
+                report.faulted += r.faulted;
+                report.shed += r.shed;
+                report.deadline_exceeded += r.deadline_exceeded;
+                report.retries += r.retries;
+                report.latency.merge(&r.latency);
+            }
+            report.tenants = tenants;
+        }
+        report.peak_backlog = self.peak_backlog();
+        report
+    }
+
+    /// Stop admission, run every already-admitted job to an outcome,
+    /// and join the dispatcher.  Idempotent; also called by `Drop`.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.inner.state.lock();
+            st.shutting_down = true;
+        }
+        self.inner.work.notify_all();
+        if let Some(handle) = self.dispatcher.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ForceServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Run one attempt, converting runner panics into [`JobError`]s so a
+/// buggy or deliberately-panicking runner cannot kill the dispatcher.
+fn run_attempt(runner: &mut JobRunner, cx: &JobCx) -> Result<JobYield, JobError> {
+    match panic::catch_unwind(AssertUnwindSafe(|| runner(cx))) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "runner panicked".into());
+            if msg.contains(INJECTED_FAULT_MARKER) {
+                Err(JobError::Fault(ProcessFault {
+                    pid: 0,
+                    construct: "runner",
+                    payload: msg,
+                }))
+            } else {
+                Err(JobError::Deterministic(format!("runner panicked: {msg}")))
+            }
+        }
+    }
+}
+
+/// The dispatcher: sheds, dequeues, runs attempts with deadline shadows
+/// and retry/backoff, and records outcomes.  Exits once shutdown is
+/// requested and the queues are drained.
+fn dispatch_loop(inner: Arc<Inner>) {
+    let mut rng = XorShift64::new(inner.config.seed);
+    loop {
+        // Pull the next job (and any shed victims) under the state lock.
+        let mut shed: Vec<QueuedJob> = Vec::new();
+        let next: Option<QueuedJob> = {
+            let mut st = inner.state.lock();
+            loop {
+                while st.backlog > inner.config.shed_watermark {
+                    // Victimize the newest lowest-priority job; an
+                    // all-High backlog is never shed (it is still
+                    // admission-bounded per tenant).
+                    let victim = st.queues[Priority::Low.index()]
+                        .pop_back()
+                        .or_else(|| st.queues[Priority::Normal.index()].pop_back());
+                    match victim {
+                        Some(v) => {
+                            st.backlog -= 1;
+                            if let Some(d) = st.per_tenant_depth.get_mut(&v.spec.tenant) {
+                                *d = d.saturating_sub(1);
+                            }
+                            shed.push(v);
+                        }
+                        None => break,
+                    }
+                }
+                let dequeued = st.queues.iter_mut().find_map(VecDeque::pop_front);
+                if let Some(job) = dequeued {
+                    st.backlog -= 1;
+                    if let Some(d) = st.per_tenant_depth.get_mut(&job.spec.tenant) {
+                        *d = d.saturating_sub(1);
+                    }
+                    break Some(job);
+                }
+                if !shed.is_empty() {
+                    // Impossible (shedding leaves the queue non-larger
+                    // but we just failed to dequeue after shedding), but
+                    // never hold shed completions across a wait.
+                    break None;
+                }
+                if st.shutting_down {
+                    break None;
+                }
+                inner.work.wait(&mut st);
+            }
+        };
+        for victim in shed {
+            inner.complete(
+                victim.shared,
+                JobOutcome::Shed,
+                victim.submitted,
+                StatsSnapshot::default(),
+                None,
+            );
+        }
+        let Some(mut job) = next else {
+            let draining = inner.state.lock().shutting_down;
+            if draining {
+                return;
+            }
+            continue;
+        };
+
+        // Expired while queued: never run it.
+        if let Some(at) = job.deadline_at {
+            if Instant::now() >= at {
+                job.shared.deadline_fired.store(true, Ordering::Release);
+                inner.complete(
+                    job.shared,
+                    JobOutcome::DeadlineExceeded { ran: false },
+                    job.submitted,
+                    StatsSnapshot::default(),
+                    None,
+                );
+                continue;
+            }
+        }
+
+        // Attempt loop: run, classify, maybe retry with jittered backoff.
+        let mut attempt = 0u32;
+        let mut ops = StatsSnapshot::default();
+        let mut profile = None;
+        let outcome = loop {
+            let watcher = job
+                .deadline_at
+                .map(|at| DeadlineWatcher::arm(Arc::clone(&job.shared), at));
+            let cx = JobCx {
+                shared: Arc::clone(&job.shared),
+                attempt,
+            };
+            let before = inner.stats.snapshot();
+            let result = run_attempt(&mut job.runner, &cx);
+            ops.merge(&inner.stats.snapshot().delta(&before));
+            if let Some(w) = watcher {
+                w.disarm();
+            }
+            // A fired deadline dominates the attempt's own result: the
+            // SLA was missed even if the body's completion raced the
+            // trip.  (Documented in DESIGN.md §18.)
+            if job.shared.deadline_fired.load(Ordering::Acquire) {
+                break JobOutcome::DeadlineExceeded { ran: true };
+            }
+            match result {
+                Ok(y) => {
+                    profile = y.profile;
+                    break JobOutcome::Completed { retries: attempt };
+                }
+                Err(error) => {
+                    if error.is_transient() && attempt < job.spec.max_retries {
+                        // Draw the deterministic jittered delay, then
+                        // sleep it only if a retry can still fit before
+                        // the deadline (this is `Backoff::sleep_jittered`
+                        // split around the budget check).
+                        let delay =
+                            Backoff::jittered_delay(inner.config.retry_base, attempt, &mut rng);
+                        let fits = job.deadline_at.is_none_or(|at| Instant::now() + delay < at);
+                        if fits {
+                            OpStats::count(&inner.stats.job_retries);
+                            if !delay.is_zero() {
+                                thread::sleep(delay);
+                            }
+                            attempt += 1;
+                            // Stale plane bindings from the failed
+                            // attempt are fine: the next attempt rebinds
+                            // before its run starts.
+                            continue;
+                        }
+                    }
+                    break JobOutcome::Faulted {
+                        error,
+                        retries: attempt,
+                    };
+                }
+            }
+        };
+        inner.complete(job.shared, outcome, job.submitted, ops, profile);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn server() -> (ForceServer, Arc<OpStats>) {
+        let stats = Arc::new(OpStats::new());
+        let srv = ForceServer::new(ServerConfig::default(), &stats);
+        (srv, stats)
+    }
+
+    fn ok_runner() -> JobRunner {
+        Box::new(|_cx| Ok(JobYield::default()))
+    }
+
+    /// A runner that blocks until `release` is set — used to hold the
+    /// dispatcher so queue behavior can be observed deterministically.
+    fn gate_runner(release: Arc<AtomicBool>) -> JobRunner {
+        Box::new(move |_cx| {
+            while !release.load(Ordering::Acquire) {
+                thread::sleep(Duration::from_micros(200));
+            }
+            Ok(JobYield::default())
+        })
+    }
+
+    #[test]
+    fn jobs_complete_and_are_counted() {
+        let (srv, stats) = server();
+        let handles: Vec<JobHandle> = (0..10)
+            .map(|_| {
+                srv.submit(JobSpec::for_tenant("t"), ok_runner())
+                    .expect_admitted()
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.wait(), JobOutcome::Completed { retries: 0 });
+        }
+        srv.shutdown();
+        assert_eq!(stats.snapshot().jobs_admitted, 10);
+        let r = srv.tenant_report("t").expect("tenant seen");
+        assert_eq!(r.admitted, 10);
+        assert_eq!(r.completed, 10);
+        assert_eq!(r.latency.count(), 10);
+        assert_eq!(r.retries, 0);
+    }
+
+    #[test]
+    fn admission_bounds_each_tenant_independently() {
+        let stats = Arc::new(OpStats::new());
+        let srv = ForceServer::new(
+            ServerConfig {
+                tenant_queue_capacity: 2,
+                ..ServerConfig::default()
+            },
+            &stats,
+        );
+        let release = Arc::new(AtomicBool::new(false));
+        // Hold the dispatcher on a gate job so submissions stay queued.
+        let gate = srv
+            .submit(
+                JobSpec::for_tenant("gate"),
+                gate_runner(Arc::clone(&release)),
+            )
+            .expect_admitted();
+        // Wait until the gate job is actually dispatched (backlog 0).
+        while srv.backlog() > 0 {
+            thread::yield_now();
+        }
+        let mut admitted = Vec::new();
+        for _ in 0..2 {
+            admitted.push(
+                srv.submit(JobSpec::for_tenant("a"), ok_runner())
+                    .expect_admitted(),
+            );
+        }
+        // Third `a` job bounces; tenant `b` is unaffected.
+        match srv.submit(JobSpec::for_tenant("a"), ok_runner()) {
+            Submit::Rejected {
+                reason: RejectReason::QueueFull { tenant, capacity },
+            } => {
+                assert_eq!(tenant, "a");
+                assert_eq!(capacity, 2);
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        let b = srv
+            .submit(JobSpec::for_tenant("b"), ok_runner())
+            .expect_admitted();
+        release.store(true, Ordering::Release);
+        assert!(gate.wait().is_success());
+        for h in admitted {
+            assert!(h.wait().is_success());
+        }
+        assert!(b.wait().is_success());
+        srv.shutdown();
+        assert_eq!(stats.snapshot().jobs_rejected, 1);
+        assert_eq!(srv.tenant_report("a").unwrap().rejected, 1);
+        assert_eq!(srv.tenant_report("b").unwrap().rejected, 0);
+    }
+
+    #[test]
+    fn dequeue_is_priority_ordered() {
+        let (srv, _) = server();
+        let release = Arc::new(AtomicBool::new(false));
+        let gate = srv
+            .submit(
+                JobSpec::for_tenant("gate"),
+                gate_runner(Arc::clone(&release)),
+            )
+            .expect_admitted();
+        while srv.backlog() > 0 {
+            thread::yield_now();
+        }
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for (name, prio) in [
+            ("low", Priority::Low),
+            ("normal", Priority::Normal),
+            ("high", Priority::High),
+        ] {
+            let order = Arc::clone(&order);
+            handles.push(
+                srv.submit(
+                    JobSpec::for_tenant("t").with_priority(prio),
+                    Box::new(move |_cx| {
+                        order.lock().push(name);
+                        Ok(JobYield::default())
+                    }),
+                )
+                .expect_admitted(),
+            );
+        }
+        release.store(true, Ordering::Release);
+        gate.wait();
+        for h in handles {
+            assert!(h.wait().is_success());
+        }
+        assert_eq!(*order.lock(), vec!["high", "normal", "low"]);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn saturation_sheds_newest_low_priority_first() {
+        let stats = Arc::new(OpStats::new());
+        let srv = ForceServer::new(
+            ServerConfig {
+                tenant_queue_capacity: 64,
+                shed_watermark: 4,
+                ..ServerConfig::default()
+            },
+            &stats,
+        );
+        let release = Arc::new(AtomicBool::new(false));
+        let gate = srv
+            .submit(
+                JobSpec::for_tenant("gate"),
+                gate_runner(Arc::clone(&release)),
+            )
+            .expect_admitted();
+        while srv.backlog() > 0 {
+            thread::yield_now();
+        }
+        // 2 High + 6 Low queued = backlog 8 > watermark 4: the dispatcher
+        // sheds Low jobs down to the watermark before running anything.
+        let high: Vec<JobHandle> = (0..2)
+            .map(|_| {
+                srv.submit(
+                    JobSpec::for_tenant("t").with_priority(Priority::High),
+                    ok_runner(),
+                )
+                .expect_admitted()
+            })
+            .collect();
+        let low: Vec<JobHandle> = (0..6)
+            .map(|_| {
+                srv.submit(
+                    JobSpec::for_tenant("t").with_priority(Priority::Low),
+                    ok_runner(),
+                )
+                .expect_admitted()
+            })
+            .collect();
+        release.store(true, Ordering::Release);
+        gate.wait();
+        let outcomes: Vec<JobOutcome> = low.iter().map(JobHandle::wait).collect();
+        for h in &high {
+            assert!(h.wait().is_success(), "High jobs are never shed");
+        }
+        let shed = outcomes.iter().filter(|o| **o == JobOutcome::Shed).count();
+        assert_eq!(shed, 4, "backlog 8 must shed down to the watermark 4");
+        // The *newest* Low jobs are victimized; the oldest survive.
+        assert!(outcomes[0].is_success());
+        assert_eq!(outcomes[5], JobOutcome::Shed);
+        srv.shutdown();
+        assert_eq!(stats.snapshot().jobs_shed, 4);
+        assert!(srv.peak_backlog() >= 8);
+    }
+
+    #[test]
+    fn transient_faults_retry_and_recover() {
+        let (srv, stats) = server();
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let attempts2 = Arc::clone(&attempts);
+        let h = srv
+            .submit(
+                JobSpec::for_tenant("t").with_max_retries(5),
+                Box::new(move |cx| {
+                    attempts2.fetch_add(1, Ordering::SeqCst);
+                    if cx.attempt() < 2 {
+                        Err(JobError::Fault(ProcessFault {
+                            pid: 0,
+                            construct: "barrier",
+                            payload: format!("{INJECTED_FAULT_MARKER} barrier (pid 0)"),
+                        }))
+                    } else {
+                        Ok(JobYield::default())
+                    }
+                }),
+            )
+            .expect_admitted();
+        assert_eq!(h.wait(), JobOutcome::Completed { retries: 2 });
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
+        srv.shutdown();
+        assert_eq!(stats.snapshot().job_retries, 2);
+        assert_eq!(srv.tenant_report("t").unwrap().retries, 2);
+    }
+
+    #[test]
+    fn transient_retry_budget_exhausts() {
+        let (srv, stats) = server();
+        let h = srv
+            .submit(
+                JobSpec::for_tenant("t").with_max_retries(3),
+                Box::new(move |_cx| {
+                    Err(JobError::Fault(ProcessFault {
+                        pid: 1,
+                        construct: "doall",
+                        payload: format!("{INJECTED_FAULT_MARKER} doall (pid 1)"),
+                    }))
+                }),
+            )
+            .expect_admitted();
+        match h.wait() {
+            JobOutcome::Faulted { error, retries } => {
+                assert_eq!(retries, 3);
+                assert!(error.is_transient());
+            }
+            other => panic!("expected Faulted, got {other:?}"),
+        }
+        srv.shutdown();
+        assert_eq!(stats.snapshot().job_retries, 3);
+    }
+
+    #[test]
+    fn deterministic_errors_never_retry() {
+        let (srv, stats) = server();
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let attempts2 = Arc::clone(&attempts);
+        let h = srv
+            .submit(
+                JobSpec::for_tenant("t").with_max_retries(5),
+                Box::new(move |_cx| {
+                    attempts2.fetch_add(1, Ordering::SeqCst);
+                    Err(JobError::Deterministic("line 3: divide by zero".into()))
+                }),
+            )
+            .expect_admitted();
+        match h.wait() {
+            JobOutcome::Faulted { error, retries } => {
+                assert_eq!(retries, 0, "deterministic errors must not retry");
+                assert!(!error.is_transient());
+            }
+            other => panic!("expected Faulted, got {other:?}"),
+        }
+        assert_eq!(attempts.load(Ordering::SeqCst), 1);
+        srv.shutdown();
+        assert_eq!(stats.snapshot().job_retries, 0);
+        // A genuine (non-injected) process fault is deterministic too.
+        let real_panic = JobError::Fault(ProcessFault {
+            pid: 0,
+            construct: "critical",
+            payload: "index out of bounds".into(),
+        });
+        assert!(!real_panic.is_transient());
+    }
+
+    #[test]
+    fn queued_deadline_expires_without_running() {
+        let (srv, stats) = server();
+        let release = Arc::new(AtomicBool::new(false));
+        let gate = srv
+            .submit(
+                JobSpec::for_tenant("gate"),
+                gate_runner(Arc::clone(&release)),
+            )
+            .expect_admitted();
+        while srv.backlog() > 0 {
+            thread::yield_now();
+        }
+        let ran = Arc::new(AtomicBool::new(false));
+        let ran2 = Arc::clone(&ran);
+        let h = srv
+            .submit(
+                JobSpec::for_tenant("t").with_deadline(Duration::from_millis(5)),
+                Box::new(move |_cx| {
+                    ran2.store(true, Ordering::SeqCst);
+                    Ok(JobYield::default())
+                }),
+            )
+            .expect_admitted();
+        thread::sleep(Duration::from_millis(20));
+        release.store(true, Ordering::Release);
+        gate.wait();
+        assert_eq!(h.wait(), JobOutcome::DeadlineExceeded { ran: false });
+        assert!(!ran.load(Ordering::SeqCst), "expired job must never run");
+        srv.shutdown();
+        assert_eq!(stats.snapshot().jobs_deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn running_deadline_fires_and_dominates() {
+        let (srv, stats) = server();
+        let h = srv
+            .submit(
+                JobSpec::for_tenant("t").with_deadline(Duration::from_millis(10)),
+                Box::new(move |cx| {
+                    // A cooperative long job: observes the deadline flag
+                    // the way a fault-plane wait observes the trip.
+                    while !cx.deadline_fired() {
+                        thread::sleep(Duration::from_micros(200));
+                    }
+                    Ok(JobYield::default())
+                }),
+            )
+            .expect_admitted();
+        assert_eq!(h.wait(), JobOutcome::DeadlineExceeded { ran: true });
+        srv.shutdown();
+        assert_eq!(stats.snapshot().jobs_deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn deadline_trips_a_bound_fault_plane_through_resets() {
+        // The watcher must keep re-asserting the trip: binding a plane
+        // and resetting it after the deadline fires (as a session's
+        // run-start reset would) still ends with the plane tripped.
+        let stats = Arc::new(OpStats::new());
+        let plane = FaultPlane::new(2, Arc::clone(&stats), crate::fault::FaultConfig::default());
+        let srv = ForceServer::new(ServerConfig::default(), &stats);
+        let plane2 = Arc::clone(&plane);
+        let h = srv
+            .submit(
+                JobSpec::for_tenant("t").with_deadline(Duration::from_millis(10)),
+                Box::new(move |cx| {
+                    cx.bind_plane(&plane2);
+                    // Wait for the first trip, then erase it like a
+                    // session reset racing the watcher would.
+                    while !plane2.is_tripped() {
+                        thread::sleep(Duration::from_micros(100));
+                    }
+                    plane2.reset_for_job(crate::fault::FaultConfig::default());
+                    // The watcher re-asserts the trip.
+                    while !plane2.is_tripped() {
+                        thread::sleep(Duration::from_micros(100));
+                    }
+                    Err(JobError::Fault(
+                        plane2.take_fault().expect("tripped plane has a fault"),
+                    ))
+                }),
+            )
+            .expect_admitted();
+        assert_eq!(h.wait(), JobOutcome::DeadlineExceeded { ran: true });
+        srv.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_jobs_then_rejects() {
+        let (srv, _) = server();
+        let release = Arc::new(AtomicBool::new(false));
+        let gate = srv
+            .submit(
+                JobSpec::for_tenant("gate"),
+                gate_runner(Arc::clone(&release)),
+            )
+            .expect_admitted();
+        while srv.backlog() > 0 {
+            thread::yield_now();
+        }
+        let queued: Vec<JobHandle> = (0..5)
+            .map(|_| {
+                srv.submit(JobSpec::for_tenant("t"), ok_runner())
+                    .expect_admitted()
+            })
+            .collect();
+        // Request shutdown from another thread while the gate holds the
+        // dispatcher, then release the gate: every admitted job must
+        // still complete.
+        let shutdown = {
+            let release = Arc::clone(&release);
+            thread::spawn(move || {
+                thread::sleep(Duration::from_millis(5));
+                release.store(true, Ordering::Release);
+            })
+        };
+        srv.shutdown();
+        shutdown.join().unwrap();
+        assert!(gate.wait().is_success());
+        for h in queued {
+            assert!(h.wait().is_success(), "drain must run admitted jobs");
+        }
+        match srv.submit(JobSpec::for_tenant("t"), ok_runner()) {
+            Submit::Rejected {
+                reason: RejectReason::ShuttingDown,
+            } => {}
+            other => panic!("expected ShuttingDown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_runner_is_contained() {
+        let (srv, _) = server();
+        let h = srv
+            .submit(
+                JobSpec::for_tenant("t"),
+                Box::new(|_cx| -> Result<JobYield, JobError> {
+                    panic!("runner bug");
+                }),
+            )
+            .expect_admitted();
+        match h.wait() {
+            JobOutcome::Faulted { error, retries } => {
+                assert_eq!(retries, 0);
+                assert!(error.to_string().contains("runner bug"));
+            }
+            other => panic!("expected Faulted, got {other:?}"),
+        }
+        // The dispatcher survived; the server still serves.
+        let h = srv
+            .submit(JobSpec::for_tenant("t"), ok_runner())
+            .expect_admitted();
+        assert!(h.wait().is_success());
+        srv.shutdown();
+    }
+
+    #[test]
+    fn server_report_sums_tenants() {
+        let (srv, _) = server();
+        for tenant in ["a", "b"] {
+            for _ in 0..3 {
+                srv.submit(JobSpec::for_tenant(tenant), ok_runner())
+                    .expect_admitted()
+                    .wait();
+            }
+        }
+        srv.shutdown();
+        let report = srv.server_report();
+        assert_eq!(report.admitted, 6);
+        assert_eq!(report.completed, 6);
+        assert_eq!(report.latency.count(), 6);
+        assert_eq!(report.tenants.len(), 2);
+        assert_eq!(report.tenants[0].0, "a");
+        assert_eq!(report.tenants[1].0, "b");
+        assert!(report.peak_backlog <= 6);
+    }
+
+    #[test]
+    fn reject_reasons_display() {
+        assert_eq!(
+            RejectReason::QueueFull {
+                tenant: "acme".into(),
+                capacity: 8
+            }
+            .to_string(),
+            "tenant `acme` queue full (capacity 8)"
+        );
+        assert_eq!(
+            RejectReason::ShuttingDown.to_string(),
+            "server shutting down"
+        );
+    }
+}

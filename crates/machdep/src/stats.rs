@@ -71,6 +71,13 @@ macro_rules! op_counters {
             pub fn fields(&self) -> Vec<(&'static str, u64)> {
                 vec![$((stringify!($name), self.$name),)+]
             }
+
+            /// Add every counter of `other` into `self` (saturating).
+            /// Generated from the same field list as the structs, so a
+            /// new counter is folded into tenant rollups by construction.
+            pub fn merge(&mut self, other: &StatsSnapshot) {
+                $(self.$name = self.$name.saturating_add(other.$name);)+
+            }
         }
     };
 }
@@ -122,6 +129,16 @@ op_counters! {
     steals,
     /// Steal probes that found the victim's deque empty.
     steal_attempts_failed,
+    /// Jobs accepted by a `ForceServer`'s admission control.
+    jobs_admitted,
+    /// Jobs refused at admission (tenant queue full or server draining).
+    jobs_rejected,
+    /// Admitted jobs dropped by load shedding before they ran.
+    jobs_shed,
+    /// Jobs terminated because their deadline passed (queued or running).
+    jobs_deadline_exceeded,
+    /// Job attempts re-run after a transient fault (retry-with-backoff).
+    job_retries,
 }
 
 impl OpStats {
@@ -232,6 +249,28 @@ mod tests {
                 "`{fault_counter}` missing from the counter list"
             );
         }
+    }
+
+    #[test]
+    fn merge_accumulates_every_counter() {
+        // Same exhaustiveness trick as the delta test: distinct per-field
+        // values prove `merge` covers the whole list.
+        let st = OpStats::new();
+        for (i, (_, c)) in st.counters().iter().enumerate() {
+            OpStats::add(c, i as u64 + 1);
+        }
+        let snap = st.snapshot();
+        let mut acc = StatsSnapshot::default();
+        acc.merge(&snap);
+        acc.merge(&snap);
+        for (i, (name, v)) in acc.fields().iter().enumerate() {
+            assert_eq!(*v, 2 * (i as u64 + 1), "merge dropped `{name}`");
+        }
+        // Saturates instead of wrapping.
+        let mut top = snap;
+        top.lock_acquires = u64::MAX;
+        top.merge(&snap);
+        assert_eq!(top.lock_acquires, u64::MAX);
     }
 
     #[test]

@@ -238,6 +238,23 @@ impl Default for HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Record one value directly into the snapshot (same bucketing as the
+    /// live atomic histogram).  Used by single-writer aggregators —
+    /// the job server's per-tenant latency rollups — that never share the
+    /// histogram across threads and so need no atomics.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Histogram::bucket_of(v)] += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Fold another snapshot's counts into this one (saturating).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum()
@@ -944,6 +961,43 @@ mod tests {
         assert_eq!(s.percentile(1.0), 1023);
         assert_eq!(s.max(), 1023);
         assert_eq!(s.percentile(0.0), 1, "rank clamps to the first value");
+    }
+
+    #[test]
+    fn snapshot_record_matches_live_histogram_bucketing() {
+        let live = Histogram::new();
+        let mut snap = HistogramSnapshot::default();
+        for v in [0u64, 1, 3, 100, 1000, u64::MAX] {
+            live.record(v);
+            snap.record(v);
+        }
+        let live_snap = live.snapshot();
+        assert_eq!(snap.buckets, live_snap.buckets);
+        assert_eq!(snap.count(), live_snap.count());
+        // The live sum wraps (relaxed u64 add); the snapshot saturates —
+        // compare percentiles, which only read buckets.
+        assert_eq!(snap.percentile(0.5), live_snap.percentile(0.5));
+        assert_eq!(snap.max(), live_snap.max());
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counts() {
+        let mut a = HistogramSnapshot::default();
+        let mut b = HistogramSnapshot::default();
+        for v in [1u64, 2, 3] {
+            a.record(v);
+        }
+        for v in [100u64, 1000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum, 1106);
+        assert_eq!(a.max(), 1023);
+        // Merging an empty snapshot is the identity.
+        let before = a;
+        a.merge(&HistogramSnapshot::default());
+        assert_eq!(a, before);
     }
 
     #[test]

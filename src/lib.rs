@@ -105,6 +105,58 @@ pub enum ForceError {
         /// watchdog report).
         payload: String,
     },
+    /// A served job missed its deadline — a latency outcome, not a
+    /// program bug: the job was torn down (or expired in queue) because
+    /// its time budget ran out, and retrying with a larger budget may
+    /// well succeed.
+    DeadlineExceeded {
+        /// Whether the job ever started running (`false`: it expired
+        /// while still queued).
+        ran: bool,
+    },
+    /// The job server refused or dropped the job under load (admission
+    /// backpressure, drain, or load shedding) — nothing about the job
+    /// itself failed, and resubmitting later is the expected response.
+    Rejected {
+        /// Human-readable reason (queue-full, shutting-down, shed).
+        reason: String,
+    },
+}
+
+impl ForceError {
+    /// Whether this error is *load-induced* — the serving layer's
+    /// flow-control talking (deadline missed, queue full, shed) — as
+    /// opposed to a real program fault.  Load-induced errors are safe to
+    /// retry later; faults generally are not.
+    pub fn is_load_induced(&self) -> bool {
+        matches!(
+            self,
+            ForceError::DeadlineExceeded { .. } | ForceError::Rejected { .. }
+        )
+    }
+
+    /// Map a served job's terminal [`JobOutcome`](machdep::JobOutcome)
+    /// onto the facade's error taxonomy: `Completed` is `Ok`, everything
+    /// else picks the matching variant (`Shed` and rejections both
+    /// become [`ForceError::Rejected`], keeping "the server said no"
+    /// distinguishable from "your program is broken").
+    pub fn from_outcome(outcome: machdep::JobOutcome) -> Result<(), ForceError> {
+        match outcome {
+            machdep::JobOutcome::Completed { .. } => Ok(()),
+            machdep::JobOutcome::Faulted { error, .. } => Err(match error {
+                machdep::JobError::Fault(f) => f.into(),
+                machdep::JobError::Deterministic(msg) => ForceError::Fortran(
+                    force_fortran::FortError::general(force_fortran::FortErrorKind::Structure(msg)),
+                ),
+            }),
+            machdep::JobOutcome::DeadlineExceeded { ran } => {
+                Err(ForceError::DeadlineExceeded { ran })
+            }
+            machdep::JobOutcome::Shed => Err(ForceError::Rejected {
+                reason: "shed under load".into(),
+            }),
+        }
+    }
 }
 
 impl std::fmt::Display for ForceError {
@@ -117,6 +169,13 @@ impl std::fmt::Display for ForceError {
                 construct,
                 payload,
             } => write!(f, "process {pid} faulted in {construct}: {payload}"),
+            ForceError::DeadlineExceeded { ran: true } => {
+                write!(f, "deadline exceeded: job cancelled while running")
+            }
+            ForceError::DeadlineExceeded { ran: false } => {
+                write!(f, "deadline exceeded: job expired in queue")
+            }
+            ForceError::Rejected { reason } => write!(f, "rejected: {reason}"),
         }
     }
 }
@@ -141,6 +200,14 @@ impl From<machdep::ProcessFault> for ForceError {
             pid: f.pid,
             construct: f.construct,
             payload: f.payload,
+        }
+    }
+}
+
+impl From<machdep::RejectReason> for ForceError {
+    fn from(reason: machdep::RejectReason) -> Self {
+        ForceError::Rejected {
+            reason: reason.to_string(),
         }
     }
 }
@@ -245,5 +312,77 @@ mod tests {
     fn errors_are_reported_with_phase() {
         let err = run_force_source("      Consume X\n", MachineId::Hep, 1).unwrap_err();
         assert!(err.to_string().starts_with("preprocessor:"), "{err}");
+    }
+
+    #[test]
+    fn serving_errors_are_distinguishable_from_faults() {
+        // Callers must be able to tell shed load / missed deadlines from
+        // real program faults — the former retry later, the latter don't.
+        let deadline = ForceError::DeadlineExceeded { ran: true };
+        let rejected: ForceError = machdep::RejectReason::QueueFull {
+            tenant: "acme".into(),
+            capacity: 64,
+        }
+        .into();
+        let fault: ForceError = machdep::ProcessFault {
+            pid: 2,
+            construct: "barrier",
+            payload: "boom".into(),
+        }
+        .into();
+        assert!(deadline.is_load_induced());
+        assert!(rejected.is_load_induced());
+        assert!(!fault.is_load_induced());
+        assert_eq!(
+            deadline.to_string(),
+            "deadline exceeded: job cancelled while running"
+        );
+        assert_eq!(
+            ForceError::DeadlineExceeded { ran: false }.to_string(),
+            "deadline exceeded: job expired in queue"
+        );
+        assert_eq!(
+            rejected.to_string(),
+            "rejected: tenant `acme` queue full (capacity 64)"
+        );
+        assert_eq!(fault.to_string(), "process 2 faulted in barrier: boom");
+    }
+
+    #[test]
+    fn job_outcomes_round_trip_into_force_errors() {
+        use machdep::{JobError, JobOutcome, ProcessFault};
+        assert!(ForceError::from_outcome(JobOutcome::Completed { retries: 3 }).is_ok());
+        match ForceError::from_outcome(JobOutcome::DeadlineExceeded { ran: false }) {
+            Err(ForceError::DeadlineExceeded { ran: false }) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        match ForceError::from_outcome(JobOutcome::Shed) {
+            Err(e @ ForceError::Rejected { .. }) => {
+                assert!(e.is_load_induced());
+                assert_eq!(e.to_string(), "rejected: shed under load");
+            }
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        match ForceError::from_outcome(JobOutcome::Faulted {
+            error: JobError::Fault(ProcessFault {
+                pid: 1,
+                construct: "doall",
+                payload: "boom".into(),
+            }),
+            retries: 2,
+        }) {
+            Err(ForceError::ProcessFault { pid: 1, .. }) => {}
+            other => panic!("expected ProcessFault, got {other:?}"),
+        }
+        match ForceError::from_outcome(JobOutcome::Faulted {
+            error: JobError::Deterministic("line 3: divide by zero".into()),
+            retries: 0,
+        }) {
+            Err(e @ ForceError::Fortran(_)) => {
+                assert!(!e.is_load_induced());
+                assert!(e.to_string().contains("divide by zero"));
+            }
+            other => panic!("expected Fortran, got {other:?}"),
+        }
     }
 }

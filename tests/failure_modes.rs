@@ -599,7 +599,13 @@ fn a_pooled_run_after_an_injected_fault_starts_from_a_clean_plane() {
     });
     assert!(r.is_ok(), "plane must be reset between pooled jobs: {r:?}");
     assert_eq!(sum.load(Ordering::Relaxed), 10);
-    assert_eq!(force.last_job_stats().barrier_episodes, 1);
+    assert_eq!(
+        force
+            .last_job_stats()
+            .expect("clean run has per-job stats")
+            .barrier_episodes,
+        1
+    );
 }
 
 #[test]

@@ -1,0 +1,569 @@
+//! End-to-end serving: one `ForceServer` driving real pooled `Force`
+//! sessions and language `Engine`s under fault injection, deadlines,
+//! and overload.  The soak test pushes >1k mixed jobs through a single
+//! server and checks the isolation contract job by job: no shared-memory
+//! bleed, no stats bleed, no trace bleed, retries recover every
+//! transient fault, deterministic errors never retry, and the pool is
+//! still healthy when the server is gone.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use the_force::core::{Force, ForcePool};
+use the_force::fortran::{Engine, Value};
+use the_force::machdep::{
+    FaultInjection, ForceServer, JobError, JobOutcome, JobRunner, JobSpec, JobYield, Machine,
+    MachineId, Priority, RunOptions, ServerConfig, Submit, TraceConfig,
+};
+use the_force::prep::preprocess;
+use the_force::ForceError;
+
+const NPROC: usize = 4;
+
+/// `1 + 2 + ... + nproc`: what each compute job's cell must equal.
+const CELL_SUM: u64 = (NPROC as u64 * (NPROC as u64 + 1)) / 2;
+
+const LANG_PROGRAM: &str = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER N
+      End declarations
+      Critical L
+      N = N + 1
+      End critical
+      Join
+";
+
+/// Deterministic runtime error: subscript out of bounds on every run.
+const BAD_SUBSCRIPT_PROGRAM: &str = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER A(4)
+      Private INTEGER K
+      End declarations
+      K = 5
+      A(K) = 1
+      Join
+";
+
+/// A long barrier loop: enough cancellable waits that a deadline trip
+/// tears the run down long before it finishes on its own.
+const SLOW_LANG_PROGRAM: &str = "\
+      Force FMAIN of NP ident ME
+      Shared INTEGER N
+      Private INTEGER K
+      End declarations
+      DO 100 K = 1, 50000
+      Barrier
+      N = N + 1
+      End barrier
+100   CONTINUE
+      Join
+";
+
+fn expect_admitted(submit: Submit) -> the_force::machdep::JobHandle {
+    match submit {
+        Submit::Admitted(h) => h,
+        Submit::Rejected { reason } => panic!("unexpected rejection: {reason}"),
+    }
+}
+
+#[test]
+fn soak_mixed_jobs_with_injection_and_no_cross_job_leakage() {
+    let machine = Machine::new(MachineId::Flex32);
+    let pool = Arc::new(ForcePool::new(NPROC, machine.stats()));
+    let server = ForceServer::new(
+        ServerConfig {
+            tenant_queue_capacity: 2048,
+            shed_watermark: 4096,
+            retry_base: Duration::from_micros(50),
+            ..ServerConfig::default()
+        },
+        machine.stats(),
+    );
+
+    let force =
+        Arc::new(Force::with_machine(NPROC, Arc::clone(&machine)).with_pool(Arc::clone(&pool)));
+    let traced_force =
+        Arc::new(Force::with_machine(NPROC, Arc::clone(&machine)).with_pool(Arc::clone(&pool)));
+    let lang = Arc::new(
+        Engine::from_expanded(
+            &preprocess(LANG_PROGRAM, MachineId::Flex32).unwrap(),
+            Arc::clone(&machine),
+        )
+        .unwrap(),
+    );
+    lang.set_pool(Arc::clone(&pool));
+    let bad = Arc::new(
+        Engine::from_expanded(
+            &preprocess(BAD_SUBSCRIPT_PROGRAM, MachineId::Flex32).unwrap(),
+            Arc::clone(&machine),
+        )
+        .unwrap(),
+    );
+    bad.set_pool(Arc::clone(&pool));
+
+    const COMPUTE: usize = 400;
+    const TRACED: usize = 60;
+    const FLAKY: usize = 300;
+    const ONCE: usize = 40;
+    const LANG: usize = 200;
+    const DETERR: usize = 40;
+    const TOTAL: u64 = (COMPUTE + TRACED + FLAKY + ONCE + LANG + DETERR) as u64;
+    const _: () = assert!(TOTAL >= 1000, "soak must push at least 1k jobs");
+
+    // Tenant "compute": each job gets a private result cell; every
+    // process adds pid+1 between two barriers.  A cell not equal to
+    // CELL_SUM afterwards would mean another job's processes wrote into
+    // this job's shared state.
+    let mut compute_cells = Vec::with_capacity(COMPUTE);
+    let mut compute_handles = Vec::with_capacity(COMPUTE);
+    for _ in 0..COMPUTE {
+        let cell = Arc::new(AtomicU64::new(0));
+        compute_cells.push(Arc::clone(&cell));
+        let runner = force.serve_runner(RunOptions::default(), move |p| {
+            p.barrier();
+            cell.fetch_add(p.pid() as u64 + 1, Ordering::Relaxed);
+            p.barrier();
+        });
+        compute_handles.push(expect_admitted(
+            server.submit(JobSpec::for_tenant("compute"), runner),
+        ));
+    }
+
+    // Tenant "traced": barrier-heavy traced jobs first, then one final
+    // critical-only traced job.  The tenant rollup keeps the most recent
+    // traced profile; if per-job trace isolation leaked, the barrier
+    // episodes of the earlier jobs (same session, same sink) would show
+    // up in the final job's profile.
+    let traced_options = RunOptions {
+        trace: Some(TraceConfig::default()),
+        ..RunOptions::default()
+    };
+    let mut traced_handles = Vec::with_capacity(TRACED);
+    for _ in 0..TRACED - 1 {
+        let runner = traced_force.serve_runner(traced_options, |p| {
+            p.barrier();
+            p.barrier();
+        });
+        traced_handles.push(expect_admitted(server.submit(
+            JobSpec::for_tenant("traced").with_priority(Priority::High),
+            runner,
+        )));
+    }
+    let runner = traced_force.serve_runner(traced_options, |p| {
+        p.critical("SOAK", || ());
+    });
+    traced_handles.push(expect_admitted(server.submit(
+        JobSpec::for_tenant("traced").with_priority(Priority::High),
+        runner,
+    )));
+
+    // Tenant "flaky": low-probability injected panics with a retry
+    // budget.  The facade re-derives the injection seed per attempt, so
+    // every injected fault is recoverable; all 300 must complete.
+    let mut flaky_handles = Vec::with_capacity(FLAKY);
+    for j in 0..FLAKY {
+        let mut injection = FaultInjection::with_seed(0xf1a6 + j as u64);
+        injection.panic_per_mille = 10;
+        let options = RunOptions {
+            injection: Some(injection),
+            ..RunOptions::default()
+        };
+        let runner = force.serve_runner(options, |p| {
+            p.barrier();
+            p.barrier();
+        });
+        flaky_handles.push(expect_admitted(
+            server.submit(
+                JobSpec::for_tenant("flaky")
+                    .with_priority(Priority::Low)
+                    .with_max_retries(8),
+                runner,
+            ),
+        ));
+    }
+
+    // Tenant "once": a custom runner that injects a certain fault on
+    // attempt 0 only — a deterministic transient.  Every job must
+    // complete with exactly one retry.
+    let mut once_handles = Vec::with_capacity(ONCE);
+    for j in 0..ONCE {
+        let session = Arc::clone(&force);
+        let runner: JobRunner = Box::new(move |cx| {
+            cx.bind_plane(session.fault_plane());
+            let mut options = RunOptions::default();
+            if cx.attempt() == 0 {
+                let mut injection = FaultInjection::with_seed(0x0ce + j as u64);
+                injection.panic_per_mille = 1000;
+                options.injection = Some(injection);
+            }
+            match session.try_execute_with(options, |p| p.barrier()) {
+                Ok(_) => Ok(JobYield::default()),
+                Err(fault) => Err(JobError::Fault(fault)),
+            }
+        });
+        once_handles.push(expect_admitted(
+            server.submit(
+                JobSpec::for_tenant("once")
+                    .with_priority(Priority::Low)
+                    .with_max_retries(2),
+                runner,
+            ),
+        ));
+    }
+
+    // Tenant "lang": interpreter jobs through the shared pool.  Each
+    // run's COMMON block must start zeroed — N == nproc on every run or
+    // shared memory leaked across jobs.
+    let lang_outputs: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut lang_handles = Vec::with_capacity(LANG);
+    for _ in 0..LANG {
+        let sink = Arc::clone(&lang_outputs);
+        let runner = lang.serve_runner(NPROC, RunOptions::default(), move |out| {
+            if let Some(Value::Int(n)) = out.shared_scalar("N") {
+                sink.lock().unwrap().push(n);
+            } else {
+                sink.lock().unwrap().push(-1);
+            }
+        });
+        lang_handles.push(expect_admitted(
+            server.submit(JobSpec::for_tenant("lang"), runner),
+        ));
+    }
+
+    // Tenant "deterr": a deterministic interpreter error with a generous
+    // retry budget that must never be spent.
+    let mut deterr_handles = Vec::with_capacity(DETERR);
+    for _ in 0..DETERR {
+        let runner = bad.serve_runner(NPROC, RunOptions::default(), |_| ());
+        deterr_handles.push(expect_admitted(
+            server.submit(
+                JobSpec::for_tenant("deterr")
+                    .with_priority(Priority::High)
+                    .with_max_retries(5),
+                runner,
+            ),
+        ));
+    }
+
+    // Drain everything.
+    for h in &compute_handles {
+        assert!(h.wait().is_success(), "compute job {} failed", h.id());
+    }
+    for h in &traced_handles {
+        assert!(h.wait().is_success(), "traced job {} failed", h.id());
+    }
+    for h in &flaky_handles {
+        let outcome = h.wait();
+        assert!(
+            outcome.is_success(),
+            "flaky job {} did not recover: {outcome:?}",
+            h.id()
+        );
+    }
+    for h in &once_handles {
+        match h.wait() {
+            JobOutcome::Completed { retries } => {
+                assert_eq!(retries, 1, "once job {} took a surprising path", h.id())
+            }
+            other => panic!("once job {} ended {other:?}", h.id()),
+        }
+    }
+    for h in &lang_handles {
+        assert!(h.wait().is_success(), "lang job {} failed", h.id());
+    }
+    for h in &deterr_handles {
+        match h.wait() {
+            JobOutcome::Faulted { error, retries } => {
+                assert_eq!(retries, 0, "deterministic errors must never retry");
+                assert!(
+                    matches!(error, JobError::Deterministic(_)),
+                    "wrong class: {error:?}"
+                );
+                assert!(error.to_string().contains("outside 1..4"), "{error}");
+            }
+            other => panic!("deterr job {} ended {other:?}", h.id()),
+        }
+    }
+
+    // Shared-memory isolation: every compute cell saw exactly its own
+    // force's contributions.
+    for (j, cell) in compute_cells.iter().enumerate() {
+        assert_eq!(cell.load(Ordering::Relaxed), CELL_SUM, "cell {j} polluted");
+    }
+    // Every language run started from fresh COMMON storage.
+    let outputs = lang_outputs.lock().unwrap();
+    assert_eq!(outputs.len(), LANG);
+    assert!(
+        outputs.iter().all(|&n| n == NPROC as i64),
+        "a language job saw another job's shared memory: {outputs:?}"
+    );
+    drop(outputs);
+
+    // Stats isolation: jobs run one at a time, so tenant rollups are
+    // exact.  Two barrier episodes per compute job — no more, no less.
+    let compute = server.tenant_report("compute").unwrap();
+    assert_eq!(compute.completed, COMPUTE as u64);
+    assert_eq!(compute.faulted, 0);
+    assert_eq!(compute.retries, 0);
+    assert_eq!(
+        compute.ops.barrier_episodes,
+        2 * COMPUTE as u64,
+        "compute tenant's stats absorbed another tenant's operations"
+    );
+    assert_eq!(compute.ops.faults_injected, 0);
+    assert_eq!(compute.latency.count(), COMPUTE as u64);
+
+    // Trace isolation: the final traced job ran criticals only; its
+    // profile must not contain the earlier jobs' barrier episodes.
+    let traced = server.tenant_report("traced").unwrap();
+    assert_eq!(traced.completed, TRACED as u64);
+    assert_eq!(traced.traced_jobs, TRACED as u64);
+    let profile = traced.profile.expect("traced tenant keeps a profile");
+    assert!(
+        profile.construct("critical").is_some(),
+        "final traced job's own construct is missing"
+    );
+    assert!(
+        profile.construct("barrier").is_none(),
+        "barrier events from earlier jobs leaked into a later job's trace"
+    );
+
+    // Retry accounting: every injected fault recovered, no injected
+    // fault was misclassified as deterministic.
+    let flaky = server.tenant_report("flaky").unwrap();
+    assert_eq!(flaky.completed, FLAKY as u64);
+    assert_eq!(flaky.faulted, 0);
+    assert!(
+        flaky.ops.faults_injected > 0,
+        "the soak injected nothing — per-mille too low or injection broken"
+    );
+    let once = server.tenant_report("once").unwrap();
+    assert_eq!(once.completed, ONCE as u64);
+    assert_eq!(once.retries, ONCE as u64, "exactly one retry per once job");
+    let deterr = server.tenant_report("deterr").unwrap();
+    assert_eq!(deterr.faulted, DETERR as u64);
+    assert_eq!(deterr.retries, 0);
+
+    // Server-wide accounting balances.
+    let report = server.server_report();
+    assert_eq!(report.admitted, TOTAL);
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.shed, 0);
+    assert_eq!(report.deadline_exceeded, 0);
+    assert_eq!(report.completed + report.faulted, TOTAL);
+    assert_eq!(report.faulted, DETERR as u64);
+    assert_eq!(report.latency.count(), TOTAL);
+    assert_eq!(report.retries, flaky.retries + once.retries);
+
+    let snap = machine.stats().snapshot();
+    assert_eq!(snap.jobs_admitted, TOTAL);
+    assert_eq!(snap.job_retries, report.retries);
+    assert_eq!(snap.jobs_shed, 0);
+    assert_eq!(snap.jobs_deadline_exceeded, 0);
+    assert_eq!(snap.watchdog_trips, 0, "the soak must not trip watchdogs");
+
+    // The pool outlives the server: plain pooled runs still work.
+    server.shutdown();
+    let after = Arc::new(AtomicU64::new(0));
+    let after2 = Arc::clone(&after);
+    force
+        .try_run(move |p| {
+            p.barrier();
+            after2.fetch_add(p.pid() as u64 + 1, Ordering::Relaxed);
+        })
+        .expect("pool must stay usable after the server is gone");
+    assert_eq!(after.load(Ordering::Relaxed), CELL_SUM);
+    let out = lang.run(NPROC).expect("engine must stay usable");
+    assert_eq!(out.shared_scalar("N"), Some(Value::Int(NPROC as i64)));
+}
+
+#[test]
+fn native_deadline_tears_down_a_running_pooled_job() {
+    let machine = Machine::new(MachineId::Flex32);
+    let pool = Arc::new(ForcePool::new(NPROC, machine.stats()));
+    let force =
+        Arc::new(Force::with_machine(NPROC, Arc::clone(&machine)).with_pool(Arc::clone(&pool)));
+    let server = ForceServer::new(ServerConfig::default(), machine.stats());
+
+    // 100k barriers takes far longer than the deadline; the watcher's
+    // plane trip must cancel the force at a blocking wait.
+    let runner = force.serve_runner(RunOptions::default(), |p| {
+        for _ in 0..100_000 {
+            p.barrier();
+        }
+    });
+    let handle = expect_admitted(
+        server.submit(
+            JobSpec::for_tenant("sla")
+                .with_deadline(Duration::from_millis(20))
+                .with_max_retries(3),
+            runner,
+        ),
+    );
+    assert_eq!(handle.wait(), JobOutcome::DeadlineExceeded { ran: true });
+
+    let rollup = server.tenant_report("sla").unwrap();
+    assert_eq!(rollup.deadline_exceeded, 1);
+    assert_eq!(rollup.retries, 0, "a deadline kill must not be retried");
+    assert!(
+        ForceError::from_outcome(JobOutcome::DeadlineExceeded { ran: true })
+            .unwrap_err()
+            .is_load_induced()
+    );
+
+    // The session's plane resets for the next job: the same force is
+    // immediately reusable.
+    server.shutdown();
+    force
+        .try_run(|p| p.barrier())
+        .expect("session must recover after a deadline teardown");
+}
+
+#[test]
+fn language_deadline_tears_down_a_running_interpreter_job() {
+    let machine = Machine::new(MachineId::Flex32);
+    let pool = Arc::new(ForcePool::new(NPROC, machine.stats()));
+    let engine = Arc::new(
+        Engine::from_expanded(
+            &preprocess(SLOW_LANG_PROGRAM, MachineId::Flex32).unwrap(),
+            Arc::clone(&machine),
+        )
+        .unwrap(),
+    );
+    engine.set_pool(Arc::clone(&pool));
+    let server = ForceServer::new(ServerConfig::default(), machine.stats());
+
+    let completed_runs: Arc<Mutex<u32>> = Arc::new(Mutex::new(0));
+    let sink = Arc::clone(&completed_runs);
+    let runner = engine.serve_runner(NPROC, RunOptions::default(), move |_| {
+        *sink.lock().unwrap() += 1;
+    });
+    let handle = expect_admitted(server.submit(
+        JobSpec::for_tenant("sla").with_deadline(Duration::from_millis(15)),
+        runner,
+    ));
+    assert_eq!(handle.wait(), JobOutcome::DeadlineExceeded { ran: true });
+    assert_eq!(
+        *completed_runs.lock().unwrap(),
+        0,
+        "a torn-down run must not report output"
+    );
+
+    // A queued job whose deadline passes before dispatch never runs.
+    let gate = Arc::new(AtomicBool::new(false));
+    let release = Arc::clone(&gate);
+    let blocker: JobRunner = Box::new(move |_| {
+        while !release.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Ok(JobYield::default())
+    });
+    let blocker_handle = expect_admitted(server.submit(JobSpec::for_tenant("sla"), blocker));
+    let stale = engine.serve_runner(NPROC, RunOptions::default(), |_| ());
+    let stale_handle = expect_admitted(server.submit(
+        JobSpec::for_tenant("sla").with_deadline(Duration::from_millis(1)),
+        stale,
+    ));
+    std::thread::sleep(Duration::from_millis(10));
+    gate.store(true, Ordering::Release);
+    assert!(blocker_handle.wait().is_success());
+    assert_eq!(
+        stale_handle.wait(),
+        JobOutcome::DeadlineExceeded { ran: false }
+    );
+
+    server.shutdown();
+    // The engine session recovers and the program runs to completion
+    // (one process keeps the uninterrupted barrier loop cheap).
+    let out = engine
+        .run(1)
+        .expect("engine must recover after a deadline kill");
+    assert_eq!(out.shared_scalar("N"), Some(Value::Int(50_000)));
+}
+
+#[test]
+fn overload_rejects_and_sheds_instead_of_collapsing() {
+    let machine = Machine::new(MachineId::Flex32);
+    let server = ForceServer::new(
+        ServerConfig {
+            tenant_queue_capacity: 8,
+            shed_watermark: 10,
+            ..ServerConfig::default()
+        },
+        machine.stats(),
+    );
+
+    // Block the dispatcher so the queues fill deterministically.
+    let gate = Arc::new(AtomicBool::new(false));
+    let release = Arc::clone(&gate);
+    let blocker: JobRunner = Box::new(move |_| {
+        while !release.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Ok(JobYield::default())
+    });
+    let blocker_handle = expect_admitted(server.submit(
+        JobSpec::for_tenant("a").with_priority(Priority::High),
+        blocker,
+    ));
+    while server.backlog() > 0 {
+        std::thread::yield_now();
+    }
+
+    // Fill tenant "a" to capacity; the ninth submission bounces.
+    let mut handles = vec![blocker_handle];
+    for _ in 0..8 {
+        let runner: JobRunner = Box::new(|_| Ok(JobYield::default()));
+        handles.push(expect_admitted(
+            server.submit(JobSpec::for_tenant("a"), runner),
+        ));
+    }
+    let overflow: JobRunner = Box::new(|_| Ok(JobYield::default()));
+    match server.submit(JobSpec::for_tenant("a"), overflow) {
+        Submit::Rejected { reason } => {
+            assert!(reason.to_string().contains("queue full"), "{reason}")
+        }
+        Submit::Admitted(_) => panic!("admission control let a full queue grow"),
+    }
+
+    // Tenant "b" pushes the backlog over the shed watermark with
+    // low-priority jobs — the six newest must be shed, never the
+    // high-priority blocker.
+    for _ in 0..8 {
+        let runner: JobRunner = Box::new(|_| Ok(JobYield::default()));
+        handles.push(expect_admitted(server.submit(
+            JobSpec::for_tenant("b").with_priority(Priority::Low),
+            runner,
+        )));
+    }
+    assert_eq!(server.backlog(), 16);
+    gate.store(true, Ordering::Release);
+
+    let outcomes: Vec<JobOutcome> = handles.iter().map(|h| h.wait()).collect();
+    let shed = outcomes
+        .iter()
+        .filter(|o| matches!(o, JobOutcome::Shed))
+        .count();
+    let completed = outcomes.iter().filter(|o| o.is_success()).count();
+    assert_eq!(shed, 6, "backlog 16 over watermark 10 sheds exactly 6");
+    assert_eq!(completed, 11);
+    assert!(
+        outcomes[..9].iter().all(JobOutcome::is_success),
+        "shedding must only pick low-priority victims: {outcomes:?}"
+    );
+
+    let report = server.server_report();
+    assert_eq!(report.admitted, 17);
+    assert_eq!(report.rejected, 1);
+    assert_eq!(report.shed, 6);
+    assert!(report.peak_backlog <= 16);
+    assert_eq!(machine.stats().snapshot().jobs_shed, 6);
+    let b = server.tenant_report("b").unwrap();
+    assert_eq!(b.shed, 6);
+    assert_eq!(b.completed, 2);
+    assert!(matches!(
+        ForceError::from_outcome(JobOutcome::Shed),
+        Err(ForceError::Rejected { .. })
+    ));
+}
